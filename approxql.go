@@ -1,0 +1,244 @@
+package approxql
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"approxql/internal/cost"
+	"approxql/internal/eval"
+	"approxql/internal/index"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// Re-exported cost-model vocabulary. A CostModel assigns costs to the basic
+// query transformations; labels without explicit entries use the paper's
+// defaults (insert 1, delete and rename forbidden).
+type (
+	// CostModel assigns costs to insertions, deletions, and renamings.
+	CostModel = cost.Model
+	// Cost is a non-negative transformation cost.
+	Cost = cost.Cost
+	// Kind distinguishes element/attribute names (Struct) from terms (Text).
+	Kind = cost.Kind
+)
+
+// Inf is the infinite cost: a forbidden transformation.
+const Inf = cost.Inf
+
+// Struct and Text are the two label kinds.
+const (
+	Struct = cost.Struct
+	Text   = cost.Text
+)
+
+// NewCostModel returns a model with the default convention: every insertion
+// costs 1, deletions and renamings are forbidden until configured.
+func NewCostModel() *CostModel { return cost.NewModel() }
+
+// ParseCostModel reads a cost model from its textual format; see the
+// internal/cost package documentation for the line syntax:
+//
+//	default insert <cost>
+//	insert <kind> <label> <cost>
+//	delete <kind> <label> <cost>
+//	rename <kind> <from> <to> <cost>
+func ParseCostModel(r io.Reader) (*CostModel, error) { return cost.Parse(r) }
+
+// PaperCostModel returns the example cost table of the paper's Section 6,
+// used throughout its worked examples (CD catalogs).
+func PaperCostModel() *CostModel { return cost.PaperExample() }
+
+// NodeID identifies a node of the indexed collection; result roots are
+// NodeIDs usable with Database.Render.
+type NodeID = xmltree.NodeID
+
+// Result is one ranked answer: the root of a matching subtree and the cost
+// of the cheapest transformation sequence that embeds the query there.
+// Lower is better; 0 is an exact match.
+type Result = eval.Result
+
+// Builder ingests XML documents into a new Database.
+type Builder struct {
+	b   *xmltree.Builder
+	err error
+}
+
+// NewBuilder returns a Builder. The optional model fixes the node-insertion
+// costs baked into the index encoding (nil uses insert cost 1 everywhere,
+// the paper's experimental convention); deletion and renaming costs are
+// supplied per query instead.
+func NewBuilder(model *CostModel) *Builder {
+	return &Builder{b: xmltree.NewBuilder(model)}
+}
+
+// SetTokenizer replaces the word splitter applied to element text and
+// attribute values (the default lowercases and splits on non-alphanumeric
+// runes). Call it before adding documents; query text selectors are always
+// normalized with the default tokenizer, so a custom tokenizer should
+// produce compatible word forms.
+func (bl *Builder) SetTokenizer(tok func(string) []string) {
+	bl.b.SetTokenizer(tok)
+}
+
+// AddXML parses one XML document and adds it to the collection.
+func (bl *Builder) AddXML(r io.Reader) error {
+	if bl.err != nil {
+		return bl.err
+	}
+	if err := bl.b.AddDocument(r); err != nil {
+		bl.err = err
+		return err
+	}
+	return nil
+}
+
+// AddXMLString is AddXML over a string.
+func (bl *Builder) AddXMLString(doc string) error {
+	return bl.AddXML(strings.NewReader(doc))
+}
+
+// AddXMLFile parses the XML file at path and adds it to the collection.
+func (bl *Builder) AddXMLFile(path string) error {
+	if bl.err != nil {
+		return bl.err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		bl.err = err
+		return err
+	}
+	defer f.Close()
+	return bl.AddXML(f)
+}
+
+// Database finishes ingestion: it freezes the data tree and builds the
+// indexes. The Builder must not be used afterwards.
+func (bl *Builder) Database() (*Database, error) {
+	if bl.err != nil {
+		return nil, bl.err
+	}
+	tree, err := bl.b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return newDatabase(tree), nil
+}
+
+// Database is an indexed, immutable XML collection supporting approximate
+// tree-pattern search. It is safe for concurrent use.
+type Database struct {
+	tree *xmltree.Tree
+	ix   *index.Memory
+
+	schemaOnce sync.Once
+	sch        *schema.Schema
+}
+
+func newDatabase(tree *xmltree.Tree) *Database {
+	return &Database{tree: tree, ix: index.Build(tree)}
+}
+
+// Schema returns the database's structural summary, building it on first
+// use. The schema is shared and must be treated as read-only.
+func (db *Database) Schema() *schema.Schema {
+	db.schemaOnce.Do(func() { db.sch = schema.Build(db.tree) })
+	return db.sch
+}
+
+// Tree exposes the underlying data tree for advanced integrations (the
+// benchmark harness, the CLIs).
+func (db *Database) Tree() *xmltree.Tree { return db.tree }
+
+// Index exposes the underlying label indexes.
+func (db *Database) Index() *index.Memory { return db.ix }
+
+// Render pretty-prints the subtree rooted at a result root.
+func (db *Database) Render(root NodeID) string {
+	return db.tree.RenderString(root)
+}
+
+// Label returns the label of a node (element name or word).
+func (db *Database) Label(u NodeID) string { return db.tree.Label(u) }
+
+// Path returns the label-type path of a node, e.g. "<root>/catalog/cd".
+func (db *Database) Path(u NodeID) string { return db.tree.LabelTypePath(u) }
+
+// Len returns the number of nodes in the collection, including the
+// synthetic super-root.
+func (db *Database) Len() int { return db.tree.Len() }
+
+// Stats summarizes a collection and its schema.
+type Stats struct {
+	// Nodes counts all data-tree nodes including the super-root.
+	Nodes int
+	// Elements counts struct nodes (elements and attributes).
+	Elements int
+	// Words counts text nodes.
+	Words int
+	// Documents counts top-level documents.
+	Documents int
+	// MaxDepth is the longest root-to-leaf path in edges.
+	MaxDepth int
+	// Selectivity is s of the paper's complexity analysis: the largest
+	// number of nodes sharing one label.
+	Selectivity int
+	// Recursivity is l: the largest number of repetitions of one label
+	// along a single path.
+	Recursivity int
+	// SchemaClasses counts the nodes of the structural summary.
+	SchemaClasses int
+	// LargestClass is s_d: the most instances of any one class.
+	LargestClass int
+}
+
+// Stats computes collection statistics (walks the tree once and builds the
+// schema if not yet built).
+func (db *Database) Stats() Stats {
+	ts := db.tree.ComputeStats()
+	ss := db.Schema().ComputeStats()
+	return Stats{
+		Nodes:         ts.Nodes,
+		Elements:      ts.StructNodes,
+		Words:         ts.TextNodes,
+		Documents:     ts.Documents,
+		MaxDepth:      ts.MaxDepth,
+		Selectivity:   ts.Selectivity,
+		Recursivity:   ts.Recursivity,
+		SchemaClasses: ss.Classes,
+		LargestClass:  ss.MaxInstances,
+	}
+}
+
+// WriteTo serializes the collection (dictionaries and structure). Indexes
+// and schema are rebuilt on load. It implements io.WriterTo.
+func (db *Database) WriteTo(w io.Writer) (int64, error) {
+	return db.tree.WriteTo(w)
+}
+
+// ReadDatabase loads a collection written by WriteTo, re-encoding the
+// insertion costs under model (nil for defaults).
+func ReadDatabase(r io.Reader, model *CostModel) (*Database, error) {
+	tree, err := xmltree.ReadTree(r, model)
+	if err != nil {
+		return nil, err
+	}
+	return newDatabase(tree), nil
+}
+
+// OpenDatabaseFile loads a collection file written by WriteTo.
+func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := ReadDatabase(f, model)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}

@@ -1,0 +1,27 @@
+// Command axql runs approXQL queries against an XML collection and prints
+// the ranked results.
+//
+//	axql -xml catalog.xml 'cd[title["piano" and "concerto"]]'
+//	axql -db catalog.axdb -costs costs.txt -n 5 -render 'cd[title["concerto"]]'
+//	axql -xml catalog.xml -explain 'cd[title["concerto"]]'
+//
+// Cost files use the textual format of approxql.ParseCostModel:
+//
+//	delete struct track 3
+//	rename struct cd mc 4
+//	rename text concerto sonata 3
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"approxql/internal/cli"
+)
+
+func main() {
+	if err := cli.Query(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "axql:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Command axqlgen generates synthetic XML collections with the generator of
+// Aboulnaga et al. (WebDB'01) that the paper's experiments use (Section 8.1):
+// configurable element count, element-name pool, vocabulary, total word
+// occurrences, and a Zipfian term distribution.
+//
+// Examples:
+//
+//	axqlgen -out collection.xml                  # laptop-scale defaults
+//	axqlgen -paper -out paper.xml                # the paper's 1M-element collection
+//	axqlgen -paper -scale 0.01 -out small.xml    # 1% of the paper's collection
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"approxql/internal/cli"
+)
+
+func main() {
+	if err := cli.Gen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "axqlgen:", err)
+		os.Exit(1)
+	}
+}

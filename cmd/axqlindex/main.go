@@ -1,0 +1,22 @@
+// Command axqlindex builds an approXQL collection file from XML documents
+// and optionally persists the label postings and the path-dependent
+// secondary index into the embedded B+tree store (the Berkeley DB role of
+// the paper's system).
+//
+//	axqlindex -out catalog.axdb catalog1.xml catalog2.xml
+//	axqlindex -out catalog.axdb -postings catalog.idx -secondary catalog.sec catalog.xml
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"approxql/internal/cli"
+)
+
+func main() {
+	if err := cli.Index(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "axqlindex:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+// Command axqlquerygen reproduces the paper's query generator (Section
+// 8.1): it fills the three query patterns with names and terms randomly
+// selected from a collection's indexes and writes, for every query, an
+// .axq file with the query and a .costs file with the delete costs and
+// renamings of its selectors.
+//
+//	axqlindex -out data.axdb data.xml
+//	axqlquerygen -db data.axdb -out queries/
+//	axql -db data.axdb -costs queries/pattern1_r05_q00.costs "$(cat queries/pattern1_r05_q00.axq)"
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"approxql/internal/cli"
+)
+
+func main() {
+	if err := cli.QueryGen(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "axqlquerygen:", err)
+		os.Exit(1)
+	}
+}

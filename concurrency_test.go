@@ -1,0 +1,63 @@
+package approxql
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearches exercises the documented concurrency contract: a
+// Database serves concurrent searches (including the lazily built schema)
+// without coordination by the caller. Run with -race.
+func TestConcurrentSearches(t *testing.T) {
+	db := buildDB(t)
+	model := PaperCostModel()
+	queries := []string{
+		`cd[title["concerto"]]`,
+		`cd[title["piano" and "concerto"]]`,
+		`cd[title["concerto" or "sonata"]]`,
+		`mc[title["concerto"]]`,
+	}
+	want := make(map[string][]Result)
+	for _, q := range queries {
+		res, err := db.Search(q, 0, WithCostModel(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(g+i)%len(queries)]
+				strategy := Direct
+				if (g+i)%2 == 0 {
+					strategy = SchemaDriven
+				}
+				res, err := db.Search(q, 0, WithCostModel(model), WithStrategy(strategy))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res, want[q]) {
+					errs <- &mismatchError{q}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ q string }
+
+func (e *mismatchError) Error() string { return "concurrent result mismatch for " + e.q }

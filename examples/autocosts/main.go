@@ -1,0 +1,74 @@
+// Autocosts demonstrates the cost-model derivation heuristics (the paper's
+// future-work item on domain-specific cost rules): the engine inspects the
+// collection's schema, proposes renamings between element names and terms
+// used in similar contexts, prices deletions by structural significance, and
+// explains each retrieved result with the transformed query that found it.
+//
+//	go run ./examples/autocosts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxql"
+)
+
+const catalog = `
+<catalog>
+  <cd><title>Piano Concerto No 2</title><composer>Rachmaninov</composer></cd>
+  <cd><title>Cello Suite</title><performer>Casals</performer></cd>
+  <mc><title>Piano Concerto No 1</title><composer>Tchaikovsky</composer></mc>
+  <dvd><title>Piano Recital Live</title><performer>Argerich</performer></dvd>
+  <cd><title>Violin Concerto</title><composer>Sibelius</composer></cd>
+</catalog>`
+
+func main() {
+	b := approxql.NewBuilder(nil)
+	if err := b.AddXMLString(catalog); err != nil {
+		log.Fatal(err)
+	}
+	db, err := b.Database()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := `cd[title["piano" and "concerto"] and composer["rachmaninov"]]`
+	fmt.Printf("query: %s\n\n", query)
+
+	// Derive a cost model from the collection structure instead of
+	// hand-writing one.
+	model, err := db.SuggestCostModel(query, approxql.SuggestOptions{MaxRenamings: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("derived transformation costs:")
+	for _, l := range []struct {
+		name string
+		kind approxql.Kind
+	}{{"cd", approxql.Struct}, {"composer", approxql.Struct}, {"concerto", approxql.Text}} {
+		fmt.Printf("  %s (%v): delete %s", l.name, l.kind, costString(model.DeleteCost(l.name, l.kind)))
+		for _, r := range model.Renamings(l.name, l.kind) {
+			fmt.Printf(", →%s %d", r.To, r.Cost)
+		}
+		fmt.Println()
+	}
+
+	// Search with the derived model and show, per result, the transformed
+	// query that retrieved it.
+	results, err := db.SearchExplained(query, 5, approxql.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d results:\n", len(results))
+	for i, r := range results {
+		fmt.Printf("#%d cost %-3d %-24s via %s\n", i+1, r.Cost, db.Path(r.Root), r.Plan)
+	}
+}
+
+func costString(c approxql.Cost) string {
+	if c >= approxql.Inf {
+		return "forbidden"
+	}
+	return fmt.Sprintf("%d", c)
+}

@@ -1,0 +1,66 @@
+// Incremental demonstrates the "further advantage of the schema-based
+// approach" from the paper's conclusion: once the best k second-level
+// queries are generated, they can be evaluated successively and results
+// sent to the user immediately — here through Database.Stream, which
+// delivers answers in ascending cost order as each transformed query
+// completes.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"approxql"
+)
+
+func main() {
+	// A small digital-library collection with varying structure.
+	b := approxql.NewBuilder(nil)
+	docs := []string{
+		`<library><book><title>Distributed Systems</title><author>Tanenbaum</author></book></library>`,
+		`<library><book><chapters><chapter><title>Distributed Algorithms</title></chapter></chapters><author>Lynch</author></book></library>`,
+		`<library><article><title>Distributed Query Processing</title><author>Kossmann</author></article></library>`,
+		`<library><book><title>Database Systems</title><editor>Tanenbaum</editor></book></library>`,
+		`<library><proceedings><title>EDBT 2002</title><article><title>Distributed Joins</title></article></proceedings></library>`,
+	}
+	for _, d := range docs {
+		if err := b.AddXMLString(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db, err := b.Database()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model := approxql.NewCostModel()
+	model.AddRenaming("book", "article", approxql.Struct, 3)
+	model.AddRenaming("book", "proceedings", approxql.Struct, 5)
+	model.AddRenaming("author", "editor", approxql.Struct, 2)
+	model.SetDelete("chapters", approxql.Struct, 1)
+	model.SetDelete("chapter", approxql.Struct, 1)
+	model.SetDelete("author", approxql.Struct, 6)
+	// Coordination-level match: results matching only one search term
+	// still surface, at a high cost.
+	model.SetDelete("tanenbaum", approxql.Text, 7)
+	model.SetDelete("distributed", approxql.Text, 8)
+
+	query := `book[title["distributed"] and author["tanenbaum"]]`
+	fmt.Printf("query: %s\n\nresults stream in as second-level queries finish:\n", query)
+
+	rank := 0
+	err = db.Stream(query, func(r approxql.Result) bool {
+		rank++
+		first := strings.SplitN(db.Render(r.Root), "\n", 2)[0]
+		fmt.Printf("  -> #%d cost %-3d %-30s %s\n", rank, r.Cost, db.Path(r.Root), first)
+		// A UI would render each hit immediately; stop after five.
+		return rank < 5
+	}, approxql.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreamed %d results without computing the full result list\n", rank)
+}

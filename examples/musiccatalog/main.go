@@ -1,0 +1,110 @@
+// Musiccatalog reproduces the paper's motivating scenario (Section 1): a
+// user searches a catalog of sound storage media for piano concertos by
+// Rachmaninov and wants similar results ranked by preference —
+//
+//   - CDs whose *album* title matches beat CDs where only a *track* title
+//     matches (node insertions make deeper contexts cost more),
+//   - the composer Rachmaninov beats the performer Rachmaninov (renaming),
+//   - other media (MC, DVD) are acceptable at a higher cost (renaming),
+//   - a CD matching only one search term still appears (leaf deletion).
+//
+// A plain XQL-style exact query returns only the first CD; approXQL ranks
+// all of them. Run with:
+//
+//	go run ./examples/musiccatalog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxql"
+)
+
+const catalog = `
+<catalog>
+  <cd id="1">
+    <title>Piano Concerto No 2 in C minor</title>
+    <composer>Sergei Rachmaninov</composer>
+    <performer>Krystian Zimerman</performer>
+  </cd>
+  <cd id="2">
+    <tracks>
+      <track><title>Piano Concerto No 3: Allegro</title></track>
+      <track><title>Piano Concerto No 3: Intermezzo</title></track>
+    </tracks>
+    <composer>Sergei Rachmaninov</composer>
+  </cd>
+  <cd id="3">
+    <title>Famous Piano Concertos</title>
+    <performer>Sergei Rachmaninov</performer>
+  </cd>
+  <mc id="4">
+    <title>Piano Concerto No 2</title>
+    <composer>Sergei Rachmaninov</composer>
+  </mc>
+  <cd id="5">
+    <title>Piano Sonatas</title>
+    <composer>Sergei Rachmaninov</composer>
+  </cd>
+  <cd id="6">
+    <title>Cello Concerto</title>
+    <composer>Edward Elgar</composer>
+  </cd>
+</catalog>`
+
+func main() {
+	b := approxql.NewBuilder(nil)
+	if err := b.AddXMLString(catalog); err != nil {
+		log.Fatal(err)
+	}
+	db, err := b.Database()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's preferences as transformation costs, in the spirit of
+	// the paper's Section 6 example table.
+	model := approxql.NewCostModel()
+	model.SetDelete("tracks", approxql.Struct, 1)
+	model.SetDelete("track", approxql.Struct, 2) // track titles: small penalty
+	model.AddRenaming("cd", "mc", approxql.Struct, 4)
+	model.AddRenaming("cd", "dvd", approxql.Struct, 6)
+	model.AddRenaming("composer", "performer", approxql.Struct, 5)
+	model.AddRenaming("concerto", "sonata", approxql.Text, 7)
+	model.SetDelete("piano", approxql.Text, 8) // dropping a search term: last resort
+	model.SetDelete("concerto", approxql.Text, 8)
+
+	query := `cd[title["piano" and "concerto"] and composer["rachmaninov"]]`
+	fmt.Printf("query: %s\n", query)
+
+	// A search without a cost model allows no deletions or renamings:
+	// only CDs that really contain all three conditions qualify (node
+	// insertions still rank deeper contexts lower).
+	exact, err := db.Search(query, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontainment semantics: %d result(s)\n", len(exact))
+
+	// The approximate search ranks every similar catalog entry.
+	results, err := db.Search(query, 0, approxql.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approximate semantics: %d results\n\n", len(results))
+	for i, r := range results {
+		fmt.Printf("#%d (cost %d)\n%s\n", i+1, r.Cost, db.Render(r.Root))
+	}
+
+	// Explain shows the transformed queries the schema-driven planner
+	// would run, with their costs — the tool for tuning the cost model.
+	fmt.Println("best transformed queries (schema-driven plan):")
+	plans, err := db.Explain(query, 6, approxql.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range plans {
+		fmt.Printf("%2d. cost %-3d results %-3d %s\n", i+1, p.Cost, p.Results, p.Rendered)
+	}
+}

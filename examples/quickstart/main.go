@@ -1,0 +1,62 @@
+// Quickstart: index a tiny CD catalog and run one approximate query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"approxql"
+)
+
+const catalog = `
+<catalog>
+  <cd>
+    <title>Piano Concerto No. 2</title>
+    <composer>Rachmaninov</composer>
+  </cd>
+  <cd>
+    <tracks>
+      <track><title>Piano Sonata in B minor</title></track>
+    </tracks>
+    <composer>Liszt</composer>
+  </cd>
+  <mc>
+    <title>Piano Concerto</title>
+    <composer>Grieg</composer>
+  </mc>
+</catalog>`
+
+func main() {
+	// 1. Index the collection.
+	b := approxql.NewBuilder(nil)
+	if err := b.AddXMLString(catalog); err != nil {
+		log.Fatal(err)
+	}
+	db, err := b.Database()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Describe which transformations are acceptable and what they
+	// cost. Everything not listed is forbidden, so results stay close to
+	// the query.
+	model := approxql.NewCostModel()
+	model.AddRenaming("cd", "mc", approxql.Struct, 4) // MCs are okay-ish
+	model.SetDelete("track", approxql.Struct, 2)      // track titles count
+	model.SetDelete("tracks", approxql.Struct, 1)     //
+	model.AddRenaming("concerto", "sonata", approxql.Text, 3)
+
+	// 3. Search. Results are ranked by transformation cost; 0 is exact.
+	query := `cd[title["piano" and "concerto"]]`
+	results, err := db.Search(query, 5, approxql.WithCostModel(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %s\n\n", query)
+	for i, r := range results {
+		fmt.Printf("#%d (cost %d) %s\n%s\n", i+1, r.Cost, db.Path(r.Root), db.Render(r.Root))
+	}
+}

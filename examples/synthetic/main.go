@@ -1,0 +1,72 @@
+// Synthetic runs a miniature version of the paper's Section 8 experiment:
+// it generates a synthetic collection (Aboulnaga et al. generator), fills
+// the paper's three query patterns with random labels, and compares the
+// direct and the schema-driven best-n algorithms at several n.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"approxql"
+	"approxql/internal/datagen"
+	"approxql/internal/querygen"
+)
+
+func main() {
+	// Generate roughly 20k elements / 100k words (2% of the paper's
+	// collection) deterministically.
+	cfg := datagen.Paper(1).Scale(0.02)
+	fmt.Printf("generating %d elements, %d words...\n", cfg.TargetElements, cfg.TargetWords)
+	tree, err := datagen.GenerateTree(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Move the generated tree into the public Database type through its
+	// serialization format.
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	db, err := approxql.ReadDatabase(&buf, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := tree.ComputeStats()
+	sch := db.Schema().ComputeStats()
+	fmt.Printf("collection: %d nodes, schema: %d classes (largest class %d)\n\n",
+		st.Nodes, sch.Classes, sch.MaxInstances)
+
+	qg, err := querygen.New(tree, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pattern := range querygen.PaperPatterns {
+		gen, err := qg.Generate(pattern, 5) // 5 renamings per label
+		if err != nil {
+			log.Fatal(err)
+		}
+		query := gen.Query.String()
+		fmt.Printf("%s (%s)\n  %s\n", pattern.Name, pattern.Desc, query)
+		for _, n := range []int{1, 10, 100} {
+			direct := timeSearch(db, query, n, gen.Model, approxql.Direct)
+			schema := timeSearch(db, query, n, gen.Model, approxql.SchemaDriven)
+			fmt.Printf("  n=%-4d direct %-12v schema %v\n", n, direct, schema)
+		}
+		fmt.Println()
+	}
+}
+
+func timeSearch(db *approxql.Database, query string, n int, m *approxql.CostModel, s approxql.Strategy) time.Duration {
+	start := time.Now()
+	if _, err := db.Search(query, n,
+		approxql.WithCostModel(m), approxql.WithStrategy(s)); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start).Round(time.Microsecond)
+}

@@ -1,0 +1,3 @@
+module approxql
+
+go 1.22

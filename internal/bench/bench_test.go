@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"approxql/internal/datagen"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Data: datagen.Config{
+			Seed: 1, NumElementNames: 20, VocabularySize: 300,
+			TargetElements: 3000, TargetWords: 12000,
+			TemplateNodes: 60, MaxDepth: 6, MaxRepeat: 3, ZipfSkew: 1.3,
+		},
+		QueriesPerPoint: 3,
+		QuerySeed:       7,
+		Renamings:       []int{0, 5},
+		NValues:         []int{1, 10, AllN},
+	}
+}
+
+func TestRunnerMeasures(t *testing.T) {
+	r, err := NewRunner(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Measure("pattern1", 0, 1, Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Queries != 3 || m.MeanTime <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	m2, err := r.Measure("pattern1", 0, 1, Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Algo != Direct || m2.Pattern != "pattern1" {
+		t.Errorf("measurement = %+v", m2)
+	}
+}
+
+// TestAlgorithmsAgreeOnGeneratedWorkload is the harness-level sanity check:
+// for bounded n the schema-driven algorithm is exact, so both algorithms
+// must return the same number of results on the generated workloads; for
+// n = ∞ they must agree whenever the schema-driven search was not truncated
+// by its MaxK valve.
+func TestAlgorithmsAgreeOnGeneratedWorkload(t *testing.T) {
+	r, err := NewRunner(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"pattern1", "pattern2", "pattern3"} {
+		for _, ren := range []int{0, 5} {
+			for _, g := range r.sets[pattern][ren] {
+				nd, err := r.Evaluate(g, 10, Direct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ns, err := r.Evaluate(g, 10, Schema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nd != ns {
+					t.Errorf("%s/%d query %s: direct %d results, schema %d (n=10)",
+						pattern, ren, g.Query, nd, ns)
+				}
+				ndAll, err := r.Evaluate(g, AllN, Direct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nsAll, stats, err := r.EvaluateStats(g, AllN, Schema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Truncated {
+					if nsAll > ndAll {
+						t.Errorf("%s/%d query %s: truncated schema found %d > direct %d",
+							pattern, ren, g.Query, nsAll, ndAll)
+					}
+					continue
+				}
+				if ndAll != nsAll {
+					t.Errorf("%s/%d query %s: direct %d results, schema %d (n=inf)",
+						pattern, ren, g.Query, ndAll, nsAll)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure7SeriesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness sweep")
+	}
+	cfg := tinyConfig()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := r.Figure7("pattern2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Renamings) * len(cfg.NValues) * 2
+	if len(ms) != want {
+		t.Fatalf("series has %d points, want %d", len(ms), want)
+	}
+	var buf bytes.Buffer
+	PrintSeries(&buf, ms)
+	out := buf.String()
+	if !strings.Contains(out, "schema") || !strings.Contains(out, "direct") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "inf") {
+		t.Errorf("table missing the n=inf row:\n%s", out)
+	}
+	lines := strings.Count(strings.TrimSpace(out), "\n")
+	if lines != len(cfg.Renamings)*len(cfg.NValues) {
+		t.Errorf("table has %d data lines, want %d:\n%s",
+			lines, len(cfg.Renamings)*len(cfg.NValues), out)
+	}
+}
+
+func TestFormatN(t *testing.T) {
+	if FormatN(AllN) != "inf" || FormatN(10) != "10" {
+		t.Error("FormatN misbehaves")
+	}
+}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"approxql/internal/bench"
+	"approxql/internal/querygen"
+)
+
+// Bench is the axqlbench entry point: it regenerates the evaluation-time
+// series of the paper's Figure 7.
+func Bench(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axqlbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale   = fs.Float64("scale", 0.05, "collection scale relative to the paper's 1M elements / 10M words")
+		figure  = fs.String("figure", "all", "which panel to run: 7a, 7b, 7c, or all")
+		queries = fs.Int("queries", 10, "queries averaged per point")
+		seed    = fs.Int64("seed", 2002, "query-generation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Default(*scale)
+	cfg.QueriesPerPoint = *queries
+	cfg.QuerySeed = *seed
+
+	fmt.Fprintf(stderr, "generating collection (%d elements, %d words)...\n",
+		cfg.Data.TargetElements, cfg.Data.TargetWords)
+	start := time.Now()
+	runner, err := bench.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	ts, ss := runner.DataStats()
+	fmt.Fprintf(stderr,
+		"ready in %v: %d nodes (%d elements, %d words), schema: %d classes, largest class %d\n\n",
+		time.Since(start).Round(time.Millisecond),
+		ts.Nodes, ts.StructNodes, ts.TextNodes, ss.Classes, ss.MaxInstances)
+
+	panels := map[string]string{"7a": "pattern1", "7b": "pattern2", "7c": "pattern3"}
+	for _, panel := range []string{"7a", "7b", "7c"} {
+		if *figure != "all" && *figure != panel {
+			continue
+		}
+		pattern := panels[panel]
+		var desc string
+		for _, p := range querygen.PaperPatterns {
+			if p.Name == pattern {
+				desc = p.Desc + ": " + p.Src
+			}
+		}
+		fmt.Fprintf(stdout, "=== Figure %s — %s (%s) ===\n", panel, pattern, desc)
+		ms, err := runner.Figure7(pattern)
+		if err != nil {
+			return err
+		}
+		bench.PrintSeries(stdout, ms)
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

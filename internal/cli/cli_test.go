@@ -1,0 +1,299 @@
+package cli
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const catalogXML = `<catalog>
+  <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
+  <cd><title>Piano Sonata</title><composer>Beethoven</composer></cd>
+  <mc><title>Concerto</title></mc>
+</catalog>`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenProducesParsableXML(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.xml")
+	var stderr bytes.Buffer
+	err := Gen([]string{
+		"-seed", "3", "-elements", "500", "-words", "2000",
+		"-names", "10", "-vocab", "100", "-out", out,
+	}, io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("Gen: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "generated") {
+		t.Errorf("summary missing: %q", stderr.String())
+	}
+	// The generated file must index cleanly.
+	dbFile := filepath.Join(dir, "data.axdb")
+	if err := Index([]string{"-out", dbFile, "-q", out}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("Index on generated data: %v", err)
+	}
+}
+
+func TestGenRejectsBadFlags(t *testing.T) {
+	if err := Gen([]string{"-skew", "0.5"}, io.Discard, io.Discard); err == nil {
+		t.Error("bad skew accepted")
+	}
+	if err := Gen([]string{"-bogus"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestIndexAndQueryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	dbFile := filepath.Join(dir, "catalog.axdb")
+	postings := filepath.Join(dir, "catalog.idx")
+	secondary := filepath.Join(dir, "catalog.sec")
+
+	var stderr bytes.Buffer
+	err := Index([]string{
+		"-out", dbFile, "-postings", postings, "-secondary", secondary, xml,
+	}, io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "schema:") {
+		t.Errorf("summary missing schema line: %q", stderr.String())
+	}
+	for _, f := range []string{dbFile, postings, secondary} {
+		if st, err := os.Stat(f); err != nil || st.Size() == 0 {
+			t.Errorf("output %s missing or empty", f)
+		}
+	}
+
+	// Query the stored collection with the paper's costs.
+	var out bytes.Buffer
+	err = Query([]string{
+		"-db", dbFile, "-papercosts", "-n", "3", `cd[title["concerto"]]`,
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("query printed %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "cost 0") || !strings.Contains(lines[0], "/catalog/cd") {
+		t.Errorf("first result line = %q", lines[0])
+	}
+}
+
+func TestQueryModes(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+
+	// -render prints subtrees.
+	var out bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-papercosts", "-render", "-n", "1",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<title>") {
+		t.Errorf("render output missing subtree:\n%s", out.String())
+	}
+
+	// -explain prints second-level queries.
+	out.Reset()
+	if err := Query([]string{"-xml", xml, "-papercosts", "-explain",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "results") || !strings.Contains(out.String(), "cd@") {
+		t.Errorf("explain output:\n%s", out.String())
+	}
+
+	// -stream prints results incrementally.
+	out.Reset()
+	if err := Query([]string{"-xml", xml, "-papercosts", "-stream", "-n", "2",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "cost"); got != 2 {
+		t.Errorf("stream printed %d results, want 2:\n%s", got, out.String())
+	}
+
+	// Explicit strategies agree.
+	var direct, viaSchema bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-papercosts", "-strategy", "direct", "-n", "0",
+		`cd[title["concerto"]]`}, &direct, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := Query([]string{"-xml", xml, "-papercosts", "-strategy", "schema", "-n", "0",
+		`cd[title["concerto"]]`}, &viaSchema, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != viaSchema.String() {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", direct.String(), viaSchema.String())
+	}
+}
+
+func TestQueryHighlightAndStats(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+
+	var out bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-papercosts", "-highlight", "-n", "0",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "matched") || !strings.Contains(s, "renamed") {
+		t.Errorf("highlight output lacks annotations:\n%s", s)
+	}
+	if !strings.Contains(s, "struct:cd → mc") {
+		t.Errorf("highlight output lacks the cd→mc renaming:\n%s", s)
+	}
+
+	out.Reset()
+	if err := Query([]string{"-xml", xml, "-stats"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "schema classes") || !strings.Contains(out.String(), "elements") {
+		t.Errorf("stats output:\n%s", out.String())
+	}
+	if err := Query([]string{"-xml", xml, "-stats", "extra"}, io.Discard, io.Discard); err == nil {
+		t.Error("-stats with a query accepted")
+	}
+}
+
+func TestQueryWithCostFile(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	costs := writeFile(t, dir, "costs.txt", "rename struct cd mc 4\n")
+	var out bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-costs", costs, "-n", "0",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/catalog/mc") {
+		t.Errorf("cost file renaming ignored:\n%s", out.String())
+	}
+}
+
+func TestQueryAutoCosts(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", `<catalog>
+  <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
+  <mc><title>Concerto Grosso</title><composer>Handel</composer></mc>
+  <dvd><title>Piano Recital</title><performer>Argerich</performer></dvd>
+</catalog>`)
+	var out bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-autocosts", "-n", "0",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// The derived model should surface the MC as an approximate result.
+	if !strings.Contains(out.String(), "/catalog/mc") {
+		t.Errorf("autocosts found no approximate results:\n%s", out.String())
+	}
+	// Conflicting cost sources are rejected.
+	if err := Query([]string{"-xml", xml, "-autocosts", "-papercosts", "cd"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("-autocosts with -papercosts accepted")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	cases := [][]string{
+		{},                                       // no query
+		{"-xml", xml},                            // no query
+		{`cd[title["x"]]`},                       // no data source
+		{"-xml", xml, "cd["},                     // syntax error
+		{"-xml", xml, "-strategy", "warp", "cd"}, // bad strategy
+		{"-db", filepath.Join(dir, "missing.axdb"), "cd"},
+		{"-xml", xml, "-costs", filepath.Join(dir, "missing.txt"), "cd"},
+	}
+	for _, args := range cases {
+		if err := Query(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("Query(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := Index([]string{"-out", filepath.Join(dir, "x.axdb")}, io.Discard, io.Discard); err == nil {
+		t.Error("Index without inputs succeeded")
+	}
+	bad := writeFile(t, dir, "bad.xml", "<broken")
+	if err := Index([]string{"-out", filepath.Join(dir, "x.axdb"), bad}, io.Discard, io.Discard); err == nil {
+		t.Error("Index on broken XML succeeded")
+	}
+}
+
+func TestQueryGenEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Generate a small collection, index it, produce query sets, and run
+	// one generated query with its cost file — the paper's full workflow.
+	xml := filepath.Join(dir, "data.xml")
+	if err := Gen([]string{"-seed", "4", "-elements", "800", "-words", "3000",
+		"-names", "12", "-vocab", "150", "-q", "-out", xml}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	dbFile := filepath.Join(dir, "data.axdb")
+	if err := Index([]string{"-out", dbFile, "-q", xml}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	qdir := filepath.Join(dir, "queries")
+	var stderr bytes.Buffer
+	if err := QueryGen([]string{"-db", dbFile, "-out", qdir, "-count", "2",
+		"-renamings", "0,5"}, io.Discard, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	// 3 patterns × 2 levels × 2 queries = 12 pairs.
+	queries, _ := filepath.Glob(filepath.Join(qdir, "*.axq"))
+	costs, _ := filepath.Glob(filepath.Join(qdir, "*.costs"))
+	if len(queries) != 12 || len(costs) != 12 {
+		t.Fatalf("wrote %d queries, %d cost files; want 12 each", len(queries), len(costs))
+	}
+	// The generated artifacts are consumable by axql.
+	src, err := os.ReadFile(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	costFile := strings.TrimSuffix(queries[0], ".axq") + ".costs"
+	if err := Query([]string{"-db", dbFile, "-costs", costFile, "-n", "3",
+		strings.TrimSpace(string(src))}, io.Discard, io.Discard); err != nil {
+		t.Fatalf("running generated query: %v", err)
+	}
+	// Bad inputs are rejected.
+	if err := QueryGen([]string{"-db", dbFile}, io.Discard, io.Discard); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := QueryGen([]string{"-db", dbFile, "-out", qdir, "-renamings", "x"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("bad renaming list accepted")
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	var out, stderr bytes.Buffer
+	err := Bench([]string{"-scale", "0.0004", "-queries", "2", "-figure", "7a"}, &out, &stderr)
+	if err != nil {
+		t.Fatalf("Bench: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(out.String(), "Figure 7a") || !strings.Contains(out.String(), "schema") {
+		t.Errorf("bench output:\n%s", out.String())
+	}
+}

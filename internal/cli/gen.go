@@ -1,0 +1,86 @@
+// Package cli implements the command-line tools (axql, axqlgen, axqlindex,
+// axqlbench) as testable functions; the cmd/ mains are thin wrappers.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"approxql/internal/datagen"
+)
+
+// Gen is the axqlgen entry point: it generates a synthetic XML collection.
+func Gen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axqlgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed")
+		paper    = fs.Bool("paper", false, "use the paper's collection parameters (1M elements, 100 names, 100k terms, 10M words)")
+		scale    = fs.Float64("scale", 1.0, "scale factor applied to the element and word targets")
+		elements = fs.Int("elements", 0, "override: total number of elements")
+		words    = fs.Int("words", 0, "override: total number of words")
+		names    = fs.Int("names", 0, "override: number of distinct element names")
+		vocab    = fs.Int("vocab", 0, "override: vocabulary size")
+		skew     = fs.Float64("skew", 0, "override: Zipf skew (> 1)")
+		out      = fs.String("out", "", "output file (default: stdout)")
+		quiet    = fs.Bool("q", false, "suppress the summary line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := datagen.Default(*seed)
+	if *paper {
+		cfg = datagen.Paper(*seed)
+	}
+	cfg = cfg.Scale(*scale)
+	if *elements > 0 {
+		cfg.TargetElements = *elements
+	}
+	if *words > 0 {
+		cfg.TargetWords = *words
+	}
+	if *names > 0 {
+		cfg.NumElementNames = *names
+	}
+	if *vocab > 0 {
+		cfg.VocabularySize = *vocab
+	}
+	if *skew > 0 {
+		cfg.ZipfSkew = *skew
+	}
+
+	g, err := datagen.New(cfg)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	// One collection element wrapping all generated documents keeps the
+	// output a single well-formed XML document.
+	if _, err := fmt.Fprintln(w, "<collection>"); err != nil {
+		return err
+	}
+	for !g.Done() {
+		if err := g.WriteDocumentXML(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "</collection>"); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "generated %d elements, %d words (seed %d)\n",
+			g.Elements(), g.Words(), *seed)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"approxql"
+	"approxql/internal/index"
+	"approxql/internal/storage"
+)
+
+// Index is the axqlindex entry point: it builds a collection file from XML
+// documents and optionally persists the postings into the B+tree store.
+func Index(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axqlindex", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "", "output collection file (required)")
+		postings = fs.String("postings", "", "optional: also persist postings into this B+tree file")
+		secIdx   = fs.String("secondary", "", "optional: also persist the path-dependent secondary index into this B+tree file")
+		costs    = fs.String("costs", "", "optional: cost file fixing node-insertion costs")
+		quiet    = fs.Bool("q", false, "suppress the summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("usage: axqlindex -out FILE [-postings FILE] [-secondary FILE] [-costs FILE] input.xml...")
+	}
+
+	model, err := loadCosts(*costs, nil)
+	if err != nil {
+		return err
+	}
+
+	b := approxql.NewBuilder(model)
+	for _, path := range fs.Args() {
+		if err := b.AddXMLFile(path); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	db, err := b.Database()
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	n, err := db.WriteTo(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if *postings != "" {
+		store, err := storage.Open(*postings, nil)
+		if err != nil {
+			return err
+		}
+		if err := index.Save(db.Index(), store); err != nil {
+			store.Close()
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
+	if *secIdx != "" {
+		store, err := storage.Open(*secIdx, nil)
+		if err != nil {
+			return err
+		}
+		if err := db.Schema().SaveSec(store); err != nil {
+			store.Close()
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
+
+	if !*quiet {
+		st := db.Tree().ComputeStats()
+		fmt.Fprintf(stderr,
+			"indexed %d documents: %d elements, %d words, %d bytes written to %s\n",
+			st.Documents, st.StructNodes, st.TextNodes, n, *out)
+		sch := db.Schema().ComputeStats()
+		fmt.Fprintf(stderr, "schema: %d classes (largest class: %d instances)\n",
+			sch.Classes, sch.MaxInstances)
+	}
+	return nil
+}
+
+// loadCosts reads a cost file, returning fallback when path is empty.
+func loadCosts(path string, fallback *approxql.CostModel) (*approxql.CostModel, error) {
+	if path == "" {
+		return fallback, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := approxql.ParseCostModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

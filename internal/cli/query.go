@@ -1,0 +1,176 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"approxql"
+)
+
+// Query is the axql entry point: it evaluates one approXQL query against a
+// collection and prints the ranked results.
+func Query(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath    = fs.String("db", "", "collection file built by axqlindex")
+		xml       = fs.String("xml", "", "comma-separated XML files to index on the fly")
+		costs     = fs.String("costs", "", "cost file with delete/rename costs")
+		paper     = fs.Bool("papercosts", false, "use the paper's Section 6 example cost table")
+		auto      = fs.Bool("autocosts", false, "derive delete/rename costs from the collection structure")
+		n         = fs.Int("n", 10, "number of results (0 = all)")
+		strategy  = fs.String("strategy", "auto", "evaluation strategy: auto, direct, schema")
+		render    = fs.Bool("render", false, "print the matching subtrees, not only the roots")
+		highlight = fs.Bool("highlight", false, "annotate each result with how every query selector matched")
+		explain   = fs.Bool("explain", false, "print the best second-level queries instead of results")
+		stream    = fs.Bool("stream", false, "print results incrementally as they are found")
+		stats     = fs.Bool("stats", false, "print collection statistics instead of querying")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stats {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: axql -stats [-db FILE | -xml FILES]")
+		}
+		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel())
+		if err != nil {
+			return err
+		}
+		return printStats(stdout, db)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: axql [flags] 'query'")
+	}
+	query := fs.Arg(0)
+
+	fallback := approxql.NewCostModel()
+	if *paper {
+		fallback = approxql.PaperCostModel()
+	}
+	model, err := loadCosts(*costs, fallback)
+	if err != nil {
+		return err
+	}
+
+	db, err := openDatabase(*dbPath, *xml, model)
+	if err != nil {
+		return err
+	}
+	if *auto {
+		if *costs != "" || *paper {
+			return fmt.Errorf("-autocosts conflicts with -costs and -papercosts")
+		}
+		model, err = db.SuggestCostModel(query, approxql.SuggestOptions{})
+		if err != nil {
+			return err
+		}
+	}
+
+	opts := []approxql.QueryOption{approxql.WithCostModel(model)}
+	switch *strategy {
+	case "auto":
+	case "direct":
+		opts = append(opts, approxql.WithStrategy(approxql.Direct))
+	case "schema":
+		opts = append(opts, approxql.WithStrategy(approxql.SchemaDriven))
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	switch {
+	case *explain:
+		plans, err := db.Explain(query, *n, opts...)
+		if err != nil {
+			return err
+		}
+		for i, p := range plans {
+			fmt.Fprintf(stdout, "%2d. cost %-4d results %-5d %s\n", i+1, p.Cost, p.Results, p.Rendered)
+		}
+	case *stream:
+		i := 0
+		err := db.Stream(query, func(r approxql.Result) bool {
+			i++
+			printResult(stdout, db, i, r, *render)
+			return *n <= 0 || i < *n
+		}, opts...)
+		if err != nil {
+			return err
+		}
+	default:
+		results, err := db.Search(query, *n, opts...)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			printResult(stdout, db, i+1, r, *render)
+			if *highlight {
+				if err := printHighlight(stdout, db, query, r, opts); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// printHighlight annotates one result with the fate of every query selector.
+func printHighlight(w io.Writer, db *approxql.Database, query string, r approxql.Result, opts []approxql.QueryOption) error {
+	steps, _, err := db.MatchDetails(query, r.Root, opts...)
+	if err != nil {
+		return err
+	}
+	for _, s := range steps {
+		switch s.Action {
+		case "matched":
+			fmt.Fprintf(w, "      %-8s %s:%s at %s\n", s.Action, s.Kind, s.QueryLabel, db.Path(s.Node))
+		case "renamed":
+			fmt.Fprintf(w, "      %-8s %s:%s → %s at %s\n", s.Action, s.Kind, s.QueryLabel, s.MatchedLabel, db.Path(s.Node))
+		default:
+			fmt.Fprintf(w, "      %-8s %s:%s\n", s.Action, s.Kind, s.QueryLabel)
+		}
+	}
+	return nil
+}
+
+// printStats reports collection statistics.
+func printStats(w io.Writer, db *approxql.Database) error {
+	st := db.Stats()
+	fmt.Fprintf(w, "nodes          %d\n", st.Nodes)
+	fmt.Fprintf(w, "elements       %d\n", st.Elements)
+	fmt.Fprintf(w, "words          %d\n", st.Words)
+	fmt.Fprintf(w, "documents      %d\n", st.Documents)
+	fmt.Fprintf(w, "max depth      %d\n", st.MaxDepth)
+	fmt.Fprintf(w, "selectivity    %d\n", st.Selectivity)
+	fmt.Fprintf(w, "recursivity    %d\n", st.Recursivity)
+	fmt.Fprintf(w, "schema classes %d\n", st.SchemaClasses)
+	fmt.Fprintf(w, "largest class  %d\n", st.LargestClass)
+	return nil
+}
+
+func openDatabase(dbPath, xml string, model *approxql.CostModel) (*approxql.Database, error) {
+	switch {
+	case dbPath != "":
+		return approxql.OpenDatabaseFile(dbPath, model)
+	case xml != "":
+		b := approxql.NewBuilder(model)
+		for _, path := range strings.Split(xml, ",") {
+			if err := b.AddXMLFile(strings.TrimSpace(path)); err != nil {
+				return nil, err
+			}
+		}
+		return b.Database()
+	}
+	return nil, fmt.Errorf("one of -db or -xml is required")
+}
+
+func printResult(w io.Writer, db *approxql.Database, rank int, r approxql.Result, render bool) {
+	fmt.Fprintf(w, "%2d. cost %-4d %s\n", rank, r.Cost, db.Path(r.Root))
+	if render {
+		for _, line := range strings.Split(strings.TrimRight(db.Render(r.Root), "\n"), "\n") {
+			fmt.Fprintf(w, "      %s\n", line)
+		}
+	}
+}

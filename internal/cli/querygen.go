@@ -1,0 +1,108 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"approxql"
+	"approxql/internal/querygen"
+)
+
+// QueryGen is the axqlquerygen entry point: it reproduces the paper's query
+// generator output (Section 8.1) — for each pattern and renaming level a set
+// of queries, each with the cost file containing the delete costs and the
+// renamings of its selectors.
+func QueryGen(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axqlquerygen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath    = fs.String("db", "", "collection file built by axqlindex (required)")
+		outDir    = fs.String("out", "", "output directory (required)")
+		seed      = fs.Int64("seed", 2002, "random seed")
+		count     = fs.Int("count", 10, "queries per set (the paper uses 10)")
+		renamings = fs.String("renamings", "0,5,10", "comma-separated renaming levels")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || *outDir == "" {
+		return fmt.Errorf("usage: axqlquerygen -db FILE -out DIR [-seed N] [-count N]")
+	}
+	db, err := approxql.OpenDatabaseFile(*dbPath, nil)
+	if err != nil {
+		return err
+	}
+	levels, err := parseIntList(*renamings)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	g, err := querygen.New(db.Tree(), *seed)
+	if err != nil {
+		return err
+	}
+	written := 0
+	for _, p := range querygen.PaperPatterns {
+		for _, ren := range levels {
+			set, err := g.GenerateSet(p, ren, *count)
+			if err != nil {
+				return err
+			}
+			for i, gen := range set {
+				base := filepath.Join(*outDir, fmt.Sprintf("%s_r%02d_q%02d", p.Name, ren, i))
+				if err := os.WriteFile(base+".axq", []byte(gen.Query.String()+"\n"), 0o644); err != nil {
+					return err
+				}
+				cf, err := os.Create(base + ".costs")
+				if err != nil {
+					return err
+				}
+				if err := gen.Model.Write(cf); err != nil {
+					cf.Close()
+					return err
+				}
+				if err := cf.Close(); err != nil {
+					return err
+				}
+				written++
+			}
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %d query/cost pairs to %s\n", written, *outDir)
+	return nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitComma(s) {
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil || v < 0 {
+			return nil, fmt.Errorf("bad renaming level %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty renaming list")
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package cost
+
+// PaperExample returns the cost model of the Section 6 example table:
+//
+//	insertion   cost   deletion     cost   renaming                cost
+//	category    4      composer     7      cd → dvd                6
+//	cd          2      "concerto"   6      cd → mc                 4
+//	composer    5      "piano"      8      composer → performer    4
+//	performer   5      title        5      "concerto" → "sonata"   3
+//	title       3      track        3      title → category        4
+//
+// All delete and rename costs not listed are infinite; all remaining insert
+// costs are 1. The golden tests for the Figure 2/3 worked examples use this
+// model.
+func PaperExample() *Model {
+	m := NewModel()
+	m.SetInsert("category", Struct, 4)
+	m.SetInsert("cd", Struct, 2)
+	m.SetInsert("composer", Struct, 5)
+	m.SetInsert("performer", Struct, 5)
+	m.SetInsert("title", Struct, 3)
+
+	m.SetDelete("composer", Struct, 7)
+	m.SetDelete("concerto", Text, 6)
+	m.SetDelete("piano", Text, 8)
+	m.SetDelete("title", Struct, 5)
+	m.SetDelete("track", Struct, 3)
+
+	m.AddRenaming("cd", "dvd", Struct, 6)
+	m.AddRenaming("cd", "mc", Struct, 4)
+	m.AddRenaming("composer", "performer", Struct, 4)
+	m.AddRenaming("concerto", "sonata", Text, 3)
+	m.AddRenaming("title", "category", Struct, 4)
+	return m
+}

@@ -1,0 +1,261 @@
+// Package costgen derives transformation cost models from the structure of
+// a collection — an implementation of the paper's future-work item that "the
+// development of domain-specific rules for choosing basic transformation
+// costs is a topic of future research" (Section 9).
+//
+// The heuristics read only the schema (never the full data tree):
+//
+//   - Renaming between element names costs less the more similarly the names
+//     are used: similarity is the mean Jaccard overlap of the parent-label
+//     and child-label context sets of the two names' classes. "composer" and
+//     "performer" both appear under "cd" with text content, so renaming
+//     between them is cheap; "cd" → "title" is not offered at all.
+//   - Renaming between terms costs less the more text classes the terms
+//     share: terms of the same compacted text class occur in the same
+//     element contexts ("concerto" and "sonata" both under cd/title).
+//   - Deleting an inner element name is cheaper for thin wrappers — names
+//     whose classes have few distinct child classes — following the paper's
+//     intuition that deep hierarchy encodes specificity.
+//   - Insert costs stay at the paper's default of 1 per node.
+//
+// The derived model is a starting point for tuning, not a replacement for a
+// domain expert; Database.SuggestCostModel exposes it per query.
+package costgen
+
+import (
+	"math"
+	"sort"
+
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+)
+
+// Options tune the derivation.
+type Options struct {
+	// MaxRenamings bounds the renaming alternatives generated per label
+	// (default 5, matching the paper's mid experiment level).
+	MaxRenamings int
+	// MaxCost is the cost of the least similar accepted renaming and of
+	// the most significant accepted deletion (default 9, the querygen
+	// range).
+	MaxCost cost.Cost
+	// MinSimilarity rejects renamings below this context similarity
+	// (default 0.1).
+	MinSimilarity float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxRenamings <= 0 {
+		o.MaxRenamings = 5
+	}
+	if o.MaxCost <= 0 {
+		o.MaxCost = 9
+	}
+	if o.MinSimilarity <= 0 {
+		o.MinSimilarity = 0.1
+	}
+}
+
+// Analyzer precomputes per-label context statistics of one schema.
+type Analyzer struct {
+	sch *schema.Schema
+	opt Options
+
+	// Per struct label: the set of parent labels and child labels over
+	// all classes with that label, plus class statistics.
+	structCtx map[string]*labelContext
+	// Per term: the set of text classes containing it.
+	termClasses map[string]map[schema.NodeID]bool
+	// Per text class: the distinct terms it contains.
+	classTerms map[schema.NodeID][]string
+}
+
+type labelContext struct {
+	parents     map[string]bool
+	children    map[string]bool
+	classes     int
+	childrenSum int
+}
+
+// NewAnalyzer scans the schema once.
+func NewAnalyzer(sch *schema.Schema, opt Options) *Analyzer {
+	opt.defaults()
+	a := &Analyzer{
+		sch:         sch,
+		opt:         opt,
+		structCtx:   make(map[string]*labelContext),
+		termClasses: make(map[string]map[schema.NodeID]bool),
+		classTerms:  make(map[schema.NodeID][]string),
+	}
+	for c := schema.NodeID(0); c < schema.NodeID(sch.Len()); c++ {
+		if sch.Kind(c) == cost.Text {
+			continue
+		}
+		label := sch.Label(c)
+		ctx := a.structCtx[label]
+		if ctx == nil {
+			ctx = &labelContext{parents: make(map[string]bool), children: make(map[string]bool)}
+			a.structCtx[label] = ctx
+		}
+		ctx.classes++
+		if p := sch.Parent(c); p >= 0 {
+			ctx.parents[sch.Label(p)] = true
+		}
+		// Children of c in the schema tree: contiguous preorder interval.
+		for v := c + 1; v <= sch.Bound(c); {
+			ctx.children[sch.Label(v)] = true
+			ctx.childrenSum++
+			v = sch.Bound(v) + 1
+		}
+	}
+	sch.ForEachTermPosting(func(class schema.NodeID, term string, count int) {
+		set := a.termClasses[term]
+		if set == nil {
+			set = make(map[schema.NodeID]bool)
+			a.termClasses[term] = set
+		}
+		set[class] = true
+		a.classTerms[class] = append(a.classTerms[class], term)
+	})
+	return a
+}
+
+// jaccard returns |a ∩ b| / |a ∪ b| for non-empty sets, else 0.
+func jaccard[K comparable](a, b map[K]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// StructSimilarity returns the context similarity of two element names in
+// [0, 1]: the mean of the parent-set and child-set Jaccard overlaps.
+func (a *Analyzer) StructSimilarity(from, to string) float64 {
+	cf, ct := a.structCtx[from], a.structCtx[to]
+	if cf == nil || ct == nil {
+		return 0
+	}
+	return (jaccard(cf.parents, ct.parents) + jaccard(cf.children, ct.children)) / 2
+}
+
+// TermSimilarity returns the context similarity of two terms in [0, 1]: the
+// Jaccard overlap of the text classes containing them.
+func (a *Analyzer) TermSimilarity(from, to string) float64 {
+	return jaccard(a.termClasses[from], a.termClasses[to])
+}
+
+// renameCost maps a similarity to a cost: 1 (identical usage) up to
+// MaxCost (barely similar).
+func (a *Analyzer) renameCost(sim float64) cost.Cost {
+	span := float64(a.opt.MaxCost - 1)
+	c := 1 + int64(math.Round((1-sim)*span))
+	return cost.Cost(c)
+}
+
+// candidate is a scored renaming target.
+type candidate struct {
+	to  string
+	sim float64
+}
+
+// StructRenamings returns the best renaming targets for an element name,
+// most similar first.
+func (a *Analyzer) StructRenamings(from string) []cost.Renaming {
+	var cands []candidate
+	for to := range a.structCtx {
+		if to == from {
+			continue
+		}
+		if sim := a.StructSimilarity(from, to); sim >= a.opt.MinSimilarity {
+			cands = append(cands, candidate{to, sim})
+		}
+	}
+	return a.rank(cands)
+}
+
+// TermRenamings returns the best renaming targets for a term.
+func (a *Analyzer) TermRenamings(from string) []cost.Renaming {
+	classes := a.termClasses[from]
+	seen := make(map[string]bool)
+	var cands []candidate
+	for class := range classes {
+		for _, term := range a.classTerms[class] {
+			if term == from || seen[term] {
+				continue
+			}
+			seen[term] = true
+			if sim := a.TermSimilarity(from, term); sim >= a.opt.MinSimilarity {
+				cands = append(cands, candidate{term, sim})
+			}
+		}
+	}
+	return a.rank(cands)
+}
+
+func (a *Analyzer) rank(cands []candidate) []cost.Renaming {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].to < cands[j].to
+	})
+	if len(cands) > a.opt.MaxRenamings {
+		cands = cands[:a.opt.MaxRenamings]
+	}
+	out := make([]cost.Renaming, len(cands))
+	for i, c := range cands {
+		out[i] = cost.Renaming{To: c.to, Cost: a.renameCost(c.sim)}
+	}
+	return out
+}
+
+// DeleteCost returns the heuristic cost of deleting a query node with the
+// given element name: thin wrappers (few distinct child labels per class)
+// are cheap, hub elements are expensive.
+func (a *Analyzer) DeleteCost(label string) cost.Cost {
+	ctx := a.structCtx[label]
+	if ctx == nil || ctx.classes == 0 {
+		return a.opt.MaxCost
+	}
+	avgChildren := float64(ctx.childrenSum) / float64(ctx.classes)
+	c := 1 + int64(math.Round(math.Min(avgChildren, float64(a.opt.MaxCost-1))))
+	if cost.Cost(c) > a.opt.MaxCost {
+		return a.opt.MaxCost
+	}
+	return cost.Cost(c)
+}
+
+// Label identifies a (name, kind) pair the model should cover.
+type Label struct {
+	Name string
+	Kind cost.Kind
+}
+
+// ModelFor derives a cost model covering the given labels: renamings and
+// delete costs for each, insert costs left at the default.
+func (a *Analyzer) ModelFor(labels []Label) *cost.Model {
+	m := cost.NewModel()
+	for _, l := range labels {
+		if l.Kind == cost.Text {
+			for _, r := range a.TermRenamings(l.Name) {
+				m.AddRenaming(l.Name, r.To, cost.Text, r.Cost)
+			}
+			// Dropping a search term is the coordination-level match of
+			// Definition 4: allowed, but at the maximal cost.
+			m.SetDelete(l.Name, cost.Text, a.opt.MaxCost)
+			continue
+		}
+		for _, r := range a.StructRenamings(l.Name) {
+			m.AddRenaming(l.Name, r.To, cost.Struct, r.Cost)
+		}
+		m.SetDelete(l.Name, cost.Struct, a.DeleteCost(l.Name))
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package costgen
+
+import (
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// catalogXML has two element names used interchangeably (composer and
+// performer both under cd with text content) and one thin wrapper (tracks).
+const catalogXML = `
+<catalog>
+  <cd>
+    <title>Piano Concerto</title>
+    <composer>Rachmaninov</composer>
+  </cd>
+  <cd>
+    <title>Cello Sonata Concerto</title>
+    <performer>Rostropovich</performer>
+  </cd>
+  <cd>
+    <tracks>
+      <track><title>Allegro</title></track>
+    </tracks>
+    <composer>Liszt</composer>
+  </cd>
+  <dvd>
+    <title>Piano Recital</title>
+    <performer>Argerich</performer>
+  </dvd>
+</catalog>`
+
+func buildAnalyzer(t *testing.T, opt Options) (*Analyzer, *schema.Schema) {
+	t.Helper()
+	tree, err := xmltree.ParseXML(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.Build(tree)
+	return NewAnalyzer(sch, opt), sch
+}
+
+func TestStructSimilarity(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{})
+	// composer and performer share the parent cd and both have only text
+	// children: high similarity.
+	simCP := a.StructSimilarity("composer", "performer")
+	if simCP <= 0.3 {
+		t.Errorf("sim(composer, performer) = %f, want high", simCP)
+	}
+	// cd and dvd share the catalog parent and overlapping children.
+	simCD := a.StructSimilarity("cd", "dvd")
+	if simCD <= 0.2 {
+		t.Errorf("sim(cd, dvd) = %f, want positive", simCD)
+	}
+	// cd and title are used in disjoint contexts.
+	if sim := a.StructSimilarity("cd", "title"); sim > simCD {
+		t.Errorf("sim(cd, title) = %f > sim(cd, dvd) = %f", sim, simCD)
+	}
+	// Unknown labels have zero similarity.
+	if a.StructSimilarity("cd", "nonexistent") != 0 {
+		t.Error("unknown label has nonzero similarity")
+	}
+	// Symmetry.
+	if a.StructSimilarity("performer", "composer") != simCP {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestStructRenamingsRankedBySimilarity(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{})
+	rs := a.StructRenamings("composer")
+	if len(rs) == 0 {
+		t.Fatal("no renamings for composer")
+	}
+	if rs[0].To != "performer" {
+		t.Errorf("best renaming for composer = %q, want performer", rs[0].To)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Cost < rs[i-1].Cost {
+			t.Errorf("renamings not ordered by cost: %v", rs)
+		}
+	}
+	for _, r := range rs {
+		if r.Cost < 1 || r.Cost > 9 {
+			t.Errorf("renaming cost %d out of [1, 9]", r.Cost)
+		}
+	}
+}
+
+func TestTermRenamings(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{})
+	// concerto shares the cd/title text class with piano, sonata, cello.
+	rs := a.TermRenamings("concerto")
+	if len(rs) == 0 {
+		t.Fatal("no renamings for concerto")
+	}
+	targets := make(map[string]bool)
+	for _, r := range rs {
+		targets[r.To] = true
+	}
+	if !targets["sonata"] && !targets["piano"] {
+		t.Errorf("concerto renamings = %v, want co-occurring terms", rs)
+	}
+	// rachmaninov (composer text class) must not offer title terms with
+	// higher priority than co-located ones.
+	if rs2 := a.TermRenamings("rachmaninov"); len(rs2) > 0 {
+		for _, r := range rs2 {
+			if r.To == "allegro" {
+				t.Errorf("rachmaninov renames to track-title term: %v", rs2)
+			}
+		}
+	}
+}
+
+func TestDeleteCostThinVsHub(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{})
+	// tracks wraps one child class; cd has several.
+	thin := a.DeleteCost("tracks")
+	hub := a.DeleteCost("cd")
+	if thin >= hub {
+		t.Errorf("DeleteCost(tracks) = %d, DeleteCost(cd) = %d; thin wrapper should be cheaper", thin, hub)
+	}
+	if unknown := a.DeleteCost("nonexistent"); unknown != 9 {
+		t.Errorf("DeleteCost(unknown) = %d, want MaxCost", unknown)
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{MaxRenamings: 2})
+	m := a.ModelFor([]Label{
+		{Name: "cd", Kind: cost.Struct},
+		{Name: "concerto", Kind: cost.Text},
+	})
+	if rs := m.Renamings("cd", cost.Struct); len(rs) == 0 || len(rs) > 2 {
+		t.Errorf("cd renamings = %v", rs)
+	}
+	if cost.IsInf(m.DeleteCost("cd", cost.Struct)) {
+		t.Error("cd has no delete cost")
+	}
+	if cost.IsInf(m.DeleteCost("concerto", cost.Text)) {
+		t.Error("concerto has no delete cost")
+	}
+	// Labels not in the list stay at defaults.
+	if !cost.IsInf(m.DeleteCost("title", cost.Struct)) {
+		t.Error("uncovered label got a delete cost")
+	}
+}
+
+func TestOptionsBounds(t *testing.T) {
+	a, _ := buildAnalyzer(t, Options{MaxRenamings: 1, MaxCost: 3, MinSimilarity: 0.99})
+	// With a near-impossible similarity floor, nothing qualifies.
+	if rs := a.StructRenamings("composer"); len(rs) != 0 {
+		t.Errorf("renamings above 0.99 similarity: %v", rs)
+	}
+	a2, _ := buildAnalyzer(t, Options{MaxRenamings: 1, MaxCost: 3})
+	if rs := a2.StructRenamings("composer"); len(rs) > 1 {
+		t.Errorf("MaxRenamings ignored: %v", rs)
+	}
+	for _, r := range a2.StructRenamings("composer") {
+		if r.Cost > 3 {
+			t.Errorf("cost %d exceeds MaxCost 3", r.Cost)
+		}
+	}
+}

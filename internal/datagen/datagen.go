@@ -1,0 +1,251 @@
+// Package datagen reproduces the synthetic XML data generator of Aboulnaga,
+// Naughton, and Zhang (WebDB'01) that the paper uses for its experiments
+// (Section 8.1). The original binary is not available; this implementation
+// recreates the published knobs the paper varies:
+//
+//   - the total number of elements (1,000,000 in the paper),
+//   - the number of distinct element names (100),
+//   - the vocabulary size (100,000 terms),
+//   - the total number of term occurrences (10,000,000 words),
+//   - a Zipfian frequency distribution of the words,
+//   - schema-driven nesting: documents instantiate a randomly generated
+//     template tree, which yields the data regularities (repeated label-type
+//     paths) that make the schema small relative to the data.
+//
+// Generation is fully deterministic in Config.Seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"approxql/internal/cost"
+	"approxql/internal/xmltree"
+)
+
+// Config parameterizes the generator. The zero value is not usable; call
+// Default or fill every field. Paper reproduces use Paper().
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+
+	// NumElementNames is the size of the element-name pool.
+	NumElementNames int
+	// VocabularySize is the number of distinct terms.
+	VocabularySize int
+	// TargetElements stops generation once this many elements exist.
+	TargetElements int
+	// TargetWords scales the words emitted per text-carrying element so
+	// the collection converges to this total.
+	TargetWords int
+
+	// TemplateNodes is the size of the random template tree; it bounds
+	// the number of element classes in the resulting schema.
+	TemplateNodes int
+	// MaxDepth bounds template (and hence document) nesting.
+	MaxDepth int
+	// MaxRepeat is the largest number of times one template child is
+	// instantiated under one parent instance.
+	MaxRepeat int
+	// ZipfSkew is the s parameter of the Zipf distribution over terms
+	// (must be > 1).
+	ZipfSkew float64
+}
+
+// Default returns a laptop-scale configuration (about 100k elements and
+// 1M words) suitable for tests and quick benchmarks.
+func Default(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		NumElementNames: 100,
+		VocabularySize:  10_000,
+		TargetElements:  100_000,
+		TargetWords:     1_000_000,
+		TemplateNodes:   300,
+		MaxDepth:        8,
+		MaxRepeat:       4,
+		ZipfSkew:        1.3,
+	}
+}
+
+// Paper returns the collection parameters of Section 8.1: 1,000,000
+// elements, 100 element names, 100,000 terms, 10,000,000 words, Zipfian
+// term distribution.
+func Paper(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		NumElementNames: 100,
+		VocabularySize:  100_000,
+		TargetElements:  1_000_000,
+		TargetWords:     10_000_000,
+		TemplateNodes:   300,
+		MaxDepth:        8,
+		MaxRepeat:       4,
+		ZipfSkew:        1.3,
+	}
+}
+
+// Scale returns a copy of c with the collection sizes multiplied by f
+// (template shape and pools unchanged for comparable schemata).
+func (c Config) Scale(f float64) Config {
+	c.TargetElements = int(float64(c.TargetElements) * f)
+	c.TargetWords = int(float64(c.TargetWords) * f)
+	if c.TargetElements < 100 {
+		c.TargetElements = 100
+	}
+	if c.TargetWords < 100 {
+		c.TargetWords = 100
+	}
+	return c
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.NumElementNames <= 0:
+		return fmt.Errorf("datagen: NumElementNames must be positive")
+	case c.VocabularySize <= 0:
+		return fmt.Errorf("datagen: VocabularySize must be positive")
+	case c.TargetElements <= 0 || c.TargetWords < 0:
+		return fmt.Errorf("datagen: targets must be positive")
+	case c.TemplateNodes <= 0 || c.MaxDepth <= 0 || c.MaxRepeat <= 0:
+		return fmt.Errorf("datagen: template parameters must be positive")
+	case c.ZipfSkew <= 1:
+		return fmt.Errorf("datagen: ZipfSkew must be > 1")
+	}
+	return nil
+}
+
+// ElementName returns the i-th pool name ("n042"-style, stable across runs).
+func ElementName(i int) string { return fmt.Sprintf("n%03d", i) }
+
+// Term returns the i-th vocabulary term.
+func Term(i int) string { return fmt.Sprintf("t%06d", i) }
+
+// templateNode is one node of the random document template. Instances of a
+// template node become elements with the node's name.
+type templateNode struct {
+	name     string
+	children []*templateNode
+	// hasText marks template leaves (and some inner nodes) that carry
+	// words.
+	hasText bool
+	// meanWords is the average number of words an instance emits.
+	meanWords int
+}
+
+// Generator produces documents into an xmltree.Builder.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	root     *templateNode
+	elements int
+	words    int
+}
+
+// New validates cfg and prepares a generator.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	g.zipf = rand.NewZipf(g.rng, cfg.ZipfSkew, 1, uint64(cfg.VocabularySize-1))
+	// Words per text element: aim for TargetWords across TargetElements,
+	// assuming roughly half the elements carry text.
+	meanWords := 1
+	if cfg.TargetWords > 0 {
+		meanWords = cfg.TargetWords * 2 / cfg.TargetElements
+		if meanWords < 1 {
+			meanWords = 1
+		}
+	}
+	g.root = g.buildTemplate(meanWords)
+	return g, nil
+}
+
+// buildTemplate creates the random template tree: TemplateNodes nodes with
+// names drawn from the pool, shaped by MaxDepth. Roughly half the leaves
+// carry text.
+func (g *Generator) buildTemplate(meanWords int) *templateNode {
+	nodes := 0
+	var build func(depth int) *templateNode
+	build = func(depth int) *templateNode {
+		nodes++
+		tn := &templateNode{name: ElementName(g.rng.Intn(g.cfg.NumElementNames))}
+		if depth >= g.cfg.MaxDepth || nodes >= g.cfg.TemplateNodes {
+			tn.hasText = true
+			tn.meanWords = meanWords
+			return tn
+		}
+		fanout := 1 + g.rng.Intn(3)
+		for i := 0; i < fanout && nodes < g.cfg.TemplateNodes; i++ {
+			tn.children = append(tn.children, build(depth+1))
+		}
+		if len(tn.children) == 0 || g.rng.Intn(3) == 0 {
+			tn.hasText = true
+			tn.meanWords = meanWords
+		}
+		return tn
+	}
+	root := &templateNode{name: ElementName(g.rng.Intn(g.cfg.NumElementNames))}
+	for nodes < g.cfg.TemplateNodes {
+		root.children = append(root.children, build(1))
+	}
+	return root
+}
+
+// Elements returns the number of elements generated so far.
+func (g *Generator) Elements() int { return g.elements }
+
+// Words returns the number of words generated so far.
+func (g *Generator) Words() int { return g.words }
+
+// Done reports whether the element target has been reached.
+func (g *Generator) Done() bool { return g.elements >= g.cfg.TargetElements }
+
+// GenerateDocument instantiates the template once, appending one document
+// to b.
+func (g *Generator) GenerateDocument(b *xmltree.Builder) {
+	g.instantiate(b, g.root)
+}
+
+func (g *Generator) instantiate(b *xmltree.Builder, tn *templateNode) {
+	b.BeginElement(tn.name)
+	g.elements++
+	if tn.hasText && g.words < g.cfg.TargetWords {
+		nwords := 1 + g.rng.Intn(2*tn.meanWords)
+		for i := 0; i < nwords && g.words < g.cfg.TargetWords; i++ {
+			b.Word(Term(int(g.zipf.Uint64())))
+			g.words++
+		}
+	}
+	if !g.Done() {
+		for _, c := range tn.children {
+			repeat := 1 + g.rng.Intn(g.cfg.MaxRepeat)
+			for r := 0; r < repeat; r++ {
+				if g.Done() {
+					break
+				}
+				g.instantiate(b, c)
+			}
+		}
+	}
+	b.End()
+}
+
+// GenerateTree builds a complete data tree for cfg under the given cost
+// model (nil for defaults).
+func GenerateTree(cfg Config, model *cost.Model) (*xmltree.Tree, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := xmltree.NewBuilder(model)
+	for !g.Done() {
+		g.GenerateDocument(b)
+	}
+	return b.Finish()
+}

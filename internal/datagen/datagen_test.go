@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"approxql/internal/index"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:            seed,
+		NumElementNames: 20,
+		VocabularySize:  500,
+		TargetElements:  5_000,
+		TargetWords:     20_000,
+		TemplateNodes:   60,
+		MaxDepth:        6,
+		MaxRepeat:       3,
+		ZipfSkew:        1.3,
+	}
+}
+
+func TestGenerateTreeMeetsTargets(t *testing.T) {
+	cfg := smallConfig(1)
+	tree, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.ComputeStats()
+	if st.StructNodes < cfg.TargetElements || st.StructNodes > cfg.TargetElements*12/10 {
+		t.Errorf("elements = %d, target %d", st.StructNodes, cfg.TargetElements)
+	}
+	if st.TextNodes < cfg.TargetWords*8/10 || st.TextNodes > cfg.TargetWords {
+		t.Errorf("words = %d, target %d", st.TextNodes, cfg.TargetWords)
+	}
+	if tree.Names.Len() > cfg.NumElementNames+1 { // +1 super-root
+		t.Errorf("element names = %d, pool %d", tree.Names.Len(), cfg.NumElementNames)
+	}
+	if tree.Terms.Len() > cfg.VocabularySize {
+		t.Errorf("terms = %d, vocabulary %d", tree.Terms.Len(), cfg.VocabularySize)
+	}
+	if st.MaxDepth > cfg.MaxDepth+2 {
+		t.Errorf("depth = %d, max %d", st.MaxDepth, cfg.MaxDepth)
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	cfg := smallConfig(42)
+	t1, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Len() != t2.Len() {
+		t.Fatalf("sizes differ: %d vs %d", t1.Len(), t2.Len())
+	}
+	for u := xmltree.NodeID(0); u < xmltree.NodeID(t1.Len()); u++ {
+		if t1.Label(u) != t2.Label(u) || t1.Bound(u) != t2.Bound(u) {
+			t.Fatalf("trees diverge at node %d", u)
+		}
+	}
+	// A different seed must give a different tree.
+	cfg.Seed = 43
+	t3, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Len() == t1.Len() {
+		same := true
+		for u := xmltree.NodeID(0); u < xmltree.NodeID(t1.Len()); u++ {
+			if t1.Label(u) != t3.Label(u) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical trees")
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	cfg := smallConfig(7)
+	tree, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	// Term t000000 (rank 0) must occur far more often than a mid-rank
+	// term, which in turn occurs at least as often as most rare ones.
+	top, _ := ix.Text(Term(0))
+	mid, _ := ix.Text(Term(50))
+	if len(top) == 0 {
+		t.Fatal("most frequent term missing")
+	}
+	if len(top) < 4*len(mid) {
+		t.Errorf("rank 0 occurs %d times, rank 50 %d times; expected a steep drop", len(top), len(mid))
+	}
+}
+
+func TestSchemaIsCompactOnGeneratedData(t *testing.T) {
+	cfg := smallConfig(3)
+	tree, err := GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.Build(tree)
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Template-driven generation must produce a schema that is orders of
+	// magnitude smaller than the data (the property Section 7 exploits).
+	if sch.Len() > tree.Len()/10 {
+		t.Errorf("schema has %d classes for %d nodes; not compact", sch.Len(), tree.Len())
+	}
+}
+
+func TestWriteDocumentXMLParsesBack(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.TargetElements = 500
+	cfg.TargetWords = 2000
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for !g.Done() {
+		sb.Reset()
+		if err := g.WriteDocumentXML(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := xmltree.ParseXML(sb.String()); err != nil {
+			t.Fatalf("generated XML does not parse: %v\n%s", err, sb.String()[:min(200, sb.Len())])
+		}
+	}
+	if g.Elements() < cfg.TargetElements {
+		t.Errorf("elements = %d, target %d", g.Elements(), cfg.TargetElements)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Seed: 1, NumElementNames: 10, VocabularySize: 10, TargetElements: 100, TargetWords: 100, TemplateNodes: 10, MaxDepth: 3, MaxRepeat: 2, ZipfSkew: 1.0},
+		{Seed: 1, NumElementNames: 0, VocabularySize: 10, TargetElements: 100, TargetWords: 100, TemplateNodes: 10, MaxDepth: 3, MaxRepeat: 2, ZipfSkew: 1.3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := New(Default(1)); err != nil {
+		t.Errorf("Default rejected: %v", err)
+	}
+	if _, err := New(Paper(1)); err != nil {
+		t.Errorf("Paper rejected: %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := Paper(1).Scale(0.01)
+	if cfg.TargetElements != 10_000 || cfg.TargetWords != 100_000 {
+		t.Errorf("Scale(0.01) = %d elements, %d words", cfg.TargetElements, cfg.TargetWords)
+	}
+	tiny := Paper(1).Scale(0.0000001)
+	if tiny.TargetElements < 100 || tiny.TargetWords < 100 {
+		t.Errorf("Scale floor violated: %+v", tiny)
+	}
+}

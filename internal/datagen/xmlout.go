@@ -1,0 +1,47 @@
+package datagen
+
+import (
+	"bufio"
+	"io"
+)
+
+// WriteDocumentXML instantiates the template once and writes the document
+// as XML text, for producing collections consumable by any XML tool
+// (cmd/axqlgen). It advances the same counters as GenerateDocument.
+func (g *Generator) WriteDocumentXML(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	g.writeNode(bw, g.root)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+func (g *Generator) writeNode(bw *bufio.Writer, tn *templateNode) {
+	bw.WriteByte('<')
+	bw.WriteString(tn.name)
+	bw.WriteByte('>')
+	g.elements++
+	if tn.hasText && g.words < g.cfg.TargetWords {
+		nwords := 1 + g.rng.Intn(2*tn.meanWords)
+		for i := 0; i < nwords && g.words < g.cfg.TargetWords; i++ {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(Term(int(g.zipf.Uint64())))
+			g.words++
+		}
+	}
+	if !g.Done() {
+		for _, c := range tn.children {
+			repeat := 1 + g.rng.Intn(g.cfg.MaxRepeat)
+			for r := 0; r < repeat; r++ {
+				if g.Done() {
+					break
+				}
+				g.writeNode(bw, c)
+			}
+		}
+	}
+	bw.WriteString("</")
+	bw.WriteString(tn.name)
+	bw.WriteByte('>')
+}

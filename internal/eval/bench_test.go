@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/xmltree"
+)
+
+// synthetic lists for micro-benchmarking the list algebra: an ancestor list
+// of nested/sibling intervals and a dense descendant list.
+func benchLists(nA, nD int) (*List, *List) {
+	rng := rand.New(rand.NewSource(9))
+	lA := &List{entries: make([]Entry, 0, nA)}
+	// Ancestor intervals must be laminar (properly nested or disjoint)
+	// like real tree nodes: emit groups of up to four nested intervals.
+	pre := xmltree.NodeID(1)
+	for len(lA.entries) < nA {
+		depth := 1 + rng.Intn(4)
+		width := xmltree.NodeID(40 + rng.Intn(40))
+		for d := 0; d < depth && len(lA.entries) < nA; d++ {
+			lA.entries = append(lA.entries, Entry{
+				Pre: pre + xmltree.NodeID(d), Bound: pre + width - xmltree.NodeID(d),
+				PathCost: cost.Cost(d), InsCost: 1,
+				EmbCost: 0, LeafCost: cost.Inf,
+			})
+		}
+		pre += width + xmltree.NodeID(2+rng.Intn(8))
+	}
+	lD := &List{entries: make([]Entry, 0, nD)}
+	dpre := xmltree.NodeID(2)
+	for i := 0; i < nD; i++ {
+		lD.entries = append(lD.entries, Entry{
+			Pre: dpre, Bound: dpre, PathCost: cost.Cost(3 + i%5), InsCost: 0,
+			EmbCost: cost.Cost(i % 4), LeafCost: cost.Cost(i % 4),
+		})
+		dpre += xmltree.NodeID(1 + rng.Intn(4))
+	}
+	return lA, lD
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, size := range []int{100, 10_000} {
+		lA, lD := benchLists(size, size*4)
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				join(lA, lD, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkOuterjoin(b *testing.B) {
+	lA, lD := benchLists(10_000, 40_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outerjoin(lA, lD, 1, 5)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	lA, _ := benchLists(50_000, 1)
+	lB := &List{entries: make([]Entry, 0, 25_000)}
+	for i := 0; i < len(lA.entries); i += 2 {
+		lB.entries = append(lB.entries, lA.entries[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		intersect(lA, lB, 1)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	lA, _ := benchLists(25_000, 1)
+	lB, _ := benchLists(25_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		union(lA, lB, 1)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	lA, _ := benchLists(25_000, 1)
+	lB, _ := benchLists(25_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merge(lA, lB, 3)
+	}
+}

@@ -1,0 +1,367 @@
+package eval
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"approxql/internal/cost"
+	"approxql/internal/index"
+	"approxql/internal/lang"
+	"approxql/internal/xmltree"
+)
+
+// Result is a root-cost pair (Definition 11): the root of an embedding group
+// together with the lowest embedding cost among the group's embeddings that
+// match at least one query leaf.
+type Result struct {
+	Root xmltree.NodeID
+	Cost cost.Cost
+}
+
+// Stats counts work done by an evaluation, for the benchmark harness and the
+// ablation experiments.
+type Stats struct {
+	Fetches     int // index posting fetches (cache misses only)
+	ListOps     int // join/outerjoin/intersect/union/merge invocations
+	EntriesIn   int // total entries consumed by list operations
+	MemoHits    int // evaluations answered from the DP memo
+	Evaluations int // evaluations actually performed
+}
+
+// Evaluator runs algorithm primary (Section 6.5) against a data tree. An
+// Evaluator caches fetched lists and memoizes subquery evaluations (the
+// "dynamic programming" of the full algorithm); it is cheap to create, so
+// use one per query unless the queries share an expanded representation.
+type Evaluator struct {
+	tree *xmltree.Tree
+	src  index.Source
+
+	// DisableMemo turns off the dynamic programming for the ablation
+	// benchmarks.
+	DisableMemo bool
+
+	stats      Stats
+	fetchCache map[fetchKey]*List
+	innerCache map[*lang.XNode]*List
+	evalCache  map[evalKey]*List
+}
+
+type fetchKey struct {
+	label string
+	kind  cost.Kind
+}
+
+type evalKey struct {
+	node *lang.XNode
+	list *List
+}
+
+// New returns an evaluator over the given data tree and posting source.
+func New(tree *xmltree.Tree, src index.Source) *Evaluator {
+	return &Evaluator{
+		tree:       tree,
+		src:        src,
+		fetchCache: make(map[fetchKey]*List),
+		innerCache: make(map[*lang.XNode]*List),
+		evalCache:  make(map[evalKey]*List),
+	}
+}
+
+// Stats returns the operation counters accumulated so far.
+func (ev *Evaluator) Stats() Stats { return ev.stats }
+
+// Primary finds the images of all approximate embeddings of the expanded
+// query and returns the list of embedding roots with their costs (Section
+// 6.5). The returned list contains one entry per result; EmbCost is the
+// cheapest embedding, LeafCost the cheapest embedding with at least one
+// query-leaf match.
+func (ev *Evaluator) Primary(x *lang.Expanded) (*List, error) {
+	root := x.Root
+	if root.Rep != lang.RepNode {
+		return nil, fmt.Errorf("eval: expanded root has type %v, want node", root.Rep)
+	}
+	return ev.inner(root)
+}
+
+// All solves the approximate query-matching problem (Definition 11): every
+// root-cost pair, in document order.
+func (ev *Evaluator) All(x *lang.Expanded) ([]Result, error) {
+	l, err := ev.Primary(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, l.Len())
+	for _, e := range l.entries {
+		if cost.IsInf(e.LeafCost) {
+			continue // no embedding matches any query leaf (Section 6.5)
+		}
+		out = append(out, Result{Root: e.Pre, Cost: e.LeafCost})
+	}
+	return out, nil
+}
+
+// BestN solves the best-n-pairs problem (Definition 12): the n root-cost
+// pairs with the lowest costs, sorted by (cost, preorder). n <= 0 returns
+// all results sorted. When n is much smaller than the result count, the
+// final sort runs as a bounded heap selection in O(R log n) instead of
+// O(R log R) — the "prune after the nth entry" step of the paper's first
+// algorithm.
+func (ev *Evaluator) BestN(x *lang.Expanded, n int) ([]Result, error) {
+	res, err := ev.All(x)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && n < len(res)/4 {
+		return selectBestN(res, n), nil
+	}
+	SortResults(res)
+	if n > 0 && n < len(res) {
+		res = res[:n]
+	}
+	return res, nil
+}
+
+// selectBestN returns the n smallest results in sorted order using a
+// bounded max-heap over the candidates.
+func selectBestN(res []Result, n int) []Result {
+	h := make(resultMaxHeap, 0, n+1)
+	for _, r := range res {
+		if len(h) < n {
+			heap.Push(&h, r)
+			continue
+		}
+		if resultLess(r, h[0]) {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Result, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Result)
+	}
+	return out
+}
+
+func resultLess(a, b Result) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.Root < b.Root
+}
+
+// resultMaxHeap keeps the n smallest results; the root is the largest kept.
+type resultMaxHeap []Result
+
+func (h resultMaxHeap) Len() int            { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool  { return resultLess(h[j], h[i]) }
+func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(v interface{}) { *h = append(*h, v.(Result)) }
+func (h *resultMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// SortResults orders root-cost pairs by ascending cost, breaking ties by
+// preorder number for determinism.
+func SortResults(res []Result) {
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Cost != res[j].Cost {
+			return res[i].Cost < res[j].Cost
+		}
+		return res[i].Root < res[j].Root
+	})
+}
+
+// fetch initializes a list from the index posting of the given label
+// (Section 6.4, function fetch). Lists are cached per label and immutable.
+func (ev *Evaluator) fetch(label string, kind cost.Kind) (*List, error) {
+	key := fetchKey{label, kind}
+	if l, ok := ev.fetchCache[key]; ok {
+		return l, nil
+	}
+	var post []xmltree.NodeID
+	var err error
+	if kind == cost.Text {
+		post, err = ev.src.Text(label)
+	} else {
+		post, err = ev.src.Struct(label)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.stats.Fetches++
+	entries := make([]Entry, len(post))
+	for i, u := range post {
+		entries[i] = Entry{
+			Pre:      u,
+			Bound:    ev.tree.Bound(u),
+			PathCost: ev.tree.PathCost(u),
+			InsCost:  ev.tree.InsCost(u),
+			EmbCost:  0,
+			LeafCost: cost.Inf,
+		}
+	}
+	l := &List{entries: entries}
+	ev.fetchCache[key] = l
+	return l, nil
+}
+
+// inner computes the ancestor-independent part of a RepNode or RepLeaf:
+// the merged lists of the label and its renamings, annotated with the
+// embedding costs of the node's content. This is the memoized quantity of
+// the paper's dynamic programming: it is evaluated once regardless of how
+// many ancestor contexts reference the node.
+func (ev *Evaluator) inner(u *lang.XNode) (*List, error) {
+	if !ev.DisableMemo {
+		if l, ok := ev.innerCache[u]; ok {
+			ev.stats.MemoHits++
+			return l, nil
+		}
+	}
+	ev.stats.Evaluations++
+	l, err := ev.computeInner(u)
+	if err != nil {
+		return nil, err
+	}
+	if !ev.DisableMemo {
+		ev.innerCache[u] = l
+	}
+	return l, nil
+}
+
+func (ev *Evaluator) computeInner(u *lang.XNode) (*List, error) {
+	switch u.Rep {
+	case lang.RepLeaf:
+		// Leaf matches have embedding cost 0 (plus renaming) and are by
+		// definition query-leaf matches, so LeafCost equals EmbCost.
+		base, err := ev.fetch(u.Label, u.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out := markLeaf(base)
+		for _, r := range u.Renamings {
+			lt, err := ev.fetch(r.To, u.Kind)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.ListOps++
+			ev.stats.EntriesIn += out.Len() + lt.Len()
+			out = merge(out, markLeaf(lt), r.Cost)
+		}
+		return out, nil
+	case lang.RepNode:
+		out, err := ev.nodeVariant(u, u.Label)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range u.Renamings {
+			lt, err := ev.nodeVariant(u, r.To)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.ListOps++
+			ev.stats.EntriesIn += out.Len() + lt.Len()
+			out = merge(out, lt, r.Cost)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("eval: inner called on %v node", u.Rep)
+}
+
+// nodeVariant evaluates one label variant of a RepNode: the matches of the
+// label annotated with the cost of embedding the node's content below each.
+func (ev *Evaluator) nodeVariant(u *lang.XNode, label string) (*List, error) {
+	ld, err := ev.fetch(label, u.Kind)
+	if err != nil {
+		return nil, err
+	}
+	if u.Child == nil {
+		// A bare root selector: its matches double as leaf matches.
+		return markLeaf(ld), nil
+	}
+	return ev.eval(u.Child, ld)
+}
+
+// markLeaf returns a copy of l with LeafCost set to EmbCost.
+func markLeaf(l *List) *List {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	for i := range out {
+		out[i].LeafCost = out[i].EmbCost
+	}
+	return &List{entries: out}
+}
+
+// eval is algorithm primary (Figure 4) restructured around a uniform edge
+// cost: primary(u, cEdge, lA) of the paper equals bump(eval(u, lA), cEdge)
+// because every case adds cEdge to each produced entry. Results are memoized
+// on (node, ancestor-list identity); fetch and inner return canonical lists,
+// so repeated evaluations of shared subtrees (deletion bridges) hit the memo.
+func (ev *Evaluator) eval(u *lang.XNode, lA *List) (*List, error) {
+	key := evalKey{u, lA}
+	if !ev.DisableMemo {
+		if l, ok := ev.evalCache[key]; ok {
+			ev.stats.MemoHits++
+			return l, nil
+		}
+	}
+	l, err := ev.computeEval(u, lA)
+	if err != nil {
+		return nil, err
+	}
+	if !ev.DisableMemo {
+		ev.evalCache[key] = l
+	}
+	return l, nil
+}
+
+func (ev *Evaluator) computeEval(u *lang.XNode, lA *List) (*List, error) {
+	switch u.Rep {
+	case lang.RepLeaf:
+		ld, err := ev.inner(u)
+		if err != nil {
+			return nil, err
+		}
+		ev.stats.ListOps++
+		ev.stats.EntriesIn += lA.Len() + ld.Len()
+		return outerjoin(lA, ld, 0, u.DelCost), nil
+	case lang.RepNode:
+		ld, err := ev.inner(u)
+		if err != nil {
+			return nil, err
+		}
+		ev.stats.ListOps++
+		ev.stats.EntriesIn += lA.Len() + ld.Len()
+		return join(lA, ld, 0), nil
+	case lang.RepAnd:
+		ll, err := ev.eval(u.Left, lA)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := ev.eval(u.Right, lA)
+		if err != nil {
+			return nil, err
+		}
+		ev.stats.ListOps++
+		ev.stats.EntriesIn += ll.Len() + lr.Len()
+		return intersect(ll, lr, 0), nil
+	case lang.RepOr:
+		ll, err := ev.eval(u.Left, lA)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := ev.eval(u.Right, lA)
+		if err != nil {
+			return nil, err
+		}
+		lr = bump(lr, u.EdgeCost)
+		ev.stats.ListOps++
+		ev.stats.EntriesIn += ll.Len() + lr.Len()
+		return union(ll, lr, 0), nil
+	}
+	return nil, fmt.Errorf("eval: unknown representation type %v", u.Rep)
+}

@@ -1,0 +1,161 @@
+package eval
+
+import (
+	"fmt"
+
+	"approxql/internal/cost"
+	"approxql/internal/lang"
+	"approxql/internal/xmltree"
+)
+
+// Action describes what happened to one query node in an embedding.
+type Action uint8
+
+const (
+	// Matched: the node maps to a data node with its original label.
+	Matched Action = iota
+	// Renamed: the node maps to a data node under a renamed label.
+	Renamed
+	// Deleted: the node was deleted by the transformation sequence.
+	Deleted
+)
+
+// String returns "matched", "renamed", or "deleted".
+func (a Action) String() string {
+	switch a {
+	case Matched:
+		return "matched"
+	case Renamed:
+		return "renamed"
+	case Deleted:
+		return "deleted"
+	}
+	return "invalid"
+}
+
+// Assignment records the fate of one query node in the cheapest valid
+// embedding of a query at a result root.
+type Assignment struct {
+	// Query is the conjunctive-query node (its Label/Kind identify the
+	// original selector).
+	Query *lang.ConjNode
+	// Action is what the transformation sequence did with the node.
+	Action Action
+	// Node is the matched data node (undefined for Deleted).
+	Node xmltree.NodeID
+	// Label is the data-side label (differs from Query.Label for
+	// Renamed).
+	Label string
+}
+
+// Explain reconstructs the cheapest valid embedding (at least one leaf
+// matched, Section 6.5) of q whose root maps to the data node root. It
+// returns one Assignment per query node of the winning disjunct, in
+// pre-order, together with the embedding cost. It fails if no valid
+// embedding exists at root.
+//
+// Explain recomputes costs with the reference recursion restricted to the
+// subtree of root, so it is meant for explaining individual results, not
+// for evaluation.
+func Explain(tree *xmltree.Tree, q *lang.Query, model *cost.Model, root xmltree.NodeID) ([]Assignment, cost.Cost, error) {
+	conjs, err := lang.Separate(q, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := &refEval{tree: tree, model: model,
+		embedMemo: make(map[refKey]costPair),
+		bestMemo:  make(map[refKey]costPair),
+	}
+	best := cost.Inf
+	var bestConj *lang.ConjNode
+	for _, c := range conjs {
+		if p := r.embedAt(c, root); p.leaf < best {
+			best = p.leaf
+			bestConj = c
+		}
+	}
+	if cost.IsInf(best) {
+		return nil, 0, fmt.Errorf("eval: no valid embedding of %s at node %d", q, root)
+	}
+	bt := &backtracker{r: r}
+	bt.embed(bestConj, root, true)
+	return bt.out, best, nil
+}
+
+// backtracker re-derives the argmin decisions of the reference recursion.
+type backtracker struct {
+	r   *refEval
+	out []Assignment
+}
+
+// embed records the assignment of q to u and descends into the children.
+// needLeaf demands that the emitted embedding of this subtree contains at
+// least one query-leaf match.
+func (b *backtracker) embed(q *lang.ConjNode, u xmltree.NodeID, needLeaf bool) {
+	action := Matched
+	if b.r.tree.Label(u) != q.Label {
+		action = Renamed
+	}
+	b.out = append(b.out, Assignment{
+		Query:  q,
+		Action: action,
+		Node:   u,
+		Label:  b.r.tree.Label(u),
+	})
+	if q.IsLeaf() {
+		return
+	}
+	b.children(q.Children, u, needLeaf)
+}
+
+// children reproduces childrenBelow's choice: when a leaf match is
+// required, exactly one child is upgraded to its leaf-matching variant —
+// the one with the smallest upgrade gain.
+func (b *backtracker) children(children []*lang.ConjNode, u xmltree.NodeID, needLeaf bool) {
+	upgrade := -1
+	if needLeaf {
+		gain := cost.Inf
+		for i, c := range children {
+			p := b.r.best(c, u)
+			if g := saturatingSub(p.leaf, p.emb); g < gain {
+				gain = g
+				upgrade = i
+			}
+		}
+	}
+	for i, c := range children {
+		b.best(c, u, needLeaf && i == upgrade)
+	}
+}
+
+// best reproduces computeBest's argmin: embed c at the cheapest descendant
+// of u, or delete it.
+func (b *backtracker) best(c *lang.ConjNode, u xmltree.NodeID, needLeaf bool) {
+	want := b.r.best(c, u)
+	target := want.emb
+	if needLeaf {
+		target = want.leaf
+	}
+	// Prefer embedding: find the first descendant achieving the target.
+	for v := u + 1; v <= b.r.tree.Bound(u); v++ {
+		p := b.r.embedAt(c, v)
+		cc := p.emb
+		if needLeaf {
+			cc = p.leaf
+		}
+		if cost.IsInf(cc) {
+			continue
+		}
+		if cost.Add(b.r.tree.Distance(u, v), cc) == target {
+			b.embed(c, v, needLeaf)
+			return
+		}
+	}
+	// Otherwise the node was deleted; a deleted inner node hands its
+	// children to u (Definition 3).
+	b.out = append(b.out, Assignment{Query: c, Action: Deleted})
+	if c.IsLeaf() {
+		return
+	}
+	b.children(c.Children, u, needLeaf)
+}

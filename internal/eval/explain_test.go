@@ -1,0 +1,151 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/index"
+	"approxql/internal/lang"
+)
+
+func assignmentsByLabel(as []Assignment) map[string]Assignment {
+	m := make(map[string]Assignment)
+	for _, a := range as {
+		m[a.Query.Kind.String()+":"+a.Query.Label] = a
+	}
+	return m
+}
+
+func TestExplainExactMatch(t *testing.T) {
+	tree, _, roots := buildCatalog(t)
+	q := lang.MustParse(`cd[title["concerto"]]`)
+	as, total, err := Explain(tree, q, cost.PaperExample(), roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Errorf("cost = %d, want 0", total)
+	}
+	m := assignmentsByLabel(as)
+	for _, key := range []string{"struct:cd", "struct:title", "text:concerto"} {
+		a, ok := m[key]
+		if !ok {
+			t.Fatalf("no assignment for %s in %v", key, as)
+		}
+		if a.Action != Matched {
+			t.Errorf("%s action = %v, want matched", key, a.Action)
+		}
+	}
+	// Assignments point at real data nodes with the right labels.
+	for _, a := range as {
+		if tree.Label(a.Node) != a.Label {
+			t.Errorf("assignment label %q but node labeled %q", a.Label, tree.Label(a.Node))
+		}
+	}
+}
+
+func TestExplainRenamedRoot(t *testing.T) {
+	tree, _, roots := buildCatalog(t)
+	q := lang.MustParse(`cd[title["concerto"]]`)
+	as, total, err := Explain(tree, q, cost.PaperExample(), roots[2]) // the mc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 4 {
+		t.Errorf("cost = %d, want 4 (cd→mc)", total)
+	}
+	m := assignmentsByLabel(as)
+	root := m["struct:cd"]
+	if root.Action != Renamed || root.Label != "mc" {
+		t.Errorf("root assignment = %+v", root)
+	}
+}
+
+func TestExplainRenamedTermAndInsertions(t *testing.T) {
+	tree, _, roots := buildCatalog(t)
+	q := lang.MustParse(`cd[title["concerto"]]`)
+	as, total, err := Explain(tree, q, cost.PaperExample(), roots[1]) // the nested cd
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // distance 2 (tracks+track) + rename concerto→sonata 3
+		t.Errorf("cost = %d, want 5", total)
+	}
+	m := assignmentsByLabel(as)
+	term := m["text:concerto"]
+	if term.Action != Renamed || term.Label != "sonata" {
+		t.Errorf("term assignment = %+v", term)
+	}
+}
+
+func TestExplainDeletedNodes(t *testing.T) {
+	tree, _, roots := buildCatalog(t)
+	// The full paper query at cd1 requires deleting the track node.
+	q := lang.MustParse(`cd[track[title["piano" and "concerto"]] and composer["rachmaninov"]]`)
+	as, total, err := Explain(tree, q, cost.PaperExample(), roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Errorf("cost = %d, want 3 (delete track)", total)
+	}
+	m := assignmentsByLabel(as)
+	if m["struct:track"].Action != Deleted {
+		t.Errorf("track assignment = %+v", m["struct:track"])
+	}
+	if m["struct:title"].Action != Matched {
+		t.Errorf("title assignment = %+v", m["struct:title"])
+	}
+}
+
+func TestExplainFailsWithoutEmbedding(t *testing.T) {
+	tree, _, roots := buildCatalog(t)
+	q := lang.MustParse(`cd[composer["beethoven"]]`)
+	if _, _, err := Explain(tree, q, cost.PaperExample(), roots[0]); err == nil {
+		t.Fatal("Explain succeeded without an embedding")
+	}
+}
+
+// TestExplainCostMatchesBestN: for every result of BestN, Explain at the
+// result root reproduces exactly the reported cost, and the assignment set
+// covers every query node of one disjunct.
+func TestExplainCostMatchesBestN(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		model := randomModel(rng)
+		tree := randomTree(rng, model, 40)
+		q := randomQuery(rng, 3)
+		res, err := New(tree, index.Build(tree)).BestN(lang.Expand(q, model), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			as, total, err := Explain(tree, q, model, r.Root)
+			if err != nil {
+				t.Fatalf("trial %d: Explain(%s, %d): %v", trial, q, r.Root, err)
+			}
+			if total != r.Cost {
+				t.Fatalf("trial %d: Explain cost %d, BestN cost %d (query %s root %d)",
+					trial, total, r.Cost, q, r.Root)
+			}
+			// At least one leaf assignment is a match (the validity rule).
+			hasLeaf := false
+			for _, a := range as {
+				if a.Query.IsLeaf() && a.Action != Deleted {
+					hasLeaf = true
+				}
+				if a.Action != Deleted && !tree.IsAncestor(r.Root, a.Node) && a.Node != r.Root {
+					t.Fatalf("trial %d: assignment outside the result subtree", trial)
+				}
+			}
+			if !hasLeaf {
+				t.Fatalf("trial %d: explanation with no leaf match: %v", trial, as)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package eval implements the direct query evaluation of the paper
+// (Section 6): the list algebra (fetch, merge, join, outerjoin, intersect,
+// union, sort) and algorithm primary, which finds the images of all
+// approximate embeddings of a query in one bottom-up pass and solves the
+// best-n-pairs problem by sorting and pruning.
+//
+// The package also contains an independent reference evaluator
+// (reference.go) that implements the closure semantics of Section 5
+// directly; the property tests cross-check both.
+package eval
+
+import (
+	"approxql/internal/cost"
+	"approxql/internal/xmltree"
+)
+
+// Entry is a list entry (Section 6.3): four numbers copied from the data
+// node plus the embedding cost, extended with LeafCost for the full
+// version's leaf rule (Section 6.5): the cheapest embedding of the query
+// subtree whose image contains at least one query-leaf match. Entries whose
+// subtree cannot be embedded at all are never stored.
+type Entry struct {
+	Pre      xmltree.NodeID
+	Bound    xmltree.NodeID
+	PathCost cost.Cost
+	InsCost  cost.Cost
+	EmbCost  cost.Cost
+	LeafCost cost.Cost
+}
+
+// distance returns the total insert cost of the nodes strictly between the
+// ancestor a and its descendant d (Section 6.2).
+func distance(a, d *Entry) cost.Cost {
+	return d.PathCost - a.PathCost - a.InsCost
+}
+
+// isAncestor reports whether a is a proper ancestor of d.
+func isAncestor(a, d *Entry) bool {
+	return a.Pre < d.Pre && a.Bound >= d.Pre
+}
+
+// List is a sequence of entries sorted by ascending Pre with at most one
+// entry per node. Lists are immutable once built: every operation returns a
+// new list, which makes fetch and inner-list memoization safe.
+type List struct {
+	entries []Entry
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// At returns the i-th entry.
+func (l *List) At(i int) Entry { return l.entries[i] }
+
+// Entries exposes the raw slice; callers must not modify it.
+func (l *List) Entries() []Entry { return l.entries }
+
+var emptyList = &List{}
+
+// bump returns a copy of l with c added to every entry's costs. A zero bump
+// returns l itself.
+func bump(l *List, c cost.Cost) *List {
+	if c == 0 || l.Len() == 0 {
+		return l
+	}
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	for i := range out {
+		out[i].EmbCost = cost.Add(out[i].EmbCost, c)
+		out[i].LeafCost = cost.Add(out[i].LeafCost, c)
+	}
+	return &List{entries: out}
+}
+
+// merge returns all entries from lL and lR, with cRen added to the costs of
+// the entries from lR (Section 6.4, function merge): lR holds the matches of
+// a renamed label. The result stays sorted by Pre; should both lists carry
+// the same node (possible in the schema, where renamed terms can share a
+// compacted text class), the cheaper costs win.
+func merge(lL, lR *List, cRen cost.Cost) *List {
+	if lR.Len() == 0 {
+		return lL
+	}
+	out := make([]Entry, 0, lL.Len()+lR.Len())
+	i, j := 0, 0
+	for i < lL.Len() && j < lR.Len() {
+		a, b := lL.entries[i], lR.entries[j]
+		switch {
+		case a.Pre < b.Pre:
+			out = append(out, a)
+			i++
+		case a.Pre > b.Pre:
+			b.EmbCost = cost.Add(b.EmbCost, cRen)
+			b.LeafCost = cost.Add(b.LeafCost, cRen)
+			out = append(out, b)
+			j++
+		default:
+			b.EmbCost = cost.Min(a.EmbCost, cost.Add(b.EmbCost, cRen))
+			b.LeafCost = cost.Min(a.LeafCost, cost.Add(b.LeafCost, cRen))
+			out = append(out, b)
+			i++
+			j++
+		}
+	}
+	out = append(out, lL.entries[i:]...)
+	for ; j < lR.Len(); j++ {
+		b := lR.entries[j]
+		b.EmbCost = cost.Add(b.EmbCost, cRen)
+		b.LeafCost = cost.Add(b.LeafCost, cRen)
+		out = append(out, b)
+	}
+	return &List{entries: out}
+}
+
+// join returns copies of the entries from lA that have descendants in lD
+// (Section 6.4, function join). The embedding cost of each ancestor is the
+// cheapest distance+cost over its descendants, plus cEdge. Because lists
+// are sorted by Pre and subtrees nest, a stack of open ancestors processes
+// both lists in one merge pass: every descendant contributes to exactly the
+// ancestors currently open, of which there are at most l (the recursivity
+// of the data tree) — the paper's O(s·l) bound.
+func join(lA, lD *List, cEdge cost.Cost) *List {
+	if lA.Len() == 0 || lD.Len() == 0 {
+		return emptyList
+	}
+	out := make([]Entry, 0, lA.Len())
+	// open holds indexes into tmp, the pending copies of open ancestors.
+	tmp := make([]Entry, lA.Len())
+	matched := make([]bool, lA.Len())
+	var open []int
+
+	i, j := 0, 0
+	for j < lD.Len() {
+		d := &lD.entries[j]
+		// Open all ancestors that start before this descendant, popping
+		// expired ones first so the stack stays properly nested (siblings
+		// never coexist on it).
+		for i < lA.Len() && lA.entries[i].Pre < d.Pre {
+			open = closeExpired(open, tmp, lA.entries[i].Pre)
+			tmp[i] = lA.entries[i]
+			tmp[i].EmbCost = cost.Inf
+			tmp[i].LeafCost = cost.Inf
+			open = append(open, i)
+			i++
+		}
+		// Close ancestors whose subtree ended.
+		open = closeExpired(open, tmp, d.Pre)
+		if len(open) == 0 && i >= lA.Len() {
+			break
+		}
+		for _, ai := range open {
+			a := &tmp[ai]
+			if !isAncestor(a, d) {
+				continue
+			}
+			dist := distance(a, d)
+			if c := cost.Add(dist, d.EmbCost); c < a.EmbCost {
+				a.EmbCost = c
+			}
+			if c := cost.Add(dist, d.LeafCost); c < a.LeafCost {
+				a.LeafCost = c
+			}
+			matched[ai] = true
+		}
+		j++
+	}
+	for ai := range tmp {
+		if matched[ai] {
+			e := tmp[ai]
+			e.EmbCost = cost.Add(e.EmbCost, cEdge)
+			e.LeafCost = cost.Add(e.LeafCost, cEdge)
+			out = append(out, e)
+		}
+	}
+	return &List{entries: out}
+}
+
+// closeExpired removes ancestors from the open stack whose bound lies before
+// pre. Ancestors nest, so expired ones form a suffix of the stack.
+func closeExpired(open []int, tmp []Entry, pre xmltree.NodeID) []int {
+	for len(open) > 0 && tmp[open[len(open)-1]].Bound < pre {
+		open = open[:len(open)-1]
+	}
+	return open
+}
+
+// outerjoin returns copies of all entries from lA (Section 6.4, function
+// outerjoin): ancestors without a descendant in lD cost cDel+cEdge; the
+// others cost min(cDel, cheapest match)+cEdge. The LeafCost tracks the
+// cheapest genuine match only — deleting the leaf never contributes a
+// query-leaf match. Entries whose cost is infinite (no match and cDel=∞)
+// are dropped.
+func outerjoin(lA, lD *List, cEdge, cDel cost.Cost) *List {
+	joined := join(lA, lD, 0)
+	out := make([]Entry, 0, lA.Len())
+	j := 0
+	for _, a := range lA.entries {
+		var match *Entry
+		if j < joined.Len() && joined.entries[j].Pre == a.Pre {
+			match = &joined.entries[j]
+			j++
+		}
+		e := a
+		if match != nil {
+			e.EmbCost = cost.Add(cost.Min(cDel, match.EmbCost), cEdge)
+			e.LeafCost = cost.Add(match.LeafCost, cEdge)
+		} else {
+			e.EmbCost = cost.Add(cDel, cEdge)
+			e.LeafCost = cost.Inf
+		}
+		if cost.IsInf(e.EmbCost) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return &List{entries: out}
+}
+
+// intersect returns the entries present in both lists (Section 6.4, function
+// intersect): matching Pre pairs with summed costs plus cEdge. The LeafCost
+// needs one leaf on either side: min(leafL+embR, embL+leafR).
+func intersect(lL, lR *List, cEdge cost.Cost) *List {
+	out := make([]Entry, 0, min(lL.Len(), lR.Len()))
+	i, j := 0, 0
+	for i < lL.Len() && j < lR.Len() {
+		a, b := lL.entries[i], lR.entries[j]
+		switch {
+		case a.Pre < b.Pre:
+			i++
+		case a.Pre > b.Pre:
+			j++
+		default:
+			e := a
+			e.EmbCost = cost.Add(cost.Add(a.EmbCost, b.EmbCost), cEdge)
+			e.LeafCost = cost.Add(
+				cost.Min(cost.Add(a.LeafCost, b.EmbCost), cost.Add(a.EmbCost, b.LeafCost)),
+				cEdge)
+			if !cost.IsInf(e.EmbCost) {
+				out = append(out, e)
+			}
+			i++
+			j++
+		}
+	}
+	return &List{entries: out}
+}
+
+// union returns all entries from both lists (Section 6.4, function union):
+// nodes present in both keep the cheaper costs; all costs grow by cEdge.
+func union(lL, lR *List, cEdge cost.Cost) *List {
+	out := make([]Entry, 0, lL.Len()+lR.Len())
+	i, j := 0, 0
+	for i < lL.Len() && j < lR.Len() {
+		a, b := lL.entries[i], lR.entries[j]
+		switch {
+		case a.Pre < b.Pre:
+			out = append(out, a)
+			i++
+		case a.Pre > b.Pre:
+			out = append(out, b)
+			j++
+		default:
+			e := a
+			e.EmbCost = cost.Min(a.EmbCost, b.EmbCost)
+			e.LeafCost = cost.Min(a.LeafCost, b.LeafCost)
+			out = append(out, e)
+			i++
+			j++
+		}
+	}
+	out = append(out, lL.entries[i:]...)
+	out = append(out, lR.entries[j:]...)
+	if cEdge != 0 {
+		for k := range out {
+			out[k].EmbCost = cost.Add(out[k].EmbCost, cEdge)
+			out[k].LeafCost = cost.Add(out[k].LeafCost, cEdge)
+		}
+	}
+	return &List{entries: out}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+package eval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/xmltree"
+)
+
+// mkList builds a list from (pre, bound, pathcost, inscost, emb, leaf)
+// tuples; cost.Inf is abbreviated by -1 in the leaf column.
+func mkList(rows ...[6]int64) *List {
+	l := &List{}
+	for _, r := range rows {
+		leaf := cost.Cost(r[5])
+		if r[5] < 0 {
+			leaf = cost.Inf
+		}
+		l.entries = append(l.entries, Entry{
+			Pre:      xmltree.NodeID(r[0]),
+			Bound:    xmltree.NodeID(r[1]),
+			PathCost: cost.Cost(r[2]),
+			InsCost:  cost.Cost(r[3]),
+			EmbCost:  cost.Cost(r[4]),
+			LeafCost: leaf,
+		})
+	}
+	return l
+}
+
+func costsOf(l *List) [][2]int64 {
+	out := make([][2]int64, l.Len())
+	for i, e := range l.entries {
+		leaf := int64(e.LeafCost)
+		if cost.IsInf(e.LeafCost) {
+			leaf = -1
+		}
+		out[i] = [2]int64{int64(e.EmbCost), leaf}
+	}
+	return out
+}
+
+func presOf(l *List) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, l.Len())
+	for i, e := range l.entries {
+		out[i] = e.Pre
+	}
+	return out
+}
+
+func TestBump(t *testing.T) {
+	l := mkList([6]int64{1, 1, 0, 0, 2, 2}, [6]int64{5, 5, 0, 0, 0, -1})
+	b := bump(l, 3)
+	want := [][2]int64{{5, 5}, {3, -1}}
+	if !reflect.DeepEqual(costsOf(b), want) {
+		t.Errorf("bump costs = %v, want %v", costsOf(b), want)
+	}
+	// Zero bump returns the identical list.
+	if bump(l, 0) != l {
+		t.Error("bump(l, 0) copied the list")
+	}
+	// The input list is never modified.
+	if l.entries[0].EmbCost != 2 {
+		t.Error("bump mutated its input")
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	lL := mkList([6]int64{1, 1, 0, 0, 0, 0}, [6]int64{5, 5, 0, 0, 0, 0})
+	lR := mkList([6]int64{3, 3, 0, 0, 0, 0})
+	m := merge(lL, lR, 4)
+	if !reflect.DeepEqual(presOf(m), []xmltree.NodeID{1, 3, 5}) {
+		t.Fatalf("merge order = %v", presOf(m))
+	}
+	want := [][2]int64{{0, 0}, {4, 4}, {0, 0}}
+	if !reflect.DeepEqual(costsOf(m), want) {
+		t.Errorf("merge costs = %v, want %v", costsOf(m), want)
+	}
+}
+
+func TestMergeCollisionKeepsCheaper(t *testing.T) {
+	lL := mkList([6]int64{2, 2, 0, 0, 5, 5})
+	lR := mkList([6]int64{2, 2, 0, 0, 2, 2})
+	if got := costsOf(merge(lL, lR, 1)); !reflect.DeepEqual(got, [][2]int64{{3, 3}}) {
+		t.Errorf("collision costs = %v, want [[3 3]]", got)
+	}
+	if got := costsOf(merge(lL, lR, 9)); !reflect.DeepEqual(got, [][2]int64{{5, 5}}) {
+		t.Errorf("collision costs = %v, want [[5 5]]", got)
+	}
+}
+
+func TestJoinBasics(t *testing.T) {
+	// Ancestor a: pre 1, bound 10, pathcost 0, inscost 1.
+	// Descendants at pre 3 (pathcost 4, emb 2) and pre 7 (pathcost 2, emb 9).
+	lA := mkList([6]int64{1, 10, 0, 1, 0, -1})
+	lD := mkList([6]int64{3, 3, 4, 0, 2, 2}, [6]int64{7, 7, 2, 0, 9, -1})
+	j := join(lA, lD, 5)
+	if j.Len() != 1 {
+		t.Fatalf("join = %v", costsOf(j))
+	}
+	// distance to 3: 4-0-1 = 3 → 3+2 = 5; distance to 7: 2-0-1 = 1 → 10.
+	// min = 5, plus edge 5 → 10. Leaf: only pre 3 has a leaf: 3+2+5 = 10.
+	if j.entries[0].EmbCost != 10 || j.entries[0].LeafCost != 10 {
+		t.Errorf("join costs = %v", costsOf(j))
+	}
+}
+
+func TestJoinDropsAncestorsWithoutDescendants(t *testing.T) {
+	lA := mkList([6]int64{1, 2, 0, 1, 0, -1}, [6]int64{5, 9, 0, 1, 0, -1})
+	lD := mkList([6]int64{7, 7, 3, 0, 0, 0})
+	j := join(lA, lD, 0)
+	if !reflect.DeepEqual(presOf(j), []xmltree.NodeID{5}) {
+		t.Errorf("join kept %v, want [5]", presOf(j))
+	}
+}
+
+func TestJoinNestedAncestors(t *testing.T) {
+	// a1 [1..10] contains a2 [2..6]; descendant at 4 touches both; a
+	// second descendant at 8 touches only a1.
+	lA := mkList([6]int64{1, 10, 0, 1, 0, -1}, [6]int64{2, 6, 1, 1, 0, -1})
+	lD := mkList([6]int64{4, 4, 5, 0, 1, 1}, [6]int64{8, 8, 3, 0, 7, -1})
+	j := join(lA, lD, 0)
+	if !reflect.DeepEqual(presOf(j), []xmltree.NodeID{1, 2}) {
+		t.Fatalf("join pres = %v", presOf(j))
+	}
+	// a1: min(dist(1,4)=5-0-1=4 → 5, dist(1,8)=3-0-1=2 → 9) = 5.
+	// a2: dist(2,4)=5-1-1=3 → 4 (node 8 is outside a2's subtree).
+	if j.entries[0].EmbCost != 5 || j.entries[1].EmbCost != 4 {
+		t.Errorf("join costs = %v", costsOf(j))
+	}
+}
+
+func TestJoinSiblingAncestorsDoNotLeak(t *testing.T) {
+	// Two sibling ancestors; each descendant belongs to exactly one.
+	lA := mkList([6]int64{1, 3, 0, 1, 0, -1}, [6]int64{4, 6, 0, 1, 0, -1})
+	lD := mkList([6]int64{2, 2, 2, 0, 0, 0}, [6]int64{5, 5, 4, 0, 0, 0})
+	j := join(lA, lD, 0)
+	if j.Len() != 2 {
+		t.Fatalf("join = %v", presOf(j))
+	}
+	// a1 → node 2: dist 2-0-1 = 1; a2 → node 5: dist 4-0-1 = 3.
+	if j.entries[0].EmbCost != 1 || j.entries[1].EmbCost != 3 {
+		t.Errorf("join costs = %v", costsOf(j))
+	}
+}
+
+func TestOuterjoin(t *testing.T) {
+	lA := mkList([6]int64{1, 5, 0, 1, 0, -1}, [6]int64{8, 9, 0, 1, 0, -1})
+	lD := mkList([6]int64{3, 3, 2, 0, 0, 0})
+	// delete cost 4, edge 1: matched ancestor gets min(4, 1+0)+1 = 2 with
+	// leaf 1+0+1 = 2; unmatched gets 4+1 = 5 with leaf Inf.
+	o := outerjoin(lA, lD, 1, 4)
+	want := [][2]int64{{2, 2}, {5, -1}}
+	if !reflect.DeepEqual(costsOf(o), want) {
+		t.Errorf("outerjoin costs = %v, want %v", costsOf(o), want)
+	}
+	// Deletion can undercut an expensive match.
+	lD2 := mkList([6]int64{3, 3, 9, 0, 0, 0})
+	o2 := outerjoin(lA, lD2, 0, 4)
+	// match = 9-0-1 = 8; min(4, 8) = 4; leaf stays at the match: 8.
+	if o2.entries[0].EmbCost != 4 || o2.entries[0].LeafCost != 8 {
+		t.Errorf("outerjoin costs = %v", costsOf(o2))
+	}
+}
+
+func TestOuterjoinInfiniteDeleteDropsUnmatched(t *testing.T) {
+	lA := mkList([6]int64{1, 2, 0, 1, 0, -1}, [6]int64{5, 9, 0, 1, 0, -1})
+	lD := mkList([6]int64{7, 7, 2, 0, 0, 0})
+	o := outerjoin(lA, lD, 0, cost.Inf)
+	if !reflect.DeepEqual(presOf(o), []xmltree.NodeID{5}) {
+		t.Errorf("outerjoin kept %v, want [5]", presOf(o))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	lL := mkList([6]int64{2, 2, 0, 0, 1, 1}, [6]int64{4, 4, 0, 0, 2, -1})
+	lR := mkList([6]int64{2, 2, 0, 0, 3, -1}, [6]int64{4, 4, 0, 0, 1, 1}, [6]int64{9, 9, 0, 0, 0, 0})
+	x := intersect(lL, lR, 2)
+	if !reflect.DeepEqual(presOf(x), []xmltree.NodeID{2, 4}) {
+		t.Fatalf("intersect pres = %v", presOf(x))
+	}
+	// pre 2: emb 1+3+2 = 6; leaf min(1+3, 1+Inf)+2 = 6.
+	// pre 4: emb 2+1+2 = 5; leaf min(Inf+1, 2+1)+2 = 5.
+	want := [][2]int64{{6, 6}, {5, 5}}
+	if !reflect.DeepEqual(costsOf(x), want) {
+		t.Errorf("intersect costs = %v, want %v", costsOf(x), want)
+	}
+}
+
+func TestIntersectLeafNeedsOneSide(t *testing.T) {
+	lL := mkList([6]int64{2, 2, 0, 0, 1, -1})
+	lR := mkList([6]int64{2, 2, 0, 0, 1, -1})
+	x := intersect(lL, lR, 0)
+	if x.entries[0].LeafCost != cost.Inf {
+		t.Errorf("leafless intersect produced LeafCost %d", x.entries[0].LeafCost)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	lL := mkList([6]int64{2, 2, 0, 0, 1, 1}, [6]int64{4, 4, 0, 0, 5, -1})
+	lR := mkList([6]int64{4, 4, 0, 0, 2, 2}, [6]int64{6, 6, 0, 0, 3, 3})
+	u := union(lL, lR, 1)
+	if !reflect.DeepEqual(presOf(u), []xmltree.NodeID{2, 4, 6}) {
+		t.Fatalf("union pres = %v", presOf(u))
+	}
+	want := [][2]int64{{2, 2}, {3, 3}, {4, 4}}
+	if !reflect.DeepEqual(costsOf(u), want) {
+		t.Errorf("union costs = %v, want %v", costsOf(u), want)
+	}
+}
+
+func TestOpsCommutativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	randList := func() *List {
+		l := &List{}
+		pre := int64(0)
+		for i := 0; i < rng.Intn(10); i++ {
+			pre += 1 + int64(rng.Intn(5))
+			leaf := int64(rng.Intn(8))
+			if rng.Intn(3) == 0 {
+				leaf = -1
+			}
+			emb := int64(rng.Intn(6))
+			if leaf >= 0 && leaf < emb {
+				leaf = emb
+			}
+			l.entries = append(l.entries, mkList([6]int64{pre, pre, 0, 0, emb, leaf}).entries[0])
+		}
+		return l
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := randList(), randList()
+		c := cost.Cost(rng.Intn(4))
+		if !reflect.DeepEqual(costsOf(intersect(a, b, c)), costsOf(intersect(b, a, c))) {
+			t.Fatalf("trial %d: intersect not commutative", trial)
+		}
+		if !reflect.DeepEqual(costsOf(union(a, b, c)), costsOf(union(b, a, c))) {
+			t.Fatalf("trial %d: union not commutative", trial)
+		}
+	}
+}
+
+func TestLeafCostNeverBelowEmbCost(t *testing.T) {
+	// Invariant: LeafCost >= EmbCost for every op output (leaf-containing
+	// embeddings are a subset of all embeddings).
+	rng := rand.New(rand.NewSource(23))
+	check := func(l *List, op string) {
+		for _, e := range l.entries {
+			if e.LeafCost < e.EmbCost {
+				t.Fatalf("%s: LeafCost %d < EmbCost %d", op, e.LeafCost, e.EmbCost)
+			}
+		}
+	}
+	randList := func() *List {
+		l := &List{}
+		pre := int64(0)
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			pre += 1 + int64(rng.Intn(4))
+			emb := int64(rng.Intn(6))
+			leaf := emb + int64(rng.Intn(5))
+			if rng.Intn(3) == 0 {
+				leaf = -1
+			}
+			bound := pre + int64(rng.Intn(4))
+			l.entries = append(l.entries, mkList([6]int64{pre, bound, int64(rng.Intn(5)), int64(rng.Intn(3)), emb, leaf}).entries[0])
+		}
+		return l
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randList(), randList()
+		c := cost.Cost(rng.Intn(3))
+		check(intersect(a, b, c), "intersect")
+		check(union(a, b, c), "union")
+		check(merge(a, b, c), "merge")
+		check(bump(a, c), "bump")
+		check(join(a, b, c), "join")
+		check(outerjoin(a, b, c, cost.Cost(rng.Intn(6))), "outerjoin")
+	}
+}

@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"approxql/internal/cost"
+	"approxql/internal/lang"
+	"approxql/internal/xmltree"
+)
+
+// Reference evaluates a query according to the closure semantics of
+// Section 5 by direct recursion over query and data nodes: every conjunctive
+// query of the separated representation is matched against every data node,
+// considering all renamings, deletions (of inner nodes and leaves), and
+// implicit insertions (the ancestor-descendant relaxation priced by the
+// insert-distance). It is deliberately implemented without the list algebra
+// so the property tests can cross-check algorithm primary against it.
+//
+// Results carry the cheapest embedding cost among embeddings whose image
+// contains at least one query-leaf match, exactly like Evaluator.All.
+// Intended for small inputs only: the running time is roughly
+// O(disjuncts · |query| · |tree|²).
+func Reference(tree *xmltree.Tree, q *lang.Query, model *cost.Model) ([]Result, error) {
+	conjs, err := lang.Separate(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &refEval{tree: tree, model: model,
+		embedMemo: make(map[refKey]costPair),
+		bestMemo:  make(map[refKey]costPair),
+	}
+	n := xmltree.NodeID(tree.Len())
+	var out []Result
+	for u := xmltree.NodeID(0); u < n; u++ {
+		if tree.Kind(u) != cost.Struct {
+			continue
+		}
+		best := cost.Inf
+		for _, c := range conjs {
+			p := r.embedAt(c, u)
+			if p.leaf < best {
+				best = p.leaf
+			}
+		}
+		if !cost.IsInf(best) {
+			out = append(out, Result{Root: u, Cost: best})
+		}
+	}
+	return out, nil
+}
+
+// ReferenceBestN sorts and prunes Reference results.
+func ReferenceBestN(tree *xmltree.Tree, q *lang.Query, model *cost.Model, n int) ([]Result, error) {
+	res, err := Reference(tree, q, model)
+	if err != nil {
+		return nil, err
+	}
+	SortResults(res)
+	if n > 0 && n < len(res) {
+		res = res[:n]
+	}
+	return res, nil
+}
+
+// costPair carries the cheapest embedding cost and the cheapest cost among
+// embeddings with at least one query-leaf match.
+type costPair struct {
+	emb  cost.Cost
+	leaf cost.Cost
+}
+
+var infPair = costPair{cost.Inf, cost.Inf}
+
+type refKey struct {
+	q *lang.ConjNode
+	u xmltree.NodeID
+}
+
+type refEval struct {
+	tree      *xmltree.Tree
+	model     *cost.Model
+	embedMemo map[refKey]costPair
+	bestMemo  map[refKey]costPair
+}
+
+// embedAt returns the cost of embedding the query subtree rooted at q such
+// that q maps exactly to the data node u (label-preserving after an optional
+// renaming, type-preserving).
+func (r *refEval) embedAt(q *lang.ConjNode, u xmltree.NodeID) costPair {
+	key := refKey{q, u}
+	if p, ok := r.embedMemo[key]; ok {
+		return p
+	}
+	p := r.computeEmbedAt(q, u)
+	r.embedMemo[key] = p
+	return p
+}
+
+func (r *refEval) computeEmbedAt(q *lang.ConjNode, u xmltree.NodeID) costPair {
+	if r.tree.Kind(u) != q.Kind {
+		return infPair
+	}
+	rename := r.model.RenameCost(q.Label, r.tree.Label(u), q.Kind)
+	if cost.IsInf(rename) {
+		return infPair
+	}
+	if q.IsLeaf() {
+		// A matched leaf is by definition a leaf match.
+		return costPair{emb: rename, leaf: rename}
+	}
+	sum := r.childrenBelow(q.Children, u)
+	return costPair{
+		emb:  cost.Add(rename, sum.emb),
+		leaf: cost.Add(rename, sum.leaf),
+	}
+}
+
+// childrenBelow returns the cost of placing all query children below the
+// data node u: the sum of the per-child best costs, with the leaf variant
+// requiring at least one child subtree to contribute a leaf match.
+func (r *refEval) childrenBelow(children []*lang.ConjNode, u xmltree.NodeID) costPair {
+	sumEmb := cost.Cost(0)
+	// leafGain is the cheapest extra cost of upgrading one child from its
+	// best embedding to its best leaf-matching embedding.
+	leafGain := cost.Inf
+	for _, c := range children {
+		p := r.best(c, u)
+		sumEmb = cost.Add(sumEmb, p.emb)
+		if gain := saturatingSub(p.leaf, p.emb); gain < leafGain {
+			leafGain = gain
+		}
+	}
+	return costPair{emb: sumEmb, leaf: cost.Add(sumEmb, leafGain)}
+}
+
+func saturatingSub(a, b cost.Cost) cost.Cost {
+	if cost.IsInf(a) {
+		return cost.Inf
+	}
+	return a - b
+}
+
+// best returns the cheapest way to account for the query subtree rooted at
+// c below the data node u: embed c at a proper descendant of u (paying the
+// insert-distance), or delete c (a leaf at its delete cost; an inner node at
+// its delete cost plus the cost of placing its children below u).
+func (r *refEval) best(c *lang.ConjNode, u xmltree.NodeID) costPair {
+	key := refKey{c, u}
+	if p, ok := r.bestMemo[key]; ok {
+		return p
+	}
+	p := r.computeBest(c, u)
+	r.bestMemo[key] = p
+	return p
+}
+
+func (r *refEval) computeBest(c *lang.ConjNode, u xmltree.NodeID) costPair {
+	out := infPair
+	// Embed c at any proper descendant of u.
+	for v := u + 1; v <= r.tree.Bound(u); v++ {
+		p := r.embedAt(c, v)
+		if cost.IsInf(p.emb) {
+			continue
+		}
+		d := r.tree.Distance(u, v)
+		if e := cost.Add(d, p.emb); e < out.emb {
+			out.emb = e
+		}
+		if l := cost.Add(d, p.leaf); l < out.leaf {
+			out.leaf = l
+		}
+	}
+	// Delete c.
+	del := r.model.DeleteCost(c.Label, c.Kind)
+	if !cost.IsInf(del) {
+		if c.IsLeaf() {
+			// Deleting a leaf never yields a leaf match.
+			if del < out.emb {
+				out.emb = del
+			}
+		} else {
+			sub := r.childrenBelow(c.Children, u)
+			if e := cost.Add(del, sub.emb); e < out.emb {
+				out.emb = e
+			}
+			if l := cost.Add(del, sub.leaf); l < out.leaf {
+				out.leaf = l
+			}
+		}
+	}
+	return out
+}

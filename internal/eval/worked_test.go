@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/index"
+	"approxql/internal/xmltree"
+)
+
+// Additional hand-computed scenarios beyond the catalog worked examples,
+// each pinning one corner of the transformation semantics.
+
+// TestRecursiveLabels: nested same-label elements interact with both the
+// ancestor stack of join and the insert-distance computation.
+func TestRecursiveLabels(t *testing.T) {
+	tree, err := xmltree.ParseXML(`
+<doc>
+  <part>
+    <part>
+      <part><name>gear</name></part>
+    </part>
+  </part>
+</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	res := bestN(t, tree, ix, `part[name["gear"]]`, cost.NewModel(), 0)
+	// All three part elements match: the innermost exactly (cost 0), the
+	// middle through one inserted part (1), the outer through two (2).
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	for i, want := range []cost.Cost{0, 1, 2} {
+		if res[i].Cost != want {
+			t.Errorf("result %d cost = %d, want %d", i, res[i].Cost, want)
+		}
+	}
+	res2 := bestN(t, tree, ix, `part[part[name["gear"]]]`, cost.NewModel(), 0)
+	// middle part: its child part holds name[gear] directly → cost 0.
+	// outer part: whichever inner part it picks, one part node sits
+	// between the match pair (inserted, cost 1). innermost: no part below.
+	if len(res2) != 2 {
+		t.Fatalf("nested query results = %v", res2)
+	}
+	if res2[0].Cost != 0 || res2[1].Cost != 1 {
+		t.Errorf("nested query costs = %v", res2)
+	}
+}
+
+// TestMultipleRenamingsPickCheapest: when several renamings reach different
+// matches, each match is priced by its own renaming.
+func TestMultipleRenamingsPickCheapest(t *testing.T) {
+	tree, err := xmltree.ParseXML(`
+<lib>
+  <cd><title>x</title></cd>
+  <dvd><title>x</title></dvd>
+  <mc><title>x</title></mc>
+</lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	m := cost.NewModel()
+	m.AddRenaming("cd", "dvd", cost.Struct, 6)
+	m.AddRenaming("cd", "mc", cost.Struct, 4)
+	res := bestN(t, tree, ix, `cd[title["x"]]`, m, 0)
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	if res[0].Cost != 0 || res[1].Cost != 4 || res[2].Cost != 6 {
+		t.Errorf("costs = %v", res)
+	}
+	if tree.Label(res[1].Root) != "mc" || tree.Label(res[2].Root) != "dvd" {
+		t.Errorf("order = %q, %q", tree.Label(res[1].Root), tree.Label(res[2].Root))
+	}
+}
+
+// TestUserOrWithDeletionBridge: a user-written "or" combines with deletion
+// bridges of its branches.
+func TestUserOrWithDeletionBridge(t *testing.T) {
+	tree, err := xmltree.ParseXML(`
+<lib>
+  <book><info><isbn>111</isbn></info></book>
+  <book><code>222</code></book>
+</lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	m := cost.NewModel()
+	m.SetDelete("info", cost.Struct, 2)
+	// Query: book[info[isbn["111"]] or code["222"]].
+	res := bestN(t, tree, ix, `book[info[isbn["111"]] or code["222"]]`, m, 0)
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	// Both books match at cost 0 (each satisfies one or-branch exactly).
+	if res[0].Cost != 0 || res[1].Cost != 0 {
+		t.Errorf("costs = %v", res)
+	}
+	// Now data where the isbn sits outside an info wrapper: the deletion
+	// bridge lets the first branch match at delete cost 2.
+	tree2, err := xmltree.ParseXML(`<lib><book><isbn>111</isbn></book></lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := bestN(t, tree2, index.Build(tree2), `book[info[isbn["111"]] or code["222"]]`, m, 0)
+	if len(res2) != 1 || res2[0].Cost != 2 {
+		t.Fatalf("bridge-through-or results = %v", res2)
+	}
+}
+
+// TestRenamedNodeKeepsOwnSubtreeCosts: renaming an inner node re-fetches
+// its matches; the content must embed below the renamed node.
+func TestRenamedNodeKeepsOwnSubtreeCosts(t *testing.T) {
+	tree, err := xmltree.ParseXML(`
+<lib>
+  <song><lyrics>hello world</lyrics></song>
+  <track><words>hello</words></track>
+</lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	m := cost.NewModel()
+	m.AddRenaming("song", "track", cost.Struct, 3)
+	m.AddRenaming("lyrics", "words", cost.Struct, 2)
+	res := bestN(t, tree, ix, `song[lyrics["hello"]]`, m, 0)
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	// song: exact (0); track: rename song→track 3 + lyrics→words 2 = 5.
+	if res[0].Cost != 0 || res[1].Cost != 5 {
+		t.Errorf("costs = %v", res)
+	}
+}
+
+// TestDeletionChainAccumulates: deleting two nested wrappers adds both
+// delete costs.
+func TestDeletionChainAccumulates(t *testing.T) {
+	tree, err := xmltree.ParseXML(`<cd><title>concerto</title></cd>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	m := cost.NewModel()
+	m.SetDelete("disc", cost.Struct, 2)
+	m.SetDelete("side", cost.Struct, 3)
+	res := bestN(t, tree, ix, `cd[disc[side[title["concerto"]]]]`, m, 0)
+	if len(res) != 1 || res[0].Cost != 5 {
+		t.Fatalf("results = %v, want one result of cost 5", res)
+	}
+}
+
+// TestLeafDeletionVersusRename: the engine picks whichever is cheaper per
+// result, not globally.
+func TestLeafDeletionVersusRename(t *testing.T) {
+	tree, err := xmltree.ParseXML(`
+<lib>
+  <cd><title>piano sonata</title></cd>
+  <cd><title>piano</title></cd>
+</lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(tree)
+	m := cost.NewModel()
+	m.AddRenaming("concerto", "sonata", cost.Text, 3)
+	m.SetDelete("concerto", cost.Text, 4)
+	res := bestN(t, tree, ix, `cd[title["piano" and "concerto"]]`, m, 0)
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	// cd1: rename concerto→sonata (3) beats deleting it (4).
+	// cd2: no sonata either → delete concerto (4).
+	if res[0].Cost != 3 || res[1].Cost != 4 {
+		t.Errorf("costs = %v", res)
+	}
+}

@@ -1,0 +1,49 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"approxql/internal/xmltree"
+)
+
+// EncodePosting serializes a sorted posting as delta-encoded uvarints
+// prefixed with the entry count. The schema's secondary index shares this
+// codec.
+func EncodePosting(post []xmltree.NodeID) []byte {
+	buf := make([]byte, 0, 2+len(post))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(post)))
+	buf = append(buf, tmp[:n]...)
+	prev := xmltree.NodeID(0)
+	for _, u := range post {
+		n := binary.PutUvarint(tmp[:], uint64(u-prev))
+		buf = append(buf, tmp[:n]...)
+		prev = u
+	}
+	return buf
+}
+
+// DecodePosting reverses EncodePosting.
+func DecodePosting(data []byte) ([]xmltree.NodeID, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("index: bad posting header")
+	}
+	data = data[n:]
+	post := make([]xmltree.NodeID, 0, count)
+	prev := xmltree.NodeID(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("index: truncated posting at entry %d", i)
+		}
+		data = data[n:]
+		prev += xmltree.NodeID(d)
+		post = append(post, prev)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("index: %d trailing bytes after posting", len(data))
+	}
+	return post, nil
+}

@@ -1,0 +1,132 @@
+// Package index implements the label indexes of the paper (Section 6.2,
+// Figure 3): I_struct maps each element or attribute name to the sorted list
+// of struct nodes carrying that name, and I_text maps each term to the
+// sorted list of text nodes carrying it.
+//
+// A posting stores preorder numbers only; the remaining encoding values
+// (bound, inscost, pathcost) are materialized from the data tree when a list
+// is fetched, exactly as the paper's list entries copy "the numbers assigned
+// to the corresponding node".
+//
+// Indexes exist in two forms: a Memory index built by one pass over the data
+// tree, and a Stored index persisted in a storage.DB (the paper's Berkeley
+// DB role). Both satisfy Source, the interface the evaluators consume.
+package index
+
+import (
+	"fmt"
+
+	"approxql/internal/cost"
+	"approxql/internal/dict"
+	"approxql/internal/xmltree"
+)
+
+// Source provides access to the postings of a data tree by label. Fetch
+// operations of the evaluation algorithms resolve labels through a Source.
+type Source interface {
+	// Struct returns the sorted posting of struct nodes labeled name,
+	// or nil if the name does not occur.
+	Struct(name string) ([]xmltree.NodeID, error)
+	// Text returns the sorted posting of text nodes labeled term,
+	// or nil if the term does not occur.
+	Text(term string) ([]xmltree.NodeID, error)
+}
+
+// Memory is an in-memory index over a data tree.
+type Memory struct {
+	tree       *xmltree.Tree
+	structPost [][]xmltree.NodeID // indexed by name ID
+	textPost   [][]xmltree.NodeID // indexed by term ID
+}
+
+// Build constructs the in-memory index with one pass over the tree.
+func Build(tree *xmltree.Tree) *Memory {
+	ix := &Memory{
+		tree:       tree,
+		structPost: make([][]xmltree.NodeID, tree.Names.Len()),
+		textPost:   make([][]xmltree.NodeID, tree.Terms.Len()),
+	}
+	for u := xmltree.NodeID(0); u < xmltree.NodeID(tree.Len()); u++ {
+		if tree.Kind(u) == cost.Text {
+			ix.textPost[tree.LabelID(u)] = append(ix.textPost[tree.LabelID(u)], u)
+		} else {
+			ix.structPost[tree.LabelID(u)] = append(ix.structPost[tree.LabelID(u)], u)
+		}
+	}
+	return ix
+}
+
+// Tree returns the indexed data tree.
+func (ix *Memory) Tree() *xmltree.Tree { return ix.tree }
+
+// Struct implements Source.
+func (ix *Memory) Struct(name string) ([]xmltree.NodeID, error) {
+	id := ix.tree.Names.Lookup(name)
+	if id == dict.None {
+		return nil, nil
+	}
+	return ix.structPost[id], nil
+}
+
+// Text implements Source.
+func (ix *Memory) Text(term string) ([]xmltree.NodeID, error) {
+	id := ix.tree.Terms.Lookup(term)
+	if id == dict.None {
+		return nil, nil
+	}
+	return ix.textPost[id], nil
+}
+
+// StructByID returns the posting for an interned name ID.
+func (ix *Memory) StructByID(id dict.ID) []xmltree.NodeID {
+	if id < 0 || int(id) >= len(ix.structPost) {
+		return nil
+	}
+	return ix.structPost[id]
+}
+
+// TextByID returns the posting for an interned term ID.
+func (ix *Memory) TextByID(id dict.ID) []xmltree.NodeID {
+	if id < 0 || int(id) >= len(ix.textPost) {
+		return nil
+	}
+	return ix.textPost[id]
+}
+
+// DocFreq reports how many nodes carry the given label.
+func (ix *Memory) DocFreq(label string, kind cost.Kind) int {
+	var p []xmltree.NodeID
+	if kind == cost.Text {
+		p, _ = ix.Text(label)
+	} else {
+		p, _ = ix.Struct(label)
+	}
+	return len(p)
+}
+
+// Validate checks that every posting is strictly ascending and labels match,
+// for tests and data loaded from disk.
+func (ix *Memory) Validate() error {
+	check := func(kind cost.Kind, id dict.ID, post []xmltree.NodeID) error {
+		for i, u := range post {
+			if i > 0 && post[i-1] >= u {
+				return fmt.Errorf("index: posting %d/%v not ascending at %d", id, kind, i)
+			}
+			if ix.tree.Kind(u) != kind || ix.tree.LabelID(u) != id {
+				return fmt.Errorf("index: node %d misfiled under %d/%v", u, id, kind)
+			}
+		}
+		return nil
+	}
+	for id, post := range ix.structPost {
+		if err := check(cost.Struct, dict.ID(id), post); err != nil {
+			return err
+		}
+	}
+	for id, post := range ix.textPost {
+		if err := check(cost.Text, dict.ID(id), post); err != nil {
+			return err
+		}
+	}
+	return nil
+}

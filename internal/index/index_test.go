@@ -1,0 +1,237 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+const catalogXML = `
+<catalog>
+  <cd>
+    <title>Piano Concerto</title>
+    <composer>Rachmaninov</composer>
+  </cd>
+  <cd>
+    <title>Piano Sonata</title>
+  </cd>
+</catalog>`
+
+func buildIndex(t *testing.T) (*xmltree.Tree, *Memory) {
+	t.Helper()
+	tree, err := xmltree.ParseXML(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(tree)
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tree, ix
+}
+
+func TestStructPostings(t *testing.T) {
+	tree, ix := buildIndex(t)
+	post, err := ix.Struct("cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(post) != 2 {
+		t.Fatalf("cd posting = %v, want 2 entries", post)
+	}
+	for _, u := range post {
+		if tree.Label(u) != "cd" {
+			t.Errorf("posting entry %d labeled %q", u, tree.Label(u))
+		}
+	}
+	if post[0] >= post[1] {
+		t.Error("posting not ascending")
+	}
+}
+
+func TestTextPostings(t *testing.T) {
+	_, ix := buildIndex(t)
+	post, err := ix.Text("piano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(post) != 2 {
+		t.Fatalf("piano posting = %v, want 2 entries", post)
+	}
+	one, _ := ix.Text("rachmaninov")
+	if len(one) != 1 {
+		t.Fatalf("rachmaninov posting = %v", one)
+	}
+}
+
+func TestMissingLabels(t *testing.T) {
+	_, ix := buildIndex(t)
+	if post, err := ix.Struct("dvd"); err != nil || post != nil {
+		t.Errorf("Struct(dvd) = %v %v", post, err)
+	}
+	if post, err := ix.Text("beethoven"); err != nil || post != nil {
+		t.Errorf("Text(beethoven) = %v %v", post, err)
+	}
+	// A term must not be found in the struct index and vice versa.
+	if post, _ := ix.Struct("piano"); post != nil {
+		t.Errorf("Struct(piano) = %v, want nil", post)
+	}
+	if post, _ := ix.Text("cd"); post != nil {
+		t.Errorf("Text(cd) = %v, want nil", post)
+	}
+}
+
+func TestDocFreq(t *testing.T) {
+	_, ix := buildIndex(t)
+	if got := ix.DocFreq("title", cost.Struct); got != 2 {
+		t.Errorf("DocFreq(title) = %d, want 2", got)
+	}
+	if got := ix.DocFreq("piano", cost.Text); got != 2 {
+		t.Errorf("DocFreq(piano) = %d, want 2", got)
+	}
+	if got := ix.DocFreq("nope", cost.Text); got != 0 {
+		t.Errorf("DocFreq(nope) = %d, want 0", got)
+	}
+}
+
+func TestPostingCodecRoundTrip(t *testing.T) {
+	cases := [][]xmltree.NodeID{
+		nil,
+		{},
+		{1},
+		{1, 2, 3},
+		{5, 100, 100000, 2000000},
+	}
+	for _, post := range cases {
+		got, err := DecodePosting(EncodePosting(post))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", post, err)
+		}
+		if len(got) != len(post) {
+			t.Fatalf("round trip %v = %v", post, got)
+		}
+		for i := range post {
+			if got[i] != post[i] {
+				t.Fatalf("round trip %v = %v", post, got)
+			}
+		}
+	}
+}
+
+func TestPostingCodecRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(500)
+		post := make([]xmltree.NodeID, n)
+		cur := xmltree.NodeID(0)
+		for i := range post {
+			cur += xmltree.NodeID(1 + rng.Intn(1000))
+			post[i] = cur
+		}
+		got, err := DecodePosting(EncodePosting(post))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, post) && !(len(got) == 0 && len(post) == 0) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}
+
+func TestDecodePostingRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x05},             // claims 5 entries, has none
+		{0x01, 0x80},       // truncated uvarint
+		{0x01, 0x01, 0x01}, // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := DecodePosting(c); err == nil {
+			t.Errorf("case %d: decodePosting accepted garbage", i)
+		}
+	}
+}
+
+func TestStoredIndexRoundTrip(t *testing.T) {
+	_, ix := buildIndex(t)
+	db, err := storage.Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := Save(ix, db); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	st := OpenStored(db)
+	for _, label := range []string{"catalog", "cd", "title", "composer"} {
+		want, _ := ix.Struct(label)
+		got, err := st.Struct(label)
+		if err != nil {
+			t.Fatalf("Struct(%s): %v", label, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Struct(%s) = %v, want %v", label, got, want)
+		}
+	}
+	for _, term := range []string{"piano", "concerto", "sonata", "rachmaninov"} {
+		want, _ := ix.Text(term)
+		got, err := st.Text(term)
+		if err != nil {
+			t.Fatalf("Text(%s): %v", term, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Text(%s) = %v, want %v", term, got, want)
+		}
+	}
+	if got, _ := st.Struct("missing"); got != nil {
+		t.Errorf("Struct(missing) = %v", got)
+	}
+	// Cached second read must match too.
+	got, _ := st.Text("piano")
+	want, _ := ix.Text("piano")
+	if !reflect.DeepEqual(got, want) {
+		t.Error("cached read mismatch")
+	}
+}
+
+func TestStoredIndexPersists(t *testing.T) {
+	_, ix := buildIndex(t)
+	path := t.TempDir() + "/ix.db"
+	db, err := storage.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(ix, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := storage.Open(path, &storage.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := OpenStored(db2)
+	got, err := st.Text("concerto")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Text(concerto) after reopen = %v %v", got, err)
+	}
+}
+
+func TestByIDAccessors(t *testing.T) {
+	tree, ix := buildIndex(t)
+	id := tree.Names.Lookup("cd")
+	if got := ix.StructByID(id); len(got) != 2 {
+		t.Errorf("StructByID = %v", got)
+	}
+	if got := ix.StructByID(-1); got != nil {
+		t.Errorf("StructByID(-1) = %v", got)
+	}
+	if got := ix.TextByID(99999); got != nil {
+		t.Errorf("TextByID(oob) = %v", got)
+	}
+}

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"fmt"
+
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+// Key prefixes in the backing store. Labels follow the prefix verbatim;
+// element names and terms never contain '\x00', so the prefixes cannot
+// collide with each other.
+const (
+	structPrefix = "s\x00"
+	textPrefix   = "t\x00"
+)
+
+// Stored is an index whose postings live in a storage.DB, the role Berkeley
+// DB plays in the paper's system. Postings are decoded on demand and cached.
+type Stored struct {
+	db    *storage.DB
+	cache map[string][]xmltree.NodeID
+	// cacheLimit bounds the number of cached postings; 0 disables caching.
+	cacheLimit int
+}
+
+// Save persists all postings of a Memory index into db.
+func Save(ix *Memory, db *storage.DB) error {
+	for id, post := range ix.structPost {
+		if len(post) == 0 {
+			continue
+		}
+		key := structPrefix + ix.tree.Names.String(int32(id))
+		if err := db.Put([]byte(key), EncodePosting(post)); err != nil {
+			return fmt.Errorf("index: saving %q: %w", key, err)
+		}
+	}
+	for id, post := range ix.textPost {
+		if len(post) == 0 {
+			continue
+		}
+		key := textPrefix + ix.tree.Terms.String(int32(id))
+		if err := db.Put([]byte(key), EncodePosting(post)); err != nil {
+			return fmt.Errorf("index: saving %q: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// OpenStored returns a Stored index reading from db.
+func OpenStored(db *storage.DB) *Stored {
+	return &Stored{db: db, cache: make(map[string][]xmltree.NodeID), cacheLimit: 4096}
+}
+
+// SetCacheLimit bounds the posting cache (0 disables caching).
+func (s *Stored) SetCacheLimit(n int) {
+	s.cacheLimit = n
+	if n == 0 {
+		s.cache = make(map[string][]xmltree.NodeID)
+	}
+}
+
+func (s *Stored) fetch(key string) ([]xmltree.NodeID, error) {
+	if post, ok := s.cache[key]; ok {
+		return post, nil
+	}
+	raw, ok, err := s.db.Get([]byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	post, err := DecodePosting(raw)
+	if err != nil {
+		return nil, fmt.Errorf("index: posting %q: %w", key, err)
+	}
+	if s.cacheLimit > 0 {
+		if len(s.cache) >= s.cacheLimit {
+			// Simple full reset beats tracking recency for the query
+			// workloads here, which reuse a small set of labels.
+			s.cache = make(map[string][]xmltree.NodeID)
+		}
+		s.cache[key] = post
+	}
+	return post, nil
+}
+
+// Struct implements Source.
+func (s *Stored) Struct(name string) ([]xmltree.NodeID, error) {
+	return s.fetch(structPrefix + name)
+}
+
+// Text implements Source.
+func (s *Stored) Text(term string) ([]xmltree.NodeID, error) {
+	return s.fetch(textPrefix + term)
+}

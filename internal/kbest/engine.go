@@ -1,0 +1,429 @@
+package kbest
+
+import (
+	"fmt"
+	"sort"
+
+	"approxql/internal/cost"
+	"approxql/internal/eval"
+	"approxql/internal/lang"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// Stats counts the work done by a schema-driven evaluation.
+type Stats struct {
+	Fetches          int // schema index fetches (cache misses)
+	ListOps          int // adapted list operations
+	SecondLevelRuns  int // second-level queries executed by secondary
+	PostingsScanned  int // instance-posting entries touched by secondary
+	Rounds           int // incremental rounds (k, k+δ, ...)
+	FinalK           int // the k of the last round
+	SecondLevelTotal int // second-level queries generated in the last round
+	// Truncated reports that the search hit Options.MaxK before finding n
+	// results or exhausting the second-level queries: the returned list
+	// is best-effort. This happens when most cheap transformed queries
+	// retrieve nothing — the regime where the paper's direct evaluation
+	// is the better algorithm.
+	Truncated bool
+}
+
+// Engine evaluates the adapted algorithm primary against a schema with a
+// fixed k. Use SecondLevel to obtain the sorted second-level queries and
+// Secondary to execute them. The incremental driver BestN creates engines
+// with growing k (Section 7.4).
+type Engine struct {
+	sch *schema.Schema
+	sec schema.SecSource
+	k   int
+
+	stats      Stats
+	seq        int
+	fetchCache map[fetchKey]*List
+	innerCache map[*lang.XNode]*List
+	evalCache  map[evalKey]*List
+	secCache   map[*Entry][]xmltree.NodeID
+}
+
+type fetchKey struct {
+	label string
+	kind  cost.Kind
+}
+
+type evalKey struct {
+	node *lang.XNode
+	list *List
+}
+
+// NewEngine returns an engine over sch that keeps the best k embeddings per
+// (query subtree, schema subtree). Secondary postings are served from the
+// in-memory schema; use NewEngineWithSecondary for a stored I_sec.
+func NewEngine(sch *schema.Schema, k int) *Engine {
+	return NewEngineWithSecondary(sch, k, sch)
+}
+
+// NewEngineWithSecondary is NewEngine with an explicit secondary-index
+// source, e.g. a schema.StoredSec reading path-dependent postings from the
+// embedded B+tree store.
+func NewEngineWithSecondary(sch *schema.Schema, k int, sec schema.SecSource) *Engine {
+	if k < 1 {
+		k = 1
+	}
+	return &Engine{
+		sch:        sch,
+		sec:        sec,
+		k:          k,
+		fetchCache: make(map[fetchKey]*List),
+		innerCache: make(map[*lang.XNode]*List),
+		evalCache:  make(map[evalKey]*List),
+		secCache:   make(map[*Entry][]xmltree.NodeID),
+	}
+}
+
+// Stats returns the engine's counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+func (en *Engine) nextSeq() int {
+	en.seq++
+	return en.seq
+}
+
+// SecondLevel runs the adapted algorithm primary against the schema and
+// returns the best k second-level queries sorted by ascending cost
+// (Section 7.2). Only skeletons containing at least one query-leaf match
+// qualify (the keep-one-leaf rule).
+func (en *Engine) SecondLevel(x *lang.Expanded) ([]*Entry, error) {
+	if x.Root.Rep != lang.RepNode {
+		return nil, fmt.Errorf("kbest: expanded root has type %v, want node", x.Root.Rep)
+	}
+	l, err := en.inner(x.Root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Entry, 0, l.Len())
+	for _, e := range l.entries {
+		if e.HasLeaf && !cost.IsInf(e.Cost) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].seq < out[j].seq
+	})
+	if len(out) > en.k {
+		out = out[:en.k]
+	}
+	en.stats.SecondLevelTotal = len(out)
+	return out, nil
+}
+
+// inner computes the ancestor-independent list of a RepNode or RepLeaf, the
+// memoized quantity of the dynamic programming (as in the direct evaluator).
+func (en *Engine) inner(u *lang.XNode) (*List, error) {
+	if l, ok := en.innerCache[u]; ok {
+		return l, nil
+	}
+	l, err := en.computeInner(u)
+	if err != nil {
+		return nil, err
+	}
+	en.innerCache[u] = l
+	return l, nil
+}
+
+func (en *Engine) computeInner(u *lang.XNode) (*List, error) {
+	switch u.Rep {
+	case lang.RepLeaf:
+		out := en.markLeaf(en.fetch(u.Label, u.Kind))
+		for _, r := range u.Renamings {
+			lt := en.markLeaf(en.fetch(r.To, u.Kind))
+			en.stats.ListOps++
+			out = en.merge(out, lt, r.Cost)
+		}
+		return out, nil
+	case lang.RepNode:
+		out, err := en.nodeVariant(u, u.Label)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range u.Renamings {
+			lt, err := en.nodeVariant(u, r.To)
+			if err != nil {
+				return nil, err
+			}
+			en.stats.ListOps++
+			out = en.merge(out, lt, r.Cost)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("kbest: inner called on %v node", u.Rep)
+}
+
+func (en *Engine) nodeVariant(u *lang.XNode, label string) (*List, error) {
+	ld := en.fetch(label, u.Kind)
+	if u.Child == nil {
+		return en.markLeaf(ld), nil
+	}
+	return en.eval(u.Child, ld)
+}
+
+func (en *Engine) eval(u *lang.XNode, lA *List) (*List, error) {
+	key := evalKey{u, lA}
+	if l, ok := en.evalCache[key]; ok {
+		return l, nil
+	}
+	l, err := en.computeEval(u, lA)
+	if err != nil {
+		return nil, err
+	}
+	en.evalCache[key] = l
+	return l, nil
+}
+
+func (en *Engine) computeEval(u *lang.XNode, lA *List) (*List, error) {
+	switch u.Rep {
+	case lang.RepLeaf:
+		ld, err := en.inner(u)
+		if err != nil {
+			return nil, err
+		}
+		en.stats.ListOps++
+		return en.outerjoin(lA, ld, 0, u.DelCost), nil
+	case lang.RepNode:
+		ld, err := en.inner(u)
+		if err != nil {
+			return nil, err
+		}
+		en.stats.ListOps++
+		return en.join(lA, ld, 0), nil
+	case lang.RepAnd:
+		ll, err := en.eval(u.Left, lA)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := en.eval(u.Right, lA)
+		if err != nil {
+			return nil, err
+		}
+		en.stats.ListOps++
+		return en.intersect(ll, lr, 0), nil
+	case lang.RepOr:
+		ll, err := en.eval(u.Left, lA)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := en.eval(u.Right, lA)
+		if err != nil {
+			return nil, err
+		}
+		en.stats.ListOps++
+		return en.union(ll, en.bump(lr, u.EdgeCost), 0), nil
+	}
+	return nil, fmt.Errorf("kbest: unknown representation type %v", u.Rep)
+}
+
+// Secondary executes a second-level query against the data tree (Figure 5):
+// a bottom-up semijoin over the path-dependent postings that returns all
+// instances of the skeleton root whose subtrees contain the full skeleton.
+func (en *Engine) Secondary(e *Entry) ([]xmltree.NodeID, error) {
+	if res, ok := en.secCache[e]; ok {
+		return res, nil
+	}
+	en.stats.SecondLevelRuns++
+	var la []xmltree.NodeID
+	var err error
+	if e.Kind == cost.Text {
+		la, err = en.sec.SecTermInstances(e.Class, e.Label)
+	} else {
+		la, err = en.sec.SecInstances(e.Class)
+	}
+	if err != nil {
+		return nil, err
+	}
+	en.stats.PostingsScanned += len(la)
+	for _, d := range e.Pointers {
+		ld, err := en.Secondary(d)
+		if err != nil {
+			return nil, err
+		}
+		la = en.semijoin(la, ld)
+		if len(la) == 0 {
+			break
+		}
+	}
+	en.secCache[e] = la
+	return la, nil
+}
+
+// semijoin keeps the nodes of la that have a descendant in ld. Both lists
+// are sorted by preorder.
+func (en *Engine) semijoin(la, ld []xmltree.NodeID) []xmltree.NodeID {
+	tree := en.sch.Tree()
+	out := make([]xmltree.NodeID, 0, len(la))
+	j := 0
+	for _, u := range la {
+		for j < len(ld) && ld[j] <= u {
+			j++
+		}
+		// Nested ancestors overlap, so scan without moving j.
+		for x := j; x < len(ld); x++ {
+			if ld[x] > tree.Bound(u) {
+				break
+			}
+			out = append(out, u)
+			break
+		}
+		en.stats.PostingsScanned++
+	}
+	return out
+}
+
+// Options tune the incremental best-n algorithm of Figure 6.
+type Options struct {
+	// InitialK is the first guess for k ("a good initial guess of k is
+	// crucial"). Zero means max(n, 8), or 16 when all results are wanted.
+	InitialK int
+	// Delta is the increment applied when the first k second-level
+	// queries retrieve too few results. Zero means InitialK. The
+	// increment doubles after every round so the number of rounds stays
+	// logarithmic even when the skeleton space grows with k.
+	Delta int
+	// MaxK is a safety valve: the search stops once k exceeds it even if
+	// fewer than n results were found (the closure can contain
+	// astronomically many transformed queries that all retrieve already
+	// known roots). Zero means 1<<20.
+	MaxK int
+}
+
+// BestN solves the best-n-pairs problem with the incremental schema-driven
+// algorithm (Figure 6): generate the best k second-level queries, execute
+// them in cost order, collect distinct result roots, and grow k by δ until n
+// results are found or the second-level queries are exhausted. n <= 0
+// retrieves all results.
+//
+// The answer is exact whenever Stats.Truncated is false. Permissive cost
+// models can induce astronomically many cheap transformed queries that
+// retrieve nothing; once k exceeds Options.MaxK the search stops with the
+// results found so far and sets Truncated — the regime in which the paper's
+// direct evaluation is the better algorithm anyway.
+func BestN(sch *schema.Schema, x *lang.Expanded, n int, opt Options) ([]eval.Result, Stats, error) {
+	return BestNWithSecondary(sch, sch, x, n, opt)
+}
+
+// BestNWithSecondary is BestN with an explicit secondary-index source.
+func BestNWithSecondary(sch *schema.Schema, sec schema.SecSource, x *lang.Expanded, n int, opt Options) ([]eval.Result, Stats, error) {
+	k := opt.InitialK
+	if k <= 0 {
+		if n > 0 {
+			k = n
+			if k < 8 {
+				k = 8
+			}
+		} else {
+			k = 16
+		}
+	}
+	delta := opt.Delta
+	if delta <= 0 {
+		delta = k
+	}
+	maxK := opt.MaxK
+	if maxK <= 0 {
+		maxK = 1 << 20
+	}
+
+	// maxResults bounds the achievable result count: every result root is
+	// an instance of a schema class carrying the root label or one of its
+	// renamings. Reaching the bound ends the search even when more
+	// second-level queries exist — they can only re-find known roots.
+	maxResults := 0
+	rootLabels := []string{x.Root.Label}
+	for _, r := range x.Root.Renamings {
+		rootLabels = append(rootLabels, r.To)
+	}
+	for _, label := range rootLabels {
+		for _, c := range sch.StructClasses(label) {
+			maxResults += len(sch.Instances(c))
+		}
+	}
+	if n <= 0 || n > maxResults {
+		n = maxResults
+	}
+
+	var results []eval.Result
+	seen := make(map[xmltree.NodeID]bool)
+	// executed identifies already-evaluated second-level queries by their
+	// skeleton signature. The paper erases the first k_prev entries (the
+	// list for k' > k extends the list for k); signatures additionally
+	// survive reordering among equal-cost queries across rounds.
+	executed := make(map[string]bool)
+	var stats Stats
+
+	for {
+		en := NewEngineWithSecondary(sch, k, sec)
+		lp, err := en.SecondLevel(x)
+		if err != nil {
+			return nil, stats, err
+		}
+		done := false
+		for _, e := range lp {
+			sig := Signature(e)
+			if executed[sig] {
+				continue
+			}
+			executed[sig] = true
+			roots, err := en.Secondary(e)
+			if err != nil {
+				return nil, stats, err
+			}
+			for _, u := range roots {
+				if !seen[u] {
+					seen[u] = true
+					results = append(results, eval.Result{Root: u, Cost: e.Cost})
+				}
+			}
+			if len(results) >= n {
+				done = true
+				break
+			}
+		}
+		s := en.Stats()
+		stats.Fetches += s.Fetches
+		stats.ListOps += s.ListOps
+		stats.SecondLevelRuns += s.SecondLevelRuns
+		stats.PostingsScanned += s.PostingsScanned
+		stats.Rounds++
+		stats.FinalK = k
+		stats.SecondLevelTotal = s.SecondLevelTotal
+		if done || len(lp) < k || n == 0 {
+			break
+		}
+		if k >= maxK {
+			stats.Truncated = true
+			break
+		}
+		k += delta
+		// The skeleton space can grow with k, so a fixed δ may never
+		// catch up when many results are wanted; double δ after each
+		// round to keep the number of rounds logarithmic.
+		delta *= 2
+	}
+
+	// Results arrive in ascending cost order; sort ties by preorder for
+	// deterministic output and truncate to n.
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Cost != results[j].Cost {
+			return results[i].Cost < results[j].Cost
+		}
+		return results[i].Root < results[j].Root
+	})
+	if n > 0 && n < len(results) {
+		results = results[:n]
+	}
+	return results, stats, nil
+}

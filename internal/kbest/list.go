@@ -1,0 +1,144 @@
+// Package kbest implements the schema-driven query evaluation of Section 7:
+// the adapted algorithm primary that finds the best k second-level queries
+// against the schema (Section 7.2), algorithm secondary that executes a
+// second-level query against the data tree through the path-dependent
+// secondary index (Section 7.3, Figure 5), and the incremental algorithm for
+// the best-n-pairs problem (Section 7.4, Figure 6).
+//
+// List entries here differ from the direct evaluation: an entry represents
+// one concrete embedding image ("skeleton") in the schema — the paper's
+// extension of entries by a label and a pointer set. Because a skeleton
+// fully determines which query leaves matched, each entry carries a single
+// cost plus a HasLeaf flag; a segment (the run of entries for one schema
+// node, sorted by cost) keeps both the k cheapest entries overall and the k
+// cheapest with a leaf match, which preserves exactness under the
+// keep-one-leaf rule of Section 6.5.
+package kbest
+
+import (
+	"sort"
+
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+)
+
+// Entry represents one embedding image of a query subtree in the schema: a
+// second-level query fragment. Pre/Bound/PathCost/InsCost describe the
+// matched schema node; Label is the matched label (after renaming); Pointers
+// reference the skeleton children (Section 7.2).
+type Entry struct {
+	Class    schema.NodeID
+	Bound    schema.NodeID
+	PathCost cost.Cost
+	InsCost  cost.Cost
+
+	// Cost is the embedding cost of this skeleton.
+	Cost cost.Cost
+	// HasLeaf reports whether the skeleton contains at least one
+	// query-leaf match (false when every leaf below was deleted).
+	HasLeaf bool
+
+	Label string
+	Kind  cost.Kind
+
+	// Pointers are the skeleton children; a deleted leaf leaves no
+	// pointer. Entries are shared, never mutated after creation.
+	Pointers []*Entry
+
+	// seq breaks cost ties deterministically (creation order).
+	seq int
+}
+
+// List is a sequence of entries sorted by ascending Class; entries with the
+// same Class form a segment sorted by ascending (Cost, seq).
+type List struct {
+	entries []*Entry
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entries exposes the raw slice; callers must not modify it.
+func (l *List) Entries() []*Entry { return l.entries }
+
+var emptyList = &List{}
+
+// distance returns the summed insert costs of the classes strictly between
+// the ancestor a and its descendant d, which by Section 7.3 equals the
+// distance between any pair of their instances.
+func distance(a, d *Entry) cost.Cost {
+	return d.PathCost - a.PathCost - a.InsCost
+}
+
+// isAncestor reports whether a is a proper ancestor of d in the schema.
+func isAncestor(a, d *Entry) bool {
+	return a.Class < d.Class && a.Bound >= d.Class
+}
+
+// segLess orders entries within a segment.
+func segLess(a, b *Entry) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.seq < b.seq
+}
+
+// capSegment sorts a segment and keeps at most the k cheapest entries plus
+// the k cheapest entries with a leaf match. Entries with infinite cost are
+// dropped.
+func capSegment(seg []*Entry, k int) []*Entry {
+	sort.Slice(seg, func(i, j int) bool { return segLess(seg[i], seg[j]) })
+	for len(seg) > 0 && cost.IsInf(seg[len(seg)-1].Cost) {
+		seg = seg[:len(seg)-1]
+	}
+	if len(seg) <= k {
+		return seg
+	}
+	out := seg[:k:k]
+	leafKept := 0
+	for _, e := range out {
+		if e.HasLeaf {
+			leafKept++
+		}
+	}
+	for _, e := range seg[k:] {
+		if leafKept >= k {
+			break
+		}
+		if e.HasLeaf {
+			out = append(out, e)
+			leafKept++
+		}
+	}
+	return out
+}
+
+// appendSegments rebuilds a list from per-class segments in class order.
+type listBuilder struct {
+	entries []*Entry
+}
+
+func (b *listBuilder) addSegment(seg []*Entry) {
+	b.entries = append(b.entries, seg...)
+}
+
+func (b *listBuilder) list() *List {
+	if len(b.entries) == 0 {
+		return emptyList
+	}
+	return &List{entries: b.entries}
+}
+
+// segments iterates the segments of a list: it calls fn with each run of
+// entries sharing one Class.
+func segments(l *List, fn func(class schema.NodeID, seg []*Entry)) {
+	i := 0
+	for i < len(l.entries) {
+		j := i + 1
+		for j < len(l.entries) && l.entries[j].Class == l.entries[i].Class {
+			j++
+		}
+		fn(l.entries[i].Class, l.entries[i:j])
+		i = j
+	}
+}

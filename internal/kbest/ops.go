@@ -1,0 +1,263 @@
+package kbest
+
+import (
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+)
+
+// The adapted list operations of Section 7.2. All operations produce new
+// lists; entries are immutable once created, so pointer sets may be shared
+// freely.
+
+// bump returns a copy of l with c added to every entry's cost. Pointer sets
+// are shared: the skeleton does not change, only its accumulated cost.
+func (en *Engine) bump(l *List, c cost.Cost) *List {
+	if c == 0 || l.Len() == 0 {
+		return l
+	}
+	out := make([]*Entry, len(l.entries))
+	for i, e := range l.entries {
+		ne := *e
+		ne.Cost = cost.Add(ne.Cost, c)
+		ne.seq = en.nextSeq()
+		out[i] = &ne
+	}
+	return &List{entries: out}
+}
+
+// merge combines the match lists of a label and one of its renamings
+// (Section 6.4 adapted): entries from lR pay cRen. In the compacted schema
+// two terms can share a text class, so same-class segments are merged and
+// capped.
+func (en *Engine) merge(lL, lR *List, cRen cost.Cost) *List {
+	if lR.Len() == 0 {
+		return lL
+	}
+	lR = en.bump(lR, cRen)
+	var b listBuilder
+	i, j := 0, 0
+	for i < len(lL.entries) || j < len(lR.entries) {
+		var class schema.NodeID
+		switch {
+		case i >= len(lL.entries):
+			class = lR.entries[j].Class
+		case j >= len(lR.entries):
+			class = lL.entries[i].Class
+		case lL.entries[i].Class <= lR.entries[j].Class:
+			class = lL.entries[i].Class
+		default:
+			class = lR.entries[j].Class
+		}
+		var seg []*Entry
+		for i < len(lL.entries) && lL.entries[i].Class == class {
+			seg = append(seg, lL.entries[i])
+			i++
+		}
+		for j < len(lR.entries) && lR.entries[j].Class == class {
+			seg = append(seg, lR.entries[j])
+			j++
+		}
+		b.addSegment(capSegment(seg, en.k))
+	}
+	return b.list()
+}
+
+// join returns, for every ancestor in lA, up to k copies pointing to its k
+// cheapest descendants in lD (Section 7.2, function join). lA is always a
+// plain fetch list: one entry per schema node with cost zero.
+func (en *Engine) join(lA, lD *List, cEdge cost.Cost) *List {
+	return en.joinInternal(lA, lD, cEdge, cost.Inf)
+}
+
+// outerjoin additionally offers the deletion of the leaf at cost cDel with
+// an empty pointer set (Section 7.2, function outerjoin).
+func (en *Engine) outerjoin(lA, lD *List, cEdge, cDel cost.Cost) *List {
+	return en.joinInternal(lA, lD, cEdge, cDel)
+}
+
+func (en *Engine) joinInternal(lA, lD *List, cEdge, cDel cost.Cost) *List {
+	var b listBuilder
+	j := 0
+	for _, a := range lA.entries {
+		// Advance to the first possible descendant. Ancestors in a fetch
+		// list are unique per class and ascending, but may nest; a nested
+		// ancestor starts after its parent, so j never needs to back up
+		// past unmatched descendants — still, nested intervals overlap,
+		// so scan from the first entry after a.Class each time.
+		for j < len(lD.entries) && lD.entries[j].Class <= a.Class {
+			j++
+		}
+		var seg []*Entry
+		for x := j; x < len(lD.entries) && lD.entries[x].Class <= a.Bound; x++ {
+			d := lD.entries[x]
+			if !isAncestor(a, d) {
+				continue
+			}
+			ne := *a
+			ne.Cost = cost.Add(cost.Add(distance(a, d), d.Cost), cEdge)
+			ne.HasLeaf = d.HasLeaf
+			ne.Pointers = []*Entry{d}
+			ne.seq = en.nextSeq()
+			seg = append(seg, &ne)
+		}
+		if !cost.IsInf(cDel) {
+			ne := *a
+			ne.Cost = cost.Add(cDel, cEdge)
+			ne.HasLeaf = false
+			ne.Pointers = nil
+			ne.seq = en.nextSeq()
+			seg = append(seg, &ne)
+		}
+		b.addSegment(capSegment(seg, en.k))
+	}
+	return b.list()
+}
+
+// intersect combines same-class segments of both operands: every pair of
+// skeletons merges into one whose pointer set is the union (Section 7.2,
+// function intersect). The k best pairs per segment survive.
+func (en *Engine) intersect(lL, lR *List, cEdge cost.Cost) *List {
+	var b listBuilder
+	i := 0
+	segments(lR, func(class schema.NodeID, segR []*Entry) {
+		for i < len(lL.entries) && lL.entries[i].Class < class {
+			i++
+		}
+		if i >= len(lL.entries) || lL.entries[i].Class != class {
+			return
+		}
+		start := i
+		for i < len(lL.entries) && lL.entries[i].Class == class {
+			i++
+		}
+		segL := lL.entries[start:i]
+		var seg []*Entry
+		if len(segL)*len(segR) <= 4*en.k {
+			// Small grid: enumerating every pair beats heap selection.
+			seg = make([]*Entry, 0, len(segL)*len(segR))
+			for _, eL := range segL {
+				for _, eR := range segR {
+					seg = append(seg, en.pairEntry(eL, eR, cEdge))
+				}
+			}
+		} else {
+			// Large grid: select the k cheapest pairs plus the k cheapest
+			// pairs with a leaf match (at least one leaf-having side) with
+			// frontier heaps instead of materializing |SL|·|SR| entries.
+			sortedL, sortedR := sortedByCost(segL), sortedByCost(segR)
+			pairs := kCheapestPairs(sortedL, sortedR, en.k)
+			pairs = append(pairs, kCheapestPairs(filterLeaf(sortedL), sortedR, en.k)...)
+			pairs = append(pairs, kCheapestPairs(sortedL, filterLeaf(sortedR), en.k)...)
+			seen := make(map[[2]*Entry]bool, len(pairs))
+			seg = make([]*Entry, 0, len(pairs))
+			for _, p := range pairs {
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				seg = append(seg, en.pairEntry(p[0], p[1], cEdge))
+			}
+		}
+		b.addSegment(capSegment(seg, en.k))
+	})
+	return b.list()
+}
+
+// pairEntry materializes the combination of two same-class skeletons
+// (Section 7.2, function intersect): summed costs, unioned pointer sets.
+func (en *Engine) pairEntry(eL, eR *Entry, cEdge cost.Cost) *Entry {
+	ne := *eL
+	ne.Cost = cost.Add(cost.Add(eL.Cost, eR.Cost), cEdge)
+	ne.HasLeaf = eL.HasLeaf || eR.HasLeaf
+	ne.Pointers = unionPointers(eL.Pointers, eR.Pointers)
+	ne.seq = en.nextSeq()
+	return &ne
+}
+
+func unionPointers(a, b []*Entry) []*Entry {
+	out := make([]*Entry, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// union merges the segments of both operands per class, keeping the best k
+// (Section 7.2, function union). Unlike the direct evaluation, entries are
+// alternatives (distinct skeletons) and are never cost-combined.
+func (en *Engine) union(lL, lR *List, cEdge cost.Cost) *List {
+	var b listBuilder
+	i, j := 0, 0
+	for i < len(lL.entries) || j < len(lR.entries) {
+		var class schema.NodeID
+		switch {
+		case i >= len(lL.entries):
+			class = lR.entries[j].Class
+		case j >= len(lR.entries):
+			class = lL.entries[i].Class
+		case lL.entries[i].Class <= lR.entries[j].Class:
+			class = lL.entries[i].Class
+		default:
+			class = lR.entries[j].Class
+		}
+		var seg []*Entry
+		for i < len(lL.entries) && lL.entries[i].Class == class {
+			seg = append(seg, lL.entries[i])
+			i++
+		}
+		for j < len(lR.entries) && lR.entries[j].Class == class {
+			seg = append(seg, lR.entries[j])
+			j++
+		}
+		b.addSegment(capSegment(seg, en.k))
+	}
+	if cEdge != 0 {
+		return en.bump(b.list(), cEdge)
+	}
+	return b.list()
+}
+
+// fetch initializes a list from the schema-level index: one zero-cost entry
+// per matching schema class (Section 7.2's fetch against the schema).
+func (en *Engine) fetch(label string, kind cost.Kind) *List {
+	key := fetchKey{label, kind}
+	if l, ok := en.fetchCache[key]; ok {
+		return l
+	}
+	var classes []schema.NodeID
+	if kind == cost.Text {
+		classes = en.sch.TextClasses(label)
+	} else {
+		classes = en.sch.StructClasses(label)
+	}
+	en.stats.Fetches++
+	entries := make([]*Entry, len(classes))
+	for i, c := range classes {
+		entries[i] = &Entry{
+			Class:    c,
+			Bound:    en.sch.Bound(c),
+			PathCost: en.sch.PathCost(c),
+			InsCost:  en.sch.InsCost(c),
+			Cost:     0,
+			HasLeaf:  false,
+			Label:    label,
+			Kind:     kind,
+			seq:      en.nextSeq(),
+		}
+	}
+	l := &List{entries: entries}
+	en.fetchCache[key] = l
+	return l
+}
+
+// markLeaf returns a copy of l with HasLeaf set: the entries are query-leaf
+// matches.
+func (en *Engine) markLeaf(l *List) *List {
+	out := make([]*Entry, len(l.entries))
+	for i, e := range l.entries {
+		ne := *e
+		ne.HasLeaf = true
+		ne.seq = en.nextSeq()
+		out[i] = &ne
+	}
+	return &List{entries: out}
+}

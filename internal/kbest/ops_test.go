@@ -1,0 +1,246 @@
+package kbest
+
+import (
+	"strings"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// opsSchema builds a small schema with known class numbers:
+//
+//	0 <root>
+//	1   lib
+//	2     cd        (two instances)
+//	3       title
+//	4         #text (piano, concerto / sonata)
+//	5     mc
+//	6       title
+//	7         #text (concerto)
+func opsSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	tree, err := xmltree.ParseXML(`
+<lib>
+  <cd><title>piano concerto</title></cd>
+  <cd><title>sonata</title></cd>
+  <mc><title>concerto</title></mc>
+</lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.Build(tree)
+	if err := sch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func opsEngine(t *testing.T, k int) *Engine {
+	t.Helper()
+	return NewEngine(opsSchema(t), k)
+}
+
+func classesOf(l *List) []schema.NodeID {
+	out := make([]schema.NodeID, l.Len())
+	for i, e := range l.entries {
+		out[i] = e.Class
+	}
+	return out
+}
+
+func TestFetchSchemaClasses(t *testing.T) {
+	en := opsEngine(t, 4)
+	cd := en.fetch("cd", cost.Struct)
+	if cd.Len() != 1 {
+		t.Fatalf("cd classes = %v", classesOf(cd))
+	}
+	title := en.fetch("title", cost.Struct)
+	if title.Len() != 2 {
+		t.Fatalf("title classes = %v", classesOf(title))
+	}
+	concerto := en.fetch("concerto", cost.Text)
+	if concerto.Len() != 2 { // cd/title/#text and mc/title/#text
+		t.Fatalf("concerto classes = %v", classesOf(concerto))
+	}
+	piano := en.fetch("piano", cost.Text)
+	if piano.Len() != 1 {
+		t.Fatalf("piano classes = %v", classesOf(piano))
+	}
+	// Fetch is cached: same list identity.
+	if en.fetch("cd", cost.Struct) != cd {
+		t.Error("fetch not cached")
+	}
+	if missing := en.fetch("zzz", cost.Text); missing.Len() != 0 {
+		t.Error("missing label returned classes")
+	}
+}
+
+func TestMergeSharedTextClass(t *testing.T) {
+	en := opsEngine(t, 4)
+	// piano and concerto share the cd/title text class: the merged list
+	// holds a two-entry segment there plus concerto's mc class.
+	l := en.merge(en.markLeaf(en.fetch("concerto", cost.Text)),
+		en.markLeaf(en.fetch("piano", cost.Text)), 3)
+	if l.Len() != 3 {
+		t.Fatalf("merged = %v", classesOf(l))
+	}
+	segs := 0
+	segments(l, func(class schema.NodeID, seg []*Entry) {
+		segs++
+		if len(seg) == 2 {
+			// Within the shared segment the cheaper (original concerto,
+			// cost 0) precedes the renamed piano (cost 3).
+			if seg[0].Cost != 0 || seg[1].Cost != 3 {
+				t.Errorf("shared segment costs = %d, %d", seg[0].Cost, seg[1].Cost)
+			}
+			if seg[1].Label != "piano" {
+				t.Errorf("renamed entry label = %q", seg[1].Label)
+			}
+		}
+	})
+	if segs != 2 {
+		t.Errorf("segments = %d, want 2", segs)
+	}
+}
+
+func TestJoinBuildsPointers(t *testing.T) {
+	en := opsEngine(t, 4)
+	titles := en.fetch("title", cost.Struct)
+	terms := en.markLeaf(en.fetch("concerto", cost.Text))
+	j := en.join(titles, terms, 0)
+	if j.Len() != 2 {
+		t.Fatalf("join = %v", classesOf(j))
+	}
+	for _, e := range j.entries {
+		if len(e.Pointers) != 1 {
+			t.Fatalf("entry without pointer: %+v", e)
+		}
+		if e.Pointers[0].Label != "concerto" {
+			t.Errorf("pointer label = %q", e.Pointers[0].Label)
+		}
+		if !e.HasLeaf {
+			t.Error("leaf flag lost through join")
+		}
+		// Text classes are direct children of title classes: distance 0.
+		if e.Cost != 0 {
+			t.Errorf("join cost = %d", e.Cost)
+		}
+	}
+}
+
+func TestOuterjoinAddsDeletionAlternative(t *testing.T) {
+	en := opsEngine(t, 4)
+	titles := en.fetch("title", cost.Struct)
+	piano := en.markLeaf(en.fetch("piano", cost.Text))
+	o := en.outerjoin(titles, piano, 0, 6)
+	// cd/title: match (cost 0) + deletion (cost 6); mc/title: deletion only.
+	var sizes []int
+	segments(o, func(class schema.NodeID, seg []*Entry) {
+		sizes = append(sizes, len(seg))
+	})
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 1 {
+		t.Fatalf("segment sizes = %v", sizes)
+	}
+	for _, e := range o.entries {
+		if len(e.Pointers) == 0 && (e.HasLeaf || e.Cost != 6) {
+			t.Errorf("deletion entry = %+v", e)
+		}
+		if len(e.Pointers) == 1 && (!e.HasLeaf || e.Cost != 0) {
+			t.Errorf("match entry = %+v", e)
+		}
+	}
+}
+
+func TestIntersectUnionsPointers(t *testing.T) {
+	en := opsEngine(t, 4)
+	titles := en.fetch("title", cost.Struct)
+	piano := en.join(titles, en.markLeaf(en.fetch("piano", cost.Text)), 0)
+	concerto := en.join(titles, en.markLeaf(en.fetch("concerto", cost.Text)), 0)
+	x := en.intersect(piano, concerto, 0)
+	// Only the cd/title class contains both terms.
+	if x.Len() != 1 {
+		t.Fatalf("intersect = %v", classesOf(x))
+	}
+	e := x.entries[0]
+	if len(e.Pointers) != 2 {
+		t.Fatalf("pointer set = %v", e.Pointers)
+	}
+	labels := []string{e.Pointers[0].Label, e.Pointers[1].Label}
+	joined := strings.Join(labels, ",")
+	if joined != "piano,concerto" && joined != "concerto,piano" {
+		t.Errorf("pointer labels = %v", labels)
+	}
+}
+
+func TestUnionKeepsAlternatives(t *testing.T) {
+	en := opsEngine(t, 4)
+	titles := en.fetch("title", cost.Struct)
+	piano := en.join(titles, en.markLeaf(en.fetch("piano", cost.Text)), 0)
+	sonata := en.join(titles, en.markLeaf(en.fetch("sonata", cost.Text)), 0)
+	u := en.union(piano, en.bump(sonata, 2), 0)
+	// cd/title holds both alternatives as separate skeletons.
+	found := false
+	segments(u, func(class schema.NodeID, seg []*Entry) {
+		if len(seg) == 2 {
+			found = true
+			if seg[0].Cost != 0 || seg[1].Cost != 2 {
+				t.Errorf("union segment costs = %d, %d", seg[0].Cost, seg[1].Cost)
+			}
+		}
+	})
+	if !found {
+		t.Error("no two-alternative segment in union")
+	}
+}
+
+func TestCapSegment(t *testing.T) {
+	en := opsEngine(t, 2)
+	mk := func(c int64, leaf bool) *Entry {
+		return &Entry{Cost: cost.Cost(c), HasLeaf: leaf, seq: en.nextSeq()}
+	}
+	seg := []*Entry{mk(5, false), mk(1, false), mk(3, true), mk(2, false), mk(9, true), mk(7, true)}
+	capped := capSegment(seg, 2)
+	// 2 cheapest: 1, 2. 2 cheapest leaf-having: 3, 7 (3 not in the first
+	// two, so appended; 9 exceeds the leaf quota).
+	if len(capped) != 4 {
+		t.Fatalf("capped = %d entries", len(capped))
+	}
+	if capped[0].Cost != 1 || capped[1].Cost != 2 {
+		t.Errorf("cheapest = %d, %d", capped[0].Cost, capped[1].Cost)
+	}
+	leafCount := 0
+	for _, e := range capped {
+		if e.HasLeaf {
+			leafCount++
+		}
+	}
+	if leafCount != 2 {
+		t.Errorf("leaf entries kept = %d, want 2", leafCount)
+	}
+	// Infinite-cost entries vanish.
+	capped2 := capSegment([]*Entry{mk(int64(cost.Inf), true), mk(1, true)}, 2)
+	if len(capped2) != 1 {
+		t.Errorf("infinite entry survived: %v", capped2)
+	}
+}
+
+func TestSegmentsIteration(t *testing.T) {
+	en := opsEngine(t, 4)
+	l := en.fetch("title", cost.Struct)
+	var classes []schema.NodeID
+	segments(l, func(class schema.NodeID, seg []*Entry) {
+		classes = append(classes, class)
+		if len(seg) != 1 {
+			t.Errorf("fetch segment size = %d", len(seg))
+		}
+	})
+	if len(classes) != 2 || classes[0] >= classes[1] {
+		t.Errorf("segment classes = %v", classes)
+	}
+	// Empty list yields no segments.
+	segments(emptyList, func(schema.NodeID, []*Entry) {
+		t.Error("segment on empty list")
+	})
+}

@@ -1,0 +1,91 @@
+package kbest
+
+import (
+	"container/heap"
+	"sort"
+
+	"approxql/internal/cost"
+)
+
+// kCheapestPairs returns up to k pairs (x, y) with x from a and y from b
+// minimizing x.Cost + y.Cost, in ascending cost order. Both inputs must be
+// sorted by ascending (Cost, seq). It runs the classic frontier-heap
+// selection in O(k log k) instead of enumerating the full |a|·|b| grid,
+// which keeps the adapted intersect within the paper's per-segment
+// k²·log k bound even for large k.
+func kCheapestPairs(a, b []*Entry, k int) [][2]*Entry {
+	if len(a) == 0 || len(b) == 0 || k <= 0 {
+		return nil
+	}
+	h := &pairHeap{}
+	visited := make(map[[2]int32]bool)
+	push := func(i, j int) {
+		key := [2]int32{int32(i), int32(j)}
+		if i >= len(a) || j >= len(b) || visited[key] {
+			return
+		}
+		visited[key] = true
+		heap.Push(h, pairItem{
+			cost: cost.Add(a[i].Cost, b[j].Cost),
+			i:    i,
+			j:    j,
+		})
+	}
+	push(0, 0)
+	out := make([][2]*Entry, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		top := heap.Pop(h).(pairItem)
+		out = append(out, [2]*Entry{a[top.i], b[top.j]})
+		push(top.i+1, top.j)
+		push(top.i, top.j+1)
+	}
+	return out
+}
+
+type pairItem struct {
+	cost cost.Cost
+	i, j int
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(x, y int) bool {
+	if h[x].cost != h[y].cost {
+		return h[x].cost < h[y].cost
+	}
+	if h[x].i != h[y].i {
+		return h[x].i < h[y].i
+	}
+	return h[x].j < h[y].j
+}
+func (h pairHeap) Swap(x, y int) { h[x], h[y] = h[y], h[x] }
+func (h *pairHeap) Push(v interface{}) {
+	*h = append(*h, v.(pairItem))
+}
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// sortedByCost returns a copy of seg ordered by (Cost, seq).
+func sortedByCost(seg []*Entry) []*Entry {
+	out := make([]*Entry, len(seg))
+	copy(out, seg)
+	sort.Slice(out, func(i, j int) bool { return segLess(out[i], out[j]) })
+	return out
+}
+
+// filterLeaf returns the entries with a leaf match, preserving order.
+func filterLeaf(seg []*Entry) []*Entry {
+	var out []*Entry
+	for _, e := range seg {
+		if e.HasLeaf {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package kbest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"approxql/internal/cost"
+)
+
+func entriesWithCosts(costs []int, leaf []bool) []*Entry {
+	out := make([]*Entry, len(costs))
+	for i, c := range costs {
+		hasLeaf := false
+		if leaf != nil {
+			hasLeaf = leaf[i]
+		}
+		out[i] = &Entry{Cost: cost.Cost(c), HasLeaf: hasLeaf, seq: i}
+	}
+	sort.Slice(out, func(i, j int) bool { return segLess(out[i], out[j]) })
+	return out
+}
+
+func TestKCheapestPairsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := 1+rng.Intn(8), 1+rng.Intn(8)
+		ca := make([]int, na)
+		cb := make([]int, nb)
+		for i := range ca {
+			ca[i] = rng.Intn(20)
+		}
+		for i := range cb {
+			cb[i] = rng.Intn(20)
+		}
+		a := entriesWithCosts(ca, nil)
+		b := entriesWithCosts(cb, nil)
+		k := 1 + rng.Intn(na*nb+3)
+
+		got := kCheapestPairs(a, b, k)
+
+		// Reference: enumerate and sort all pair costs.
+		var all []cost.Cost
+		for _, x := range a {
+			for _, y := range b {
+				all = append(all, x.Cost+y.Cost)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d pairs, want %d", trial, len(got), want)
+		}
+		for i, p := range got {
+			if p[0].Cost+p[1].Cost != all[i] {
+				t.Fatalf("trial %d: pair %d has cost %d, want %d",
+					trial, i, p[0].Cost+p[1].Cost, all[i])
+			}
+		}
+	}
+}
+
+func TestKCheapestPairsEdgeCases(t *testing.T) {
+	a := entriesWithCosts([]int{1, 2}, nil)
+	if got := kCheapestPairs(nil, a, 3); got != nil {
+		t.Errorf("empty a: %v", got)
+	}
+	if got := kCheapestPairs(a, nil, 3); got != nil {
+		t.Errorf("empty b: %v", got)
+	}
+	if got := kCheapestPairs(a, a, 0); got != nil {
+		t.Errorf("k=0: %v", got)
+	}
+	// k larger than the grid returns every pair exactly once.
+	got := kCheapestPairs(a, a, 100)
+	if len(got) != 4 {
+		t.Errorf("full grid: %d pairs, want 4", len(got))
+	}
+	seen := make(map[[2]*Entry]bool)
+	for _, p := range got {
+		if seen[p] {
+			t.Error("duplicate pair emitted")
+		}
+		seen[p] = true
+	}
+}
+
+func TestFilterLeaf(t *testing.T) {
+	seg := entriesWithCosts([]int{3, 1, 2}, []bool{true, false, true})
+	leaf := filterLeaf(seg)
+	if len(leaf) != 2 {
+		t.Fatalf("filterLeaf = %d entries", len(leaf))
+	}
+	for _, e := range leaf {
+		if !e.HasLeaf {
+			t.Error("non-leaf entry passed the filter")
+		}
+	}
+}

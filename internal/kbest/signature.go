@@ -1,0 +1,65 @@
+package kbest
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Signature renders a second-level query as a canonical string: the matched
+// schema class, the matched label, and the recursively signed pointer set in
+// sorted order. Two entries with equal signatures retrieve identical result
+// sets, so the incremental driver uses signatures to skip already-executed
+// second-level queries across rounds.
+func Signature(e *Entry) string {
+	var b strings.Builder
+	writeSignature(&b, e)
+	return b.String()
+}
+
+func writeSignature(b *strings.Builder, e *Entry) {
+	b.WriteString(strconv.Itoa(int(e.Class)))
+	b.WriteByte('#')
+	b.WriteString(e.Label)
+	if len(e.Pointers) == 0 {
+		return
+	}
+	parts := make([]string, len(e.Pointers))
+	for i, p := range e.Pointers {
+		parts[i] = Signature(p)
+	}
+	sort.Strings(parts)
+	b.WriteByte('(')
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p)
+	}
+	b.WriteByte(')')
+}
+
+// Render formats a second-level query for display and debugging, e.g.
+// "cd@3[title@5[#text@6=piano]]".
+func Render(e *Entry) string {
+	var b strings.Builder
+	renderEntry(&b, e)
+	return b.String()
+}
+
+func renderEntry(b *strings.Builder, e *Entry) {
+	b.WriteString(e.Label)
+	b.WriteByte('@')
+	b.WriteString(strconv.Itoa(int(e.Class)))
+	if len(e.Pointers) == 0 {
+		return
+	}
+	b.WriteByte('[')
+	for i, p := range e.Pointers {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		renderEntry(b, p)
+	}
+	b.WriteByte(']')
+}

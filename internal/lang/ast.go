@@ -1,0 +1,164 @@
+// Package lang implements the approXQL query language (Section 3 of the
+// paper): parsing, the abstract syntax tree, the separated representation
+// (the DNF set of conjunctive queries), and the expanded representation that
+// drives the evaluation algorithms (Section 6.1).
+//
+// The syntactical subset of approXQL used in the paper consists of name
+// selectors, text selectors, the containment operator "[]", and the Boolean
+// operators "and" and "or":
+//
+//	cd[title["piano" and "concerto"] and composer["rachmaninov"]]
+package lang
+
+import (
+	"strings"
+
+	"approxql/internal/cost"
+)
+
+// Expr is a node of the abstract syntax tree. The concrete types are
+// *Selector, *Text, *And, and *Or.
+type Expr interface {
+	// String renders the expression in approXQL syntax.
+	String() string
+	exprNode()
+}
+
+// Selector is a name selector with an optional containment expression:
+// "cd[...]" or a bare "cd".
+type Selector struct {
+	Name  string
+	Child Expr // nil for a bare selector
+}
+
+// Text is a text selector: a single normalized word. The parser splits
+// multi-word literals like "piano concerto" into an And of single words.
+type Text struct {
+	Term string
+}
+
+// And is the conjunction of two expressions.
+type And struct {
+	Left, Right Expr
+}
+
+// Or is the disjunction of two expressions.
+type Or struct {
+	Left, Right Expr
+}
+
+func (*Selector) exprNode() {}
+func (*Text) exprNode()     {}
+func (*And) exprNode()      {}
+func (*Or) exprNode()       {}
+
+// String renders the selector in approXQL syntax.
+func (s *Selector) String() string {
+	if s.Child == nil {
+		return s.Name
+	}
+	return s.Name + "[" + s.Child.String() + "]"
+}
+
+// String renders the text selector quoted.
+func (t *Text) String() string { return `"` + t.Term + `"` }
+
+// String renders the conjunction; operands that are disjunctions are
+// parenthesized because "and" binds tighter than "or".
+func (a *And) String() string {
+	return andOperand(a.Left) + " and " + andOperand(a.Right)
+}
+
+func andOperand(e Expr) string {
+	if _, isOr := e.(*Or); isOr {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// String renders the disjunction.
+func (o *Or) String() string {
+	return o.Left.String() + " or " + o.Right.String()
+}
+
+// Query is a parsed approXQL query. The root is always a name selector: it
+// defines the scope of the search (Section 2).
+type Query struct {
+	Root *Selector
+}
+
+// String renders the query in approXQL syntax.
+func (q *Query) String() string { return q.Root.String() }
+
+// Selectors returns the number of selectors (name and text) in the query,
+// the "n" of the paper's complexity analysis.
+func (q *Query) Selectors() int {
+	return countSelectors(q.Root)
+}
+
+func countSelectors(e Expr) int {
+	switch n := e.(type) {
+	case *Selector:
+		if n.Child == nil {
+			return 1
+		}
+		return 1 + countSelectors(n.Child)
+	case *Text:
+		return 1
+	case *And:
+		return countSelectors(n.Left) + countSelectors(n.Right)
+	case *Or:
+		return countSelectors(n.Left) + countSelectors(n.Right)
+	}
+	return 0
+}
+
+// Labels returns every distinct (label, kind) pair mentioned by the query,
+// useful for assembling per-query cost tables.
+func (q *Query) Labels() []Label {
+	seen := make(map[Label]bool)
+	var out []Label
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *Selector:
+			l := Label{Name: n.Name, Kind: cost.Struct}
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+			if n.Child != nil {
+				walk(n.Child)
+			}
+		case *Text:
+			l := Label{Name: n.Term, Kind: cost.Text}
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		case *And:
+			walk(n.Left)
+			walk(n.Right)
+		case *Or:
+			walk(n.Left)
+			walk(n.Right)
+		}
+	}
+	walk(q.Root)
+	return out
+}
+
+// Label is a (label, kind) pair.
+type Label struct {
+	Name string
+	Kind cost.Kind
+}
+
+// String returns "kind:name".
+func (l Label) String() string {
+	var b strings.Builder
+	b.WriteString(l.Kind.String())
+	b.WriteByte(':')
+	b.WriteString(l.Name)
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"approxql/internal/cost"
+)
+
+// RepType is the representation type of an expanded-query node
+// (Section 6.1): node, leaf, and, or.
+type RepType uint8
+
+const (
+	// RepNode represents an inner name selector and all its renamings.
+	RepNode RepType = iota
+	// RepLeaf represents a query leaf (a text selector or a childless
+	// name selector) and all its renamings; it carries the delete cost.
+	RepLeaf
+	// RepAnd represents an "and" operator.
+	RepAnd
+	// RepOr represents an "or" operator: either a user-written "or", or a
+	// deletion bridge inserted for a deletable inner node, whose right
+	// edge carries the delete cost.
+	RepOr
+)
+
+// String returns the lowercase name of the representation type.
+func (r RepType) String() string {
+	switch r {
+	case RepNode:
+		return "node"
+	case RepLeaf:
+		return "leaf"
+	case RepAnd:
+		return "and"
+	case RepOr:
+		return "or"
+	}
+	return "invalid"
+}
+
+// XNode is a node of the expanded query representation. The expanded
+// representation is a DAG, not a tree: the right child of a deletion bridge
+// shares the expansion of the deleted node's content, which enables the
+// dynamic programming of the full evaluation algorithm (Section 6.5).
+type XNode struct {
+	// ID is dense and unique within one Expanded, for memo tables.
+	ID  int
+	Rep RepType
+
+	// Label, Kind, and Renamings are set for RepNode and RepLeaf.
+	Label     string
+	Kind      cost.Kind
+	Renamings []cost.Renaming
+
+	// DelCost is the cost of deleting a RepLeaf (cost.Inf when the leaf
+	// must not be deleted).
+	DelCost cost.Cost
+
+	// EdgeCost is the cost annotated on the right edge of a RepOr: the
+	// delete cost of the bridged node, or 0 for a user-written "or".
+	EdgeCost cost.Cost
+
+	// Left and Right are the children of RepAnd and RepOr.
+	Left, Right *XNode
+
+	// Child is the expansion of a RepNode's containment expression.
+	Child *XNode
+}
+
+// Expanded is the expanded representation of a query under a cost model.
+type Expanded struct {
+	Root  *XNode
+	Nodes []*XNode // all nodes, indexed by ID
+}
+
+// Len returns the number of nodes in the expanded representation.
+func (x *Expanded) Len() int { return len(x.Nodes) }
+
+// Expand builds the expanded representation of q under model (Section 6.1):
+// renamings and delete costs are drawn from the model; every deletable inner
+// node gets an "or" bridge whose right edge carries its delete cost and
+// whose right child shares the node's content expansion.
+func Expand(q *Query, model *cost.Model) *Expanded {
+	x := &Expanded{}
+	x.Root = x.expandSelector(q.Root, model, true)
+	return x
+}
+
+func (x *Expanded) newNode(n XNode) *XNode {
+	n.ID = len(x.Nodes)
+	out := new(XNode)
+	*out = n
+	x.Nodes = append(x.Nodes, out)
+	return out
+}
+
+// expandSelector expands a name selector. The query root never gets a
+// deletion bridge: Definition 3 excludes the root from deletion.
+func (x *Expanded) expandSelector(s *Selector, model *cost.Model, isRoot bool) *XNode {
+	if s.Child == nil {
+		if isRoot {
+			// A bare root selector is a RepNode without content: its
+			// matches are simultaneously root and leaf matches, and the
+			// root must never be deleted.
+			return x.newNode(XNode{
+				Rep:       RepNode,
+				Label:     s.Name,
+				Kind:      cost.Struct,
+				Renamings: model.Renamings(s.Name, cost.Struct),
+			})
+		}
+		// A childless name selector is a query leaf of type struct.
+		return x.newNode(XNode{
+			Rep:       RepLeaf,
+			Label:     s.Name,
+			Kind:      cost.Struct,
+			Renamings: model.Renamings(s.Name, cost.Struct),
+			DelCost:   model.DeleteCost(s.Name, cost.Struct),
+		})
+	}
+	child := x.expandExpr(s.Child, model)
+	node := x.newNode(XNode{
+		Rep:       RepNode,
+		Label:     s.Name,
+		Kind:      cost.Struct,
+		Renamings: model.Renamings(s.Name, cost.Struct),
+		Child:     child,
+	})
+	if isRoot {
+		return node
+	}
+	del := model.DeleteCost(s.Name, cost.Struct)
+	if cost.IsInf(del) {
+		return node
+	}
+	// Deletion bridge: the right edge bypasses the node at its delete
+	// cost; the right child shares the content expansion.
+	return x.newNode(XNode{
+		Rep:      RepOr,
+		EdgeCost: del,
+		Left:     node,
+		Right:    child,
+	})
+}
+
+func (x *Expanded) expandExpr(e Expr, model *cost.Model) *XNode {
+	switch n := e.(type) {
+	case *Text:
+		return x.newNode(XNode{
+			Rep:       RepLeaf,
+			Label:     n.Term,
+			Kind:      cost.Text,
+			Renamings: model.Renamings(n.Term, cost.Text),
+			DelCost:   model.DeleteCost(n.Term, cost.Text),
+		})
+	case *Selector:
+		return x.expandSelector(n, model, false)
+	case *And:
+		left := x.expandExpr(n.Left, model)
+		right := x.expandExpr(n.Right, model)
+		return x.newNode(XNode{Rep: RepAnd, Left: left, Right: right})
+	case *Or:
+		left := x.expandExpr(n.Left, model)
+		right := x.expandExpr(n.Right, model)
+		return x.newNode(XNode{Rep: RepOr, EdgeCost: 0, Left: left, Right: right})
+	}
+	panic(fmt.Sprintf("lang: unknown expression type %T", e))
+}
+
+// CountSemiTransformed returns how many semi-transformed queries the
+// expanded representation includes (the paper's Figure 2 cites 84 for its
+// example): the number of distinct combinations of label choices and
+// deletions derivable by following paths from the root to the leaves. The
+// count uses the simplified rule that every deletable leaf may be deleted
+// independently.
+func (x *Expanded) CountSemiTransformed() int {
+	memo := make([]int, len(x.Nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var count func(u *XNode) int
+	count = func(u *XNode) int {
+		if memo[u.ID] >= 0 {
+			return memo[u.ID]
+		}
+		var c int
+		switch u.Rep {
+		case RepLeaf:
+			c = 1 + len(u.Renamings)
+			if !cost.IsInf(u.DelCost) {
+				c++
+			}
+		case RepNode:
+			c = 1 + len(u.Renamings)
+			if u.Child != nil {
+				c *= count(u.Child)
+			}
+		case RepAnd:
+			c = count(u.Left) * count(u.Right)
+		case RepOr:
+			c = count(u.Left) + count(u.Right)
+		}
+		memo[u.ID] = c
+		return c
+	}
+	return count(x.Root)
+}
+
+// Dump renders the DAG for debugging; shared subtrees appear once with a
+// back-reference marker.
+func (x *Expanded) Dump() string {
+	var b strings.Builder
+	seen := make(map[int]bool)
+	var walk func(u *XNode, depth int)
+	walk = func(u *XNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if seen[u.ID] {
+			fmt.Fprintf(&b, "@%d\n", u.ID)
+			return
+		}
+		seen[u.ID] = true
+		switch u.Rep {
+		case RepLeaf:
+			fmt.Fprintf(&b, "#%d leaf %s:%s", u.ID, u.Kind, u.Label)
+			for _, r := range u.Renamings {
+				fmt.Fprintf(&b, " |%s:%d", r.To, r.Cost)
+			}
+			if !cost.IsInf(u.DelCost) {
+				fmt.Fprintf(&b, " del:%d", u.DelCost)
+			}
+			b.WriteByte('\n')
+		case RepNode:
+			fmt.Fprintf(&b, "#%d node %s:%s", u.ID, u.Kind, u.Label)
+			for _, r := range u.Renamings {
+				fmt.Fprintf(&b, " |%s:%d", r.To, r.Cost)
+			}
+			b.WriteByte('\n')
+			if u.Child != nil {
+				walk(u.Child, depth+1)
+			}
+		case RepAnd:
+			fmt.Fprintf(&b, "#%d and\n", u.ID)
+			walk(u.Left, depth+1)
+			walk(u.Right, depth+1)
+		case RepOr:
+			if u.EdgeCost > 0 {
+				fmt.Fprintf(&b, "#%d or (bridge %d)\n", u.ID, u.EdgeCost)
+			} else {
+				fmt.Fprintf(&b, "#%d or\n", u.ID)
+			}
+			walk(u.Left, depth+1)
+			walk(u.Right, depth+1)
+		}
+	}
+	walk(x.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package lang
+
+import (
+	"testing"
+
+	"approxql/internal/cost"
+)
+
+func expandPaper(t *testing.T) *Expanded {
+	t.Helper()
+	q := MustParse(paperQuery)
+	return Expand(q, cost.PaperExample())
+}
+
+func TestExpandPaperQueryStructure(t *testing.T) {
+	x := expandPaper(t)
+	root := x.Root
+	if root.Rep != RepNode || root.Label != "cd" {
+		t.Fatalf("root = %v %q", root.Rep, root.Label)
+	}
+	// Root renamings: mc (4) then dvd (6), sorted by cost.
+	if len(root.Renamings) != 2 || root.Renamings[0].To != "mc" || root.Renamings[1].To != "dvd" {
+		t.Fatalf("root renamings = %v", root.Renamings)
+	}
+	// Root's child is the and of the track part and the composer part.
+	and := root.Child
+	if and.Rep != RepAnd {
+		t.Fatalf("root child = %v", and.Rep)
+	}
+	// The track node is deletable (cost 3) → or bridge.
+	trackOr := and.Left
+	if trackOr.Rep != RepOr || trackOr.EdgeCost != 3 {
+		t.Fatalf("track bridge = %v edge %d", trackOr.Rep, trackOr.EdgeCost)
+	}
+	trackNode := trackOr.Left
+	if trackNode.Rep != RepNode || trackNode.Label != "track" {
+		t.Fatalf("track node = %v %q", trackNode.Rep, trackNode.Label)
+	}
+	// The bridge's right child must SHARE the track node's content.
+	if trackOr.Right != trackNode.Child {
+		t.Fatal("deletion bridge does not share the deleted node's expansion")
+	}
+	// Inside: title or-bridge with edge cost 5.
+	titleOr := trackNode.Child
+	if titleOr.Rep != RepOr || titleOr.EdgeCost != 5 {
+		t.Fatalf("title bridge = %v edge %d", titleOr.Rep, titleOr.EdgeCost)
+	}
+	titleNode := titleOr.Left
+	if titleNode.Label != "title" || len(titleNode.Renamings) != 1 || titleNode.Renamings[0].To != "category" {
+		t.Fatalf("title node = %q renamings %v", titleNode.Label, titleNode.Renamings)
+	}
+	// The leaves: piano (delete 8, no renames) and concerto (delete 6,
+	// rename sonata 3).
+	leavesAnd := titleNode.Child
+	if leavesAnd.Rep != RepAnd {
+		t.Fatalf("title content = %v", leavesAnd.Rep)
+	}
+	piano, concerto := leavesAnd.Left, leavesAnd.Right
+	if piano.Rep != RepLeaf || piano.Label != "piano" || piano.DelCost != 8 || len(piano.Renamings) != 0 {
+		t.Fatalf("piano leaf = %+v", piano)
+	}
+	if concerto.Rep != RepLeaf || concerto.Label != "concerto" || concerto.DelCost != 6 {
+		t.Fatalf("concerto leaf = %+v", concerto)
+	}
+	if len(concerto.Renamings) != 1 || concerto.Renamings[0].To != "sonata" || concerto.Renamings[0].Cost != 3 {
+		t.Fatalf("concerto renamings = %v", concerto.Renamings)
+	}
+	// Composer part: or bridge with edge cost 7 around the composer node.
+	compOr := and.Right
+	if compOr.Rep != RepOr || compOr.EdgeCost != 7 {
+		t.Fatalf("composer bridge = %v edge %d", compOr.Rep, compOr.EdgeCost)
+	}
+	comp := compOr.Left
+	if comp.Label != "composer" || len(comp.Renamings) != 1 || comp.Renamings[0].To != "performer" {
+		t.Fatalf("composer node = %q %v", comp.Label, comp.Renamings)
+	}
+	// Rachmaninov: no renamings, not deletable.
+	rach := comp.Child
+	if rach.Rep != RepLeaf || rach.Label != "rachmaninov" || !cost.IsInf(rach.DelCost) {
+		t.Fatalf("rachmaninov leaf = %+v", rach)
+	}
+}
+
+func TestExpandRootNeverDeletable(t *testing.T) {
+	m := cost.NewModel()
+	m.SetDelete("cd", cost.Struct, 1)
+	x := Expand(MustParse(`cd[title["x"]]`), m)
+	if x.Root.Rep != RepNode || x.Root.Label != "cd" {
+		t.Fatalf("root got a deletion bridge: %v", x.Root.Rep)
+	}
+	// Bare root: also no deletion, and matches double as leaves.
+	x2 := Expand(MustParse("cd"), m)
+	if x2.Root.Rep != RepNode || x2.Root.Child != nil {
+		t.Fatalf("bare root = %v", x2.Root)
+	}
+}
+
+func TestExpandChildlessInnerSelectorIsLeaf(t *testing.T) {
+	m := cost.NewModel()
+	m.SetDelete("name", cost.Struct, 2)
+	x := Expand(MustParse(`root[a["x"] and name]`), m)
+	and := x.Root.Child
+	leaf := and.Right
+	if leaf.Rep != RepLeaf || leaf.Kind != cost.Struct || leaf.Label != "name" {
+		t.Fatalf("childless selector = %+v", leaf)
+	}
+	if leaf.DelCost != 2 {
+		t.Errorf("DelCost = %d, want 2", leaf.DelCost)
+	}
+}
+
+func TestExpandUserOrHasZeroEdge(t *testing.T) {
+	x := Expand(MustParse(`a["x" or "y"]`), cost.NewModel())
+	or := x.Root.Child
+	if or.Rep != RepOr || or.EdgeCost != 0 {
+		t.Fatalf("user or = %v edge %d", or.Rep, or.EdgeCost)
+	}
+}
+
+func TestExpandNoBridgesUnderDefaultModel(t *testing.T) {
+	// The default model forbids deletion, so no or bridges appear.
+	x := Expand(MustParse(paperQuery), cost.NewModel())
+	for _, n := range x.Nodes {
+		if n.Rep == RepOr {
+			t.Fatalf("unexpected bridge node %d", n.ID)
+		}
+		if n.Rep == RepLeaf && !cost.IsInf(n.DelCost) {
+			t.Fatalf("leaf %q deletable under default model", n.Label)
+		}
+	}
+	// 7 selectors + 2 ands.
+	if x.Len() != 9 {
+		t.Errorf("expanded size = %d, want 9", x.Len())
+	}
+}
+
+func TestCountSemiTransformed(t *testing.T) {
+	// Under the default model no transformations exist: exactly 1
+	// semi-transformed query (the original).
+	x := Expand(MustParse(paperQuery), cost.NewModel())
+	if got := x.CountSemiTransformed(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	// Under the paper model the count multiplies out label choices and
+	// deletions: cd{cd,mc,dvd}=3 × track part × composer part.
+	// track part: or(track × title-part, title-part):
+	//   leaves: piano{keep,del}=2 × concerto{keep,sonata,del}=3 = 6
+	//   title: or(title{title,category}·6, 6) = 12+6 = 18
+	//   track: or(track·18, 18) = 36
+	// composer part: or(composer{composer,performer}·1, 1) = 3
+	// total: 3 × (36 × 3) = 324.
+	xp := expandPaper(t)
+	if got := xp.CountSemiTransformed(); got != 324 {
+		t.Errorf("count = %d, want 324", got)
+	}
+	// A user "or" adds alternatives: x[a or b] has 2.
+	x3 := Expand(MustParse(`x["a" or "b"]`), cost.NewModel())
+	if got := x3.CountSemiTransformed(); got != 2 {
+		t.Errorf("or count = %d, want 2", got)
+	}
+}
+
+func TestExpandIDsAreDense(t *testing.T) {
+	x := expandPaper(t)
+	for i, n := range x.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+	}
+	if x.Dump() == "" {
+		t.Error("Dump is empty")
+	}
+}

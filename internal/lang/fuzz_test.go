@@ -1,0 +1,59 @@
+package lang
+
+import (
+	"testing"
+
+	"approxql/internal/cost"
+)
+
+// FuzzParse checks that the parser never panics and that accepted queries
+// survive a String round trip, expansion, and separation.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperQuery,
+		`cd`,
+		`a[b]`,
+		`a["x" and "y"]`,
+		`a[b["x"] or c["y" and ("z" or "w")]]`,
+		`a[''x" and 'y']`,
+		`a[`,
+		`["x"]`,
+		`a]]]`,
+		`a[b and]`,
+		"a[\"élève\"]",
+		`x[(("a"))]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	model := cost.PaperExample()
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted queries round-trip.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("not a fixpoint: %q vs %q", q.String(), q2.String())
+		}
+		// Expansion and separation never panic; node counts stay sane.
+		x := Expand(q, model)
+		if x.Len() == 0 || x.Root == nil {
+			t.Fatal("empty expansion")
+		}
+		if _, err := Separate(q, 64); err != nil && err != ErrTooManyDisjuncts {
+			// Only the disjunct limit may fail separation of a parsed
+			// query; unwrap to compare.
+			if se, ok := err.(*SyntaxError); ok {
+				t.Fatalf("separation raised a syntax error: %v", se)
+			}
+		}
+		if q.Selectors() <= 0 {
+			t.Fatal("no selectors in a parsed query")
+		}
+	})
+}

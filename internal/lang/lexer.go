@@ -1,0 +1,139 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokString
+	tokAnd
+	tokOr
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokName:
+		return "name"
+	case tokString:
+		return "string"
+	case tokAnd:
+		return `"and"`
+	case tokOr:
+		return `"or"`
+	case tokLBracket:
+		return `"["`
+	case tokRBracket:
+		return `"]"`
+	case tokLParen:
+		return `"("`
+	case tokRParen:
+		return `")"`
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a lexical or grammatical error with its byte offset
+// in the query string.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("approxql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '-' || r == '.' || r == ':'
+}
+
+// next returns the next token. Both single and double quotes delimit text
+// selectors; the paper's typesetting uses ”term" which normalizes to both.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.src[l.pos]; c {
+	case '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '"', '\'':
+		return l.lexString()
+	}
+	r := rune(l.src[l.pos])
+	if isNameRune(r) {
+		end := l.pos
+		for end < len(l.src) && isNameRune(rune(l.src[end])) {
+			end++
+		}
+		word := l.src[l.pos:end]
+		l.pos = end
+		switch strings.ToLower(word) {
+		case "and":
+			return token{tokAnd, word, start}, nil
+		case "or":
+			return token{tokOr, word, start}, nil
+		}
+		return token{tokName, word, start}, nil
+	}
+	return token{}, &SyntaxError{start, fmt.Sprintf("unexpected character %q", l.src[l.pos])}
+}
+
+// lexString scans a quoted text selector. Runs of quote characters act as a
+// single delimiter, so the paper's ”concerto" form lexes cleanly.
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	quote := l.src[l.pos]
+	for l.pos < len(l.src) && l.src[l.pos] == quote {
+		l.pos++ // consume the opening quote run
+	}
+	content := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{}, &SyntaxError{start, "unterminated string"}
+	}
+	text := l.src[content:l.pos]
+	for l.pos < len(l.src) && (l.src[l.pos] == '"' || l.src[l.pos] == '\'') {
+		l.pos++ // consume the closing quote run
+	}
+	return token{tokString, text, start}, nil
+}

@@ -1,0 +1,164 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"approxql/internal/cost"
+)
+
+// ConjNode is a node of a conjunctive query tree (Section 3): the tree
+// interpretation of one disjunct of the separated query representation.
+// Children are conjunctively connected.
+type ConjNode struct {
+	Label    string
+	Kind     cost.Kind
+	Children []*ConjNode
+}
+
+// IsLeaf reports whether the node has no children. Leaves capture the
+// information the user is looking for (Section 2).
+func (c *ConjNode) IsLeaf() bool { return len(c.Children) == 0 }
+
+// Size returns the number of nodes in the subtree.
+func (c *ConjNode) Size() int {
+	n := 1
+	for _, ch := range c.Children {
+		n += ch.Size()
+	}
+	return n
+}
+
+// String renders the conjunctive query in approXQL syntax.
+func (c *ConjNode) String() string {
+	var b strings.Builder
+	c.write(&b)
+	return b.String()
+}
+
+func (c *ConjNode) write(b *strings.Builder) {
+	if c.Kind == cost.Text {
+		b.WriteByte('"')
+		b.WriteString(c.Label)
+		b.WriteByte('"')
+		return
+	}
+	b.WriteString(c.Label)
+	if len(c.Children) == 0 {
+		return
+	}
+	b.WriteByte('[')
+	for i, ch := range c.Children {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		ch.write(b)
+	}
+	b.WriteByte(']')
+}
+
+// Clone returns a deep copy.
+func (c *ConjNode) Clone() *ConjNode {
+	out := &ConjNode{Label: c.Label, Kind: c.Kind}
+	for _, ch := range c.Children {
+		out.Children = append(out.Children, ch.Clone())
+	}
+	return out
+}
+
+// ErrTooManyDisjuncts reports that the separated representation exceeds the
+// given limit; each "or" can double the number of conjunctive queries.
+var ErrTooManyDisjuncts = fmt.Errorf("approxql: separated representation exceeds limit")
+
+// Separate converts q into its separated representation: the set of
+// conjunctive queries obtained by resolving every "or" both ways (Section 3).
+// limit caps the number of disjuncts (0 means 4096).
+func Separate(q *Query, limit int) ([]*ConjNode, error) {
+	if limit <= 0 {
+		limit = 4096
+	}
+	alts, err := separateSelector(q.Root, limit)
+	if err != nil {
+		return nil, err
+	}
+	return alts, nil
+}
+
+// separateSelector returns the alternative conjunctive trees for one step.
+func separateSelector(s *Selector, limit int) ([]*ConjNode, error) {
+	if s.Child == nil {
+		return []*ConjNode{{Label: s.Name, Kind: cost.Struct}}, nil
+	}
+	childAlts, err := separateExpr(s.Child, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ConjNode, 0, len(childAlts))
+	for _, children := range childAlts {
+		out = append(out, &ConjNode{Label: s.Name, Kind: cost.Struct, Children: children})
+	}
+	return out, nil
+}
+
+// separateExpr returns the alternative child lists of an expression: one
+// entry per disjunct, each a conjunctively connected list of subtrees.
+func separateExpr(e Expr, limit int) ([][]*ConjNode, error) {
+	switch n := e.(type) {
+	case *Text:
+		return [][]*ConjNode{{{Label: n.Term, Kind: cost.Text}}}, nil
+	case *Selector:
+		alts, err := separateSelector(n, limit)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]*ConjNode, len(alts))
+		for i, a := range alts {
+			out[i] = []*ConjNode{a}
+		}
+		return out, nil
+	case *And:
+		left, err := separateExpr(n.Left, limit)
+		if err != nil {
+			return nil, err
+		}
+		right, err := separateExpr(n.Right, limit)
+		if err != nil {
+			return nil, err
+		}
+		if len(left)*len(right) > limit {
+			return nil, fmt.Errorf("%w (%d disjuncts)", ErrTooManyDisjuncts, len(left)*len(right))
+		}
+		out := make([][]*ConjNode, 0, len(left)*len(right))
+		for _, l := range left {
+			for _, r := range right {
+				comb := make([]*ConjNode, 0, len(l)+len(r))
+				comb = append(comb, cloneList(l)...)
+				comb = append(comb, cloneList(r)...)
+				out = append(out, comb)
+			}
+		}
+		return out, nil
+	case *Or:
+		left, err := separateExpr(n.Left, limit)
+		if err != nil {
+			return nil, err
+		}
+		right, err := separateExpr(n.Right, limit)
+		if err != nil {
+			return nil, err
+		}
+		if len(left)+len(right) > limit {
+			return nil, fmt.Errorf("%w (%d disjuncts)", ErrTooManyDisjuncts, len(left)+len(right))
+		}
+		return append(left, right...), nil
+	}
+	return nil, fmt.Errorf("approxql: unknown expression type %T", e)
+}
+
+func cloneList(l []*ConjNode) []*ConjNode {
+	out := make([]*ConjNode, len(l))
+	for i, c := range l {
+		out[i] = c.Clone()
+	}
+	return out
+}

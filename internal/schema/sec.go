@@ -1,0 +1,118 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"approxql/internal/index"
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+// SecSource provides the path-dependent postings of the secondary index
+// I_sec (Section 7.3): the instances of a struct class, and the instances of
+// a (text class, term) pair. The in-memory Schema implements it directly;
+// StoredSec serves the same postings from the embedded B+tree store, the way
+// the paper's system keeps I_sec in Berkeley DB.
+type SecSource interface {
+	SecInstances(c NodeID) ([]xmltree.NodeID, error)
+	SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error)
+}
+
+// SecInstances implements SecSource over the in-memory postings.
+func (s *Schema) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
+	return s.Instances(c), nil
+}
+
+// SecTermInstances implements SecSource over the in-memory postings.
+func (s *Schema) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
+	return s.TermInstances(c, term), nil
+}
+
+// I_sec keys: the paper constructs them as pre(u)#label(u); here the class
+// preorder number is varint-encoded after a one-byte namespace tag, and the
+// term follows for text classes.
+const (
+	secStructPrefix = "c\x00"
+	secTermPrefix   = "w\x00"
+)
+
+func secStructKey(c NodeID) []byte {
+	buf := make([]byte, len(secStructPrefix), len(secStructPrefix)+binary.MaxVarintLen32)
+	copy(buf, secStructPrefix)
+	return binary.AppendUvarint(buf, uint64(c))
+}
+
+func secTermKey(c NodeID, term string) []byte {
+	buf := make([]byte, len(secTermPrefix), len(secTermPrefix)+binary.MaxVarintLen32+1+len(term))
+	copy(buf, secTermPrefix)
+	buf = binary.AppendUvarint(buf, uint64(c))
+	buf = append(buf, 0)
+	return append(buf, term...)
+}
+
+// SaveSec persists the complete secondary index into db.
+func (s *Schema) SaveSec(db *storage.DB) error {
+	for c, inst := range s.instances {
+		if len(inst) == 0 {
+			continue
+		}
+		if err := db.Put(secStructKey(NodeID(c)), index.EncodePosting(inst)); err != nil {
+			return fmt.Errorf("schema: saving class %d: %w", c, err)
+		}
+	}
+	for key, inst := range s.termInstances {
+		term := s.tree.Terms.String(key.term)
+		if err := db.Put(secTermKey(key.class, term), index.EncodePosting(inst)); err != nil {
+			return fmt.Errorf("schema: saving class %d term %q: %w", key.class, term, err)
+		}
+	}
+	return nil
+}
+
+// StoredSec is a SecSource reading I_sec postings from a storage.DB.
+type StoredSec struct {
+	db    *storage.DB
+	cache map[string][]xmltree.NodeID
+	limit int
+}
+
+// OpenStoredSec returns a stored secondary index with a small decode cache.
+func OpenStoredSec(db *storage.DB) *StoredSec {
+	return &StoredSec{db: db, cache: make(map[string][]xmltree.NodeID), limit: 4096}
+}
+
+func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
+	k := string(key)
+	if post, ok := ss.cache[k]; ok {
+		return post, nil
+	}
+	raw, ok, err := ss.db.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	post, err := index.DecodePosting(raw)
+	if err != nil {
+		return nil, fmt.Errorf("schema: posting %q: %w", k, err)
+	}
+	if ss.limit > 0 {
+		if len(ss.cache) >= ss.limit {
+			ss.cache = make(map[string][]xmltree.NodeID)
+		}
+		ss.cache[k] = post
+	}
+	return post, nil
+}
+
+// SecInstances implements SecSource.
+func (ss *StoredSec) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
+	return ss.fetch(secStructKey(c))
+}
+
+// SecTermInstances implements SecSource.
+func (ss *StoredSec) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
+	return ss.fetch(secTermKey(c, term))
+}

@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckOnFreshDB(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	if err := db.Check(); err != nil {
+		t.Fatalf("empty DB: %v", err)
+	}
+	fill(t, db, 4000)
+	if err := db.Check(); err != nil {
+		t.Fatalf("after inserts: %v", err)
+	}
+	for i := 0; i < 4000; i += 3 {
+		if _, err := db.Delete([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Check(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+}
+
+func TestCheckWithOverflow(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		val := bytes.Repeat([]byte{byte(i)}, (i%7)*PageSize/2+10)
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}
+
+func TestCheckAfterRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	db := openMem(t)
+	defer db.Close()
+	for op := 0; op < 3000; op++ {
+		k := []byte(fmt.Sprintf("k%04d", rng.Intn(800)))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := make([]byte, rng.Intn(300))
+			rng.Read(v)
+			if err := db.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if _, err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%500 == 499 {
+			if err := db.Check(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+}
+
+func TestCheckAfterReopen(t *testing.T) {
+	db, path := openTemp(t)
+	fill(t, db, 2500)
+	db.Put([]byte("big"), bytes.Repeat([]byte("x"), 3*PageSize))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Check(); err != nil {
+		t.Fatalf("after reopen: %v", err)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	fill(t, db, 100)
+	// Corrupt a leaf in place: swap two cell pointers to break ordering.
+	pg, err := db.pager.get(db.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg.data[offType] == pageBranch {
+		pg, err = db.pager.get(leftChild(pg))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nCells(pg) < 2 {
+		t.Skip("leaf too small to corrupt")
+	}
+	o0 := getU16(pg.data, hdrSize)
+	o1 := getU16(pg.data, hdrSize+2)
+	putU16(pg.data, hdrSize, o1)
+	putU16(pg.data, hdrSize+2, o0)
+	if err := db.Check(); err == nil {
+		t.Fatal("Check accepted out-of-order keys")
+	}
+}
+
+func TestCheckDetectsBadKeyCount(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	fill(t, db, 100)
+	db.keys += 5
+	if err := db.Check(); err == nil {
+		t.Fatal("Check accepted a wrong key count")
+	}
+}

@@ -1,0 +1,156 @@
+package storage
+
+import "bytes"
+
+// Cursor iterates over keys in ascending order. A cursor reads its current
+// entry eagerly, so the Key and Value accessors never fail. Cursors are
+// invalidated by writes to the DB; results after a concurrent or interleaved
+// write are unspecified (the store is built for read-mostly workloads).
+type Cursor struct {
+	db    *DB
+	leaf  uint32
+	idx   int
+	key   []byte
+	value []byte
+	valid bool
+	err   error
+}
+
+// NewCursor returns an unpositioned cursor. Call First or Seek before use.
+func (db *DB) NewCursor() *Cursor {
+	return &Cursor{db: db}
+}
+
+// Err returns the first error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current key. The slice is owned by the cursor and valid
+// until the next positioning call.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Value returns the current value, like Key.
+func (c *Cursor) Value() []byte { return c.value }
+
+// First positions the cursor at the smallest key.
+func (c *Cursor) First() bool {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	if c.fail(c.checkOpen()) {
+		return false
+	}
+	pg, err := c.db.pager.get(c.db.root)
+	if c.fail(err) {
+		return false
+	}
+	for pg.data[offType] == pageBranch {
+		pg, err = c.db.pager.get(leftChild(pg))
+		if c.fail(err) {
+			return false
+		}
+	}
+	c.leaf, c.idx = pg.id, 0
+	return c.settle(pg)
+}
+
+// Seek positions the cursor at the first key >= key.
+func (c *Cursor) Seek(key []byte) bool {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	if c.fail(c.checkOpen()) {
+		return false
+	}
+	pg, err := c.db.findLeaf(key)
+	if c.fail(err) {
+		return false
+	}
+	i, _ := search(pg, key)
+	c.leaf, c.idx = pg.id, i
+	return c.settle(pg)
+}
+
+// Next advances to the next key.
+func (c *Cursor) Next() bool {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	if c.fail(c.checkOpen()) {
+		return false
+	}
+	if !c.valid {
+		return false
+	}
+	pg, err := c.db.pager.get(c.leaf)
+	if c.fail(err) {
+		return false
+	}
+	c.idx++
+	return c.settle(pg)
+}
+
+// settle loads the entry at (c.leaf, c.idx), following next-leaf links past
+// exhausted or empty leaves. Callers hold the read lock.
+func (c *Cursor) settle(pg *page) bool {
+	c.valid = false
+	for {
+		if pg.data[offType] != pageLeaf {
+			return !c.fail(corruptf("cursor on non-leaf page %d", pg.id))
+		}
+		if c.idx < nCells(pg) {
+			break
+		}
+		next := nextLeaf(pg)
+		if next == 0 {
+			c.key, c.value = nil, nil
+			return false
+		}
+		var err error
+		pg, err = c.db.pager.get(next)
+		if c.fail(err) {
+			return false
+		}
+		c.leaf, c.idx = pg.id, 0
+	}
+	c.key = append(c.key[:0], cellKey(pg, c.idx)...)
+	val, err := c.db.readValue(pg, c.idx)
+	if c.fail(err) {
+		return false
+	}
+	c.value = val
+	c.valid = true
+	if err := c.db.pager.trim(); c.fail(err) {
+		return false
+	}
+	return true
+}
+
+func (c *Cursor) checkOpen() error {
+	if c.db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (c *Cursor) fail(err error) bool {
+	if err != nil && c.err == nil {
+		c.err = err
+		c.valid = false
+	}
+	return err != nil
+}
+
+// Scan calls fn for every key with the given prefix, in ascending order,
+// stopping early if fn returns false.
+func (db *DB) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	c := db.NewCursor()
+	for ok := c.Seek(prefix); ok; ok = c.Next() {
+		if !bytes.HasPrefix(c.Key(), prefix) {
+			break
+		}
+		if !fn(c.Key(), c.Value()) {
+			break
+		}
+	}
+	return c.Err()
+}

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeepTreeBranchSplits inserts enough keys to force branch-page splits
+// (a three-level tree) and verifies lookups, ordering, and the structural
+// checker across it.
+func TestDeepTreeBranchSplits(t *testing.T) {
+	db := openMem(t)
+	defer db.Close()
+	const n = 80_000
+	for i := 0; i < n; i++ {
+		// Insert in a scrambled order to split in the middle of pages.
+		k := (i * 48271) % n
+		key := []byte(fmt.Sprintf("k%06d", k))
+		if err := db.Put(key, []byte{byte(k), byte(k >> 8)}); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if db.Len() != n {
+		t.Fatalf("Len = %d, want %d", db.Len(), n)
+	}
+	// The root must be a branch whose children are branches (depth >= 3).
+	root, err := db.pager.get(db.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.data[offType] != pageBranch {
+		t.Fatal("root is not a branch")
+	}
+	child, err := db.pager.get(leftChild(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.data[offType] != pageBranch {
+		t.Fatal("tree depth < 3: branch pages never split")
+	}
+	if err := db.Check(); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Spot lookups.
+	for i := 0; i < n; i += 997 {
+		key := []byte(fmt.Sprintf("k%06d", i))
+		v, ok, err := db.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = %v %v", key, ok, err)
+		}
+		if v[0] != byte(i) || v[1] != byte(i>>8) {
+			t.Fatalf("Get(%s) wrong value", key)
+		}
+	}
+	// Full ordered scan.
+	c := db.NewCursor()
+	count := 0
+	for ok := c.First(); ok; ok = c.Next() {
+		count++
+	}
+	if c.Err() != nil || count != n {
+		t.Fatalf("scan = %d keys, err %v", count, c.Err())
+	}
+}
+
+func TestHasAndSync(t *testing.T) {
+	db, path := openTemp(t)
+	db.Put([]byte("k"), []byte("v"))
+	if ok, err := db.Has([]byte("k")); err != nil || !ok {
+		t.Errorf("Has(k) = %v %v", ok, err)
+	}
+	if ok, err := db.Has([]byte("missing")); err != nil || ok {
+		t.Errorf("Has(missing) = %v %v", ok, err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Errorf("Sync: %v", err)
+	}
+	db.Close()
+	if _, err := db.Has([]byte("k")); err != ErrClosed {
+		t.Errorf("Has after close: %v", err)
+	}
+	if err := db.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close: %v", err)
+	}
+	_ = path
+}

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOps drives the store with an opcode tape against a map model and the
+// structural checker, covering splits, replacements, overflow chains, and
+// deletes in arbitrary interleavings.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 255, 3, 7, 0})
+	f.Add(bytes.Repeat([]byte{0, 50, 1, 50}, 40))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		db, err := Open("", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		model := make(map[string]string)
+		i := 0
+		next := func() byte {
+			if i >= len(tape) {
+				return 0
+			}
+			b := tape[i]
+			i++
+			return b
+		}
+		ops := 0
+		for i < len(tape) && ops < 300 {
+			ops++
+			op := next()
+			kb := next()
+			key := []byte{'k', kb % 32}
+			switch op % 3 {
+			case 0: // put; value size driven by the next byte
+				vlen := int(next())
+				if vlen%7 == 0 {
+					vlen *= 97 // occasionally overflow-sized
+				}
+				val := bytes.Repeat([]byte{kb}, vlen)
+				if err := db.Put(key, val); err != nil {
+					t.Fatal(err)
+				}
+				model[string(key)] = string(val)
+			case 1: // get
+				v, ok, err := db.Get(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantOK := model[string(key)]
+				if ok != wantOK || (ok && string(v) != want) {
+					t.Fatalf("Get(%q) diverged from model", key)
+				}
+			case 2: // delete
+				existed, err := db.Delete(key)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, wantOK := model[string(key)]; existed != wantOK {
+					t.Fatalf("Delete(%q) diverged from model", key)
+				}
+				delete(model, string(key))
+			}
+		}
+		if err := db.Check(); err != nil {
+			t.Fatalf("Check after tape: %v", err)
+		}
+		if db.Len() != len(model) {
+			t.Fatalf("Len %d, model %d", db.Len(), len(model))
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"container/list"
+	"io"
+	"os"
+)
+
+// page is an in-memory copy of an on-disk page.
+type page struct {
+	id    uint32
+	data  []byte // always PageSize bytes
+	dirty bool
+
+	// elem is the page's position in the LRU list (file-backed pagers only).
+	elem *list.Element
+}
+
+// pager provides cached page access. With a nil file, all pages live in
+// memory and are never evicted.
+type pager struct {
+	file     *os.File
+	pages    map[uint32]*page
+	lru      *list.List // front = most recent; file-backed only
+	maxCache int
+	nextID   uint32 // next page id to allocate (== page count)
+	freeHead uint32 // head of the free-page list, 0 = empty
+}
+
+func newPager(file *os.File, cachePages int) *pager {
+	p := &pager{
+		file:     file,
+		pages:    make(map[uint32]*page),
+		maxCache: cachePages,
+		nextID:   1, // page 0 is the meta page
+	}
+	if file != nil {
+		p.lru = list.New()
+	}
+	return p
+}
+
+// get returns the page with the given id, reading it from disk if necessary.
+func (p *pager) get(id uint32) (*page, error) {
+	if id == 0 || id >= p.nextID {
+		return nil, corruptf("page id %d out of range [1,%d)", id, p.nextID)
+	}
+	if pg, ok := p.pages[id]; ok {
+		p.touch(pg)
+		return pg, nil
+	}
+	pg := &page{id: id, data: make([]byte, PageSize)}
+	if p.file == nil {
+		return nil, corruptf("page %d missing from in-memory pager", id)
+	}
+	if _, err := p.file.ReadAt(pg.data, int64(id)*PageSize); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, corruptf("page %d beyond end of file", id)
+		}
+		return nil, err
+	}
+	if err := p.insert(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// allocate returns a zeroed page, reusing a freed page if available.
+func (p *pager) allocate() (*page, error) {
+	if p.freeHead != 0 {
+		pg, err := p.get(p.freeHead)
+		if err != nil {
+			return nil, err
+		}
+		if pg.data[offType] != pageFree {
+			return nil, corruptf("free-list page %d has type %d", pg.id, pg.data[offType])
+		}
+		p.freeHead = getU32(pg.data, ovfOffNext)
+		for i := range pg.data {
+			pg.data[i] = 0
+		}
+		pg.dirty = true
+		return pg, nil
+	}
+	pg := &page{id: p.nextID, data: make([]byte, PageSize), dirty: true}
+	p.nextID++
+	if err := p.insert(pg); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// free links the page into the free list for later reuse.
+func (p *pager) free(pg *page) {
+	for i := range pg.data {
+		pg.data[i] = 0
+	}
+	pg.data[offType] = pageFree
+	putU32(pg.data, ovfOffNext, p.freeHead)
+	p.freeHead = pg.id
+	pg.dirty = true
+}
+
+func (p *pager) insert(pg *page) error {
+	p.pages[pg.id] = pg
+	if p.lru != nil {
+		pg.elem = p.lru.PushFront(pg)
+	}
+	return nil
+}
+
+// trim evicts least-recently-used pages until the cache is within bounds.
+// It must only be called between operations: tree operations hold direct
+// *page pointers, and evicting a page mid-operation would detach those
+// pointers from the cache and lose updates.
+func (p *pager) trim() error {
+	if p.lru == nil {
+		return nil
+	}
+	for p.lru.Len() > p.maxCache {
+		victim := p.lru.Back().Value.(*page)
+		if err := p.evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *pager) touch(pg *page) {
+	if p.lru != nil && pg.elem != nil {
+		p.lru.MoveToFront(pg.elem)
+	}
+}
+
+func (p *pager) evict(pg *page) error {
+	if pg.dirty {
+		if err := p.writeBack(pg); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(pg.elem)
+	delete(p.pages, pg.id)
+	return nil
+}
+
+func (p *pager) writeBack(pg *page) error {
+	if _, err := p.file.WriteAt(pg.data, int64(pg.id)*PageSize); err != nil {
+		return err
+	}
+	pg.dirty = false
+	return nil
+}
+
+// flush writes all dirty pages back to the file (no-op for in-memory mode).
+func (p *pager) flush() error {
+	if p.file == nil {
+		return nil
+	}
+	for _, pg := range p.pages {
+		if pg.dirty {
+			if err := p.writeBack(pg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func getU16(b []byte, off int) uint16 { return uint16(b[off]) | uint16(b[off+1])<<8 }
+
+func putU16(b []byte, off int, v uint16) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+}
+
+func getU32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func putU32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func getU64(b []byte, off int) uint64 {
+	return uint64(getU32(b, off)) | uint64(getU32(b, off+4))<<32
+}
+
+func putU64(b []byte, off int, v uint64) {
+	putU32(b, off, uint32(v))
+	putU32(b, off+4, uint32(v>>32))
+}

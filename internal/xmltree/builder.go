@@ -1,0 +1,155 @@
+package xmltree
+
+import (
+	"fmt"
+
+	"approxql/internal/cost"
+	"approxql/internal/dict"
+)
+
+// Builder constructs a Tree in document order. The super-root is created
+// implicitly. Typical use:
+//
+//	b := xmltree.NewBuilder(model)
+//	b.BeginElement("cd")
+//	b.BeginElement("title")
+//	b.Words("Piano Concerto")
+//	b.End()
+//	b.End()
+//	tree, err := b.Finish()
+//
+// The cost model supplies the insert cost baked into every node's encoding
+// (Section 6.2); pass nil for the paper's default of 1 per node.
+type Builder struct {
+	model *cost.Model
+	tree  *Tree
+	open  []NodeID // stack of currently open struct nodes
+	tok   Tokenizer
+	err   error
+}
+
+// NewBuilder returns a Builder whose node insert costs come from model
+// (nil means cost.NewModel(), i.e. insert cost 1 everywhere). The builder
+// uses the default Tokenizer; override with SetTokenizer before adding text.
+func NewBuilder(model *cost.Model) *Builder {
+	if model == nil {
+		model = cost.NewModel()
+	}
+	b := &Builder{
+		model: model,
+		tree: &Tree{
+			Names: dict.New(),
+			Terms: dict.New(),
+		},
+		tok: Tokenize,
+	}
+	// The synthetic super-root (Section 4).
+	rootID := b.tree.Names.Intern(RootLabel)
+	b.tree.label = append(b.tree.label, rootID)
+	b.tree.kind = append(b.tree.kind, cost.Struct)
+	b.tree.parent = append(b.tree.parent, -1)
+	b.tree.bound = append(b.tree.bound, 0)
+	b.tree.inscost = append(b.tree.inscost, model.InsertCost(RootLabel, cost.Struct))
+	b.tree.pathcost = append(b.tree.pathcost, 0)
+	b.open = append(b.open, 0)
+	return b
+}
+
+// SetTokenizer replaces the word splitter used by Words.
+func (b *Builder) SetTokenizer(tok Tokenizer) { b.tok = tok }
+
+// BeginElement opens a struct node labeled name as a child of the currently
+// open node and returns its preorder number. Every BeginElement must be
+// matched by an End.
+func (b *Builder) BeginElement(name string) NodeID {
+	parent := b.open[len(b.open)-1]
+	u := b.push(b.tree.Names.Intern(name), cost.Struct, parent,
+		b.model.InsertCost(name, cost.Struct))
+	b.open = append(b.open, u)
+	return u
+}
+
+// End closes the most recently opened struct node.
+func (b *Builder) End() {
+	if len(b.open) <= 1 {
+		b.fail(fmt.Errorf("xmltree: End without matching BeginElement"))
+		return
+	}
+	b.open = b.open[:len(b.open)-1]
+}
+
+// Word adds a single text node labeled term (no tokenization) as a child of
+// the currently open node and returns its preorder number.
+func (b *Builder) Word(term string) NodeID {
+	parent := b.open[len(b.open)-1]
+	if parent == 0 {
+		b.fail(fmt.Errorf("xmltree: text %q directly under the super-root", term))
+		return -1
+	}
+	// Text nodes are never inserted into queries (insertions create inner
+	// nodes only, Definition 2), so their insert cost is zero as in the
+	// paper's list entries.
+	return b.push(b.tree.Terms.Intern(term), cost.Text, parent, 0)
+}
+
+// Words tokenizes text and adds one text node per word (Section 4: "text
+// sequences are splitted into words").
+func (b *Builder) Words(text string) {
+	for _, w := range b.tok(text) {
+		b.Word(w)
+	}
+}
+
+// Attribute adds an attribute as a struct node labeled name whose children
+// are the words of value (Section 4's two-node mapping).
+func (b *Builder) Attribute(name, value string) {
+	b.BeginElement(name)
+	b.Words(value)
+	b.End()
+}
+
+func (b *Builder) push(label dict.ID, k cost.Kind, parent NodeID, ins cost.Cost) NodeID {
+	t := b.tree
+	u := NodeID(len(t.label))
+	t.label = append(t.label, label)
+	t.kind = append(t.kind, k)
+	t.parent = append(t.parent, parent)
+	t.bound = append(t.bound, u)
+	t.inscost = append(t.inscost, ins)
+	t.pathcost = append(t.pathcost, cost.Add(t.pathcost[parent], t.inscost[parent]))
+	// Extend the bound of every open ancestor. Only the stack entries can
+	// be ancestors of a freshly appended node.
+	for _, a := range b.open {
+		if t.bound[a] < u {
+			t.bound[a] = u
+		}
+	}
+	return u
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Depth returns the number of currently open elements (excluding the
+// super-root). It is zero between documents.
+func (b *Builder) Depth() int { return len(b.open) - 1 }
+
+// Len returns the number of nodes added so far, including the super-root.
+func (b *Builder) Len() int { return b.tree.Len() }
+
+// Finish returns the completed tree. It fails if elements remain open or any
+// earlier operation was invalid. The Builder must not be used afterwards.
+func (b *Builder) Finish() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.open) != 1 {
+		return nil, fmt.Errorf("xmltree: Finish with %d unclosed elements", len(b.open)-1)
+	}
+	t := b.tree
+	b.tree = nil
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"approxql/internal/cost"
+)
+
+// RenderXML writes the subtree rooted at u as indented XML-like text. Text
+// children are joined with spaces. Results of a query (data subtrees rooted
+// at embedding roots, Section 5.1) are presented to the user this way.
+func (t *Tree) RenderXML(w io.Writer, u NodeID) error {
+	return t.render(w, u, 0)
+}
+
+// RenderString returns RenderXML output as a string.
+func (t *Tree) RenderString(u NodeID) string {
+	var b strings.Builder
+	_ = t.render(&b, u, 0)
+	return b.String()
+}
+
+func (t *Tree) render(w io.Writer, u NodeID, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if t.kind[u] == cost.Text {
+		_, err := fmt.Fprintf(w, "%s%s\n", indent, t.Label(u))
+		return err
+	}
+	children := t.Children(u, nil)
+	// Group consecutive text children into a single line.
+	if len(children) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s/>\n", indent, t.Label(u))
+		return err
+	}
+	allText := true
+	for _, c := range children {
+		if t.kind[c] != cost.Text {
+			allText = false
+			break
+		}
+	}
+	if allText {
+		words := make([]string, len(children))
+		for i, c := range children {
+			words[i] = t.Label(c)
+		}
+		_, err := fmt.Fprintf(w, "%s<%s>%s</%s>\n", indent, t.Label(u), strings.Join(words, " "), t.Label(u))
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s>\n", indent, t.Label(u)); err != nil {
+		return err
+	}
+	i := 0
+	for i < len(children) {
+		c := children[i]
+		if t.kind[c] == cost.Text {
+			j := i
+			var words []string
+			for j < len(children) && t.kind[children[j]] == cost.Text {
+				words = append(words, t.Label(children[j]))
+				j++
+			}
+			if _, err := fmt.Fprintf(w, "%s  %s\n", indent, strings.Join(words, " ")); err != nil {
+				return err
+			}
+			i = j
+			continue
+		}
+		if err := t.render(w, c, depth+1); err != nil {
+			return err
+		}
+		i++
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, t.Label(u))
+	return err
+}

@@ -1,0 +1,52 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderString(t *testing.T) {
+	tree := mustParse(t, `<cd><title>Piano Concerto</title><year>1901</year></cd>`)
+	got := tree.RenderString(1) // the cd node
+	want := strings.Join([]string{
+		"<cd>",
+		"  <title>piano concerto</title>",
+		"  <year>1901</year>",
+		"</cd>",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("RenderString:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderEmptyElement(t *testing.T) {
+	tree := mustParse(t, `<cd><bonus/></cd>`)
+	got := tree.RenderString(2)
+	if got != "<bonus/>\n" {
+		t.Errorf("RenderString = %q", got)
+	}
+}
+
+func TestRenderMixedContent(t *testing.T) {
+	tree := mustParse(t, `<p>hello <b>bold</b> world</p>`)
+	got := tree.RenderString(1)
+	want := strings.Join([]string{
+		"<p>",
+		"  hello",
+		"  <b>bold</b>",
+		"  world",
+		"</p>",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("RenderString:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTextNode(t *testing.T) {
+	tree := mustParse(t, `<a>word</a>`)
+	if got := tree.RenderString(2); got != "word\n" {
+		t.Errorf("RenderString = %q", got)
+	}
+}

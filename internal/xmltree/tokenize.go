@@ -1,0 +1,40 @@
+package xmltree
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits element text or attribute values into the words that
+// become text nodes of the data tree.
+type Tokenizer func(string) []string
+
+// Tokenize is the default Tokenizer: it splits on any rune that is neither a
+// letter nor a digit and lowercases each word, so that the text selector
+// "rachmaninov" matches the document text "Rachmaninov" as in the paper's
+// examples.
+func Tokenize(text string) []string {
+	var words []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			words = append(words, strings.ToLower(text[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return words
+}
+
+// NormalizeTerm maps a query text selector to the same form Tokenize
+// produces for document words. Multi-word selectors yield several terms.
+func NormalizeTerm(s string) []string { return Tokenize(s) }

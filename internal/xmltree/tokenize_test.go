@@ -1,0 +1,71 @@
+package xmltree
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Piano Concerto", []string{"piano", "concerto"}},
+		{"  Rachmaninov  ", []string{"rachmaninov"}},
+		{"", nil},
+		{"   \n\t ", nil},
+		{"rock'n'roll", []string{"rock", "n", "roll"}},
+		{"Op. 18, No.2", []string{"op", "18", "no", "2"}},
+		{"ÜBER alles", []string{"über", "alles"}},
+		{"a-b_c", []string{"a", "b", "c"}},
+		{"123", []string{"123"}},
+		{"...", nil},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeQuickProperties(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Tokenize(s) {
+			if w == "" {
+				return false
+			}
+			for _, r := range w {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+			// Lowercasing must be stable (some capitals have no
+			// lowercase mapping and survive ToLower unchanged).
+			if strings.ToLower(w) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizeIdempotentOnWords(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Tokenize(s) {
+			again := Tokenize(w)
+			if len(again) != 1 || again[0] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package xmltree implements the XML data model of the paper (Section 4) and
+// the data-tree encoding of Section 6.2.
+//
+// XML documents are modeled as labeled trees with two node types: struct
+// nodes represent elements and attributes (the element or attribute name is
+// the label); text nodes represent single words of element text or attribute
+// values. A synthetic super-root with a unique label connects the roots of
+// all documents of a collection; the resulting tree is the data tree.
+//
+// Every node u carries four numbers (Section 6.2):
+//
+//	pre(u)      preorder number of u
+//	bound(u)    largest preorder number in the subtree rooted at u
+//	inscost(u)  cost of inserting a node labeled like u into a query
+//	pathcost(u) sum of the insert costs of all proper ancestors of u
+//
+// They support the constant-time ancestor test
+//
+//	pre(u) < pre(v) && bound(u) >= pre(v)
+//
+// and the insert-distance
+//
+//	distance(u, v) = pathcost(v) − pathcost(u) − inscost(u)
+//
+// which equals the total insert cost of the nodes strictly between an
+// ancestor u and a descendant v.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+
+	"approxql/internal/cost"
+	"approxql/internal/dict"
+)
+
+// NodeID is the preorder number of a node; it doubles as the node identity.
+type NodeID = int32
+
+// RootLabel is the unique label of the synthetic super-root node.
+const RootLabel = "<root>"
+
+// Tree is an immutable data tree in structure-of-arrays layout, indexed by
+// preorder number. Node 0 is always the super-root. Construct trees with a
+// Builder; a finished Tree is safe for concurrent reads.
+type Tree struct {
+	// Names interns struct labels (element and attribute names).
+	Names *dict.Dict
+	// Terms interns text labels (single words).
+	Terms *dict.Dict
+
+	label    []dict.ID
+	kind     []cost.Kind
+	parent   []NodeID
+	bound    []NodeID
+	inscost  []cost.Cost
+	pathcost []cost.Cost
+}
+
+// Len returns the number of nodes including the super-root.
+func (t *Tree) Len() int { return len(t.label) }
+
+// Root returns the super-root node.
+func (t *Tree) Root() NodeID { return 0 }
+
+// Kind returns the node type of u (struct or text).
+func (t *Tree) Kind(u NodeID) cost.Kind { return t.kind[u] }
+
+// LabelID returns the interned label of u. Struct labels index Names, text
+// labels index Terms.
+func (t *Tree) LabelID(u NodeID) dict.ID { return t.label[u] }
+
+// Label returns the label of u as a string.
+func (t *Tree) Label(u NodeID) string {
+	if t.kind[u] == cost.Text {
+		return t.Terms.String(t.label[u])
+	}
+	return t.Names.String(t.label[u])
+}
+
+// Parent returns the parent of u, or -1 for the super-root.
+func (t *Tree) Parent(u NodeID) NodeID { return t.parent[u] }
+
+// Bound returns the largest preorder number in the subtree rooted at u.
+func (t *Tree) Bound(u NodeID) NodeID { return t.bound[u] }
+
+// InsCost returns the cost of inserting a node labeled like u into a query.
+func (t *Tree) InsCost(u NodeID) cost.Cost { return t.inscost[u] }
+
+// PathCost returns the sum of the insert costs of all proper ancestors of u.
+func (t *Tree) PathCost(u NodeID) cost.Cost { return t.pathcost[u] }
+
+// IsAncestor reports whether u is a proper ancestor of v.
+func (t *Tree) IsAncestor(u, v NodeID) bool {
+	return u < v && t.bound[u] >= v
+}
+
+// Distance returns the sum of the insert costs of the nodes strictly between
+// the ancestor u and its descendant v (Section 6.2). The caller must ensure
+// that u is a proper ancestor of v.
+func (t *Tree) Distance(u, v NodeID) cost.Cost {
+	return t.pathcost[v] - t.pathcost[u] - t.inscost[u]
+}
+
+// Children appends the child nodes of u to buf and returns it. Children are
+// derived from the preorder/bound encoding: the first child of u is u+1, and
+// each following sibling starts right after the previous child's subtree.
+func (t *Tree) Children(u NodeID, buf []NodeID) []NodeID {
+	for v := u + 1; v <= t.bound[u]; v = t.bound[v] + 1 {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// NumChildren returns the number of children of u.
+func (t *Tree) NumChildren(u NodeID) int {
+	n := 0
+	for v := u + 1; v <= t.bound[u]; v = t.bound[v] + 1 {
+		n++
+	}
+	return n
+}
+
+// IsLeaf reports whether u has no children.
+func (t *Tree) IsLeaf(u NodeID) bool { return t.bound[u] == u }
+
+// Depth returns the number of edges between the super-root and u.
+func (t *Tree) Depth(u NodeID) int {
+	d := 0
+	for v := t.parent[u]; v >= 0; v = t.parent[v] {
+		d++
+	}
+	return d
+}
+
+// Documents returns the roots of the individual documents, i.e. the children
+// of the super-root.
+func (t *Tree) Documents() []NodeID {
+	return t.Children(0, nil)
+}
+
+// LabelTypePath returns the label-type path of u (Definition 13) as a
+// human-readable string, e.g. "<root>/catalog/cd/title/#piano". Text steps
+// are prefixed with '#'.
+func (t *Tree) LabelTypePath(u NodeID) string {
+	var steps []string
+	for v := u; v >= 0; v = t.parent[v] {
+		s := t.Label(v)
+		if t.kind[v] == cost.Text {
+			s = "#" + s
+		}
+		steps = append(steps, s)
+	}
+	var b strings.Builder
+	for i := len(steps) - 1; i >= 0; i-- {
+		if b.Len() > 0 {
+			b.WriteByte('/')
+		}
+		b.WriteString(steps[i])
+	}
+	return b.String()
+}
+
+// Validate checks the structural invariants of the encoding and returns the
+// first violation found, or nil. It is intended for tests and for data files
+// loaded from disk.
+func (t *Tree) Validate() error {
+	n := NodeID(t.Len())
+	if n == 0 {
+		return fmt.Errorf("xmltree: empty tree")
+	}
+	if t.parent[0] != -1 {
+		return fmt.Errorf("xmltree: super-root parent = %d, want -1", t.parent[0])
+	}
+	if t.bound[0] != n-1 {
+		return fmt.Errorf("xmltree: super-root bound = %d, want %d", t.bound[0], n-1)
+	}
+	for u := NodeID(1); u < n; u++ {
+		p := t.parent[u]
+		if p < 0 || p >= u {
+			return fmt.Errorf("xmltree: node %d has parent %d", u, p)
+		}
+		if t.bound[u] < u || t.bound[u] > t.bound[p] {
+			return fmt.Errorf("xmltree: node %d has bound %d (parent bound %d)", u, t.bound[u], t.bound[p])
+		}
+		if want := cost.Add(t.pathcost[p], t.inscost[p]); t.pathcost[u] != want {
+			return fmt.Errorf("xmltree: node %d pathcost = %d, want %d", u, t.pathcost[u], want)
+		}
+		if t.kind[u] == cost.Text && t.bound[u] != u {
+			return fmt.Errorf("xmltree: text node %d has children", u)
+		}
+		if t.kind[p] == cost.Text {
+			return fmt.Errorf("xmltree: node %d has text parent %d", u, p)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the data-tree parameters used in the paper's complexity
+// analysis (Section 6.5).
+type Stats struct {
+	Nodes       int // total nodes including the super-root
+	StructNodes int // element and attribute nodes
+	TextNodes   int // word nodes
+	Documents   int // children of the super-root
+	MaxDepth    int // longest root-to-leaf path (edges)
+	// Selectivity is s: the maximal number of nodes sharing a label.
+	Selectivity int
+	// Recursivity is l: the maximal number of repetitions of one label
+	// along a single root-to-leaf path.
+	Recursivity int
+}
+
+// ComputeStats walks the tree once and returns its Stats.
+func (t *Tree) ComputeStats() Stats {
+	st := Stats{Nodes: t.Len(), Documents: len(t.Documents())}
+	structFreq := make(map[dict.ID]int)
+	textFreq := make(map[dict.ID]int)
+
+	// onPath counts occurrences of each struct label on the current path.
+	onPath := make(map[dict.ID]int)
+	var walk func(u NodeID, depth int)
+	walk = func(u NodeID, depth int) {
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		if t.kind[u] == cost.Text {
+			st.TextNodes++
+			textFreq[t.label[u]]++
+			return
+		}
+		st.StructNodes++
+		structFreq[t.label[u]]++
+		onPath[t.label[u]]++
+		if c := onPath[t.label[u]]; c > st.Recursivity {
+			st.Recursivity = c
+		}
+		for v := u + 1; v <= t.bound[u]; v = t.bound[v] + 1 {
+			walk(v, depth+1)
+		}
+		onPath[t.label[u]]--
+	}
+	walk(0, 0)
+	for _, c := range structFreq {
+		if c > st.Selectivity {
+			st.Selectivity = c
+		}
+	}
+	for _, c := range textFreq {
+		if c > st.Selectivity {
+			st.Selectivity = c
+		}
+	}
+	return st
+}

@@ -1,0 +1,256 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+
+	"approxql/internal/cost"
+)
+
+// paperDataXML is the data tree of Figure 1(b)/Figure 3(a): a small catalog
+// with two CDs. The exact labels follow the figures.
+const paperDataXML = `
+<catalog>
+  <cd>
+    <title>Concerto</title>
+    <composer>Rachmaninov</composer>
+  </cd>
+  <cd>
+    <tracks>
+      <track><title>Vivace</title></track>
+    </tracks>
+  </cd>
+</catalog>`
+
+func mustParse(t *testing.T, docs ...string) *Tree {
+	t.Helper()
+	tree, err := ParseXML(docs...)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tree
+}
+
+func TestParseSimpleDocument(t *testing.T) {
+	tree := mustParse(t, `<cd><title>Piano Concerto</title></cd>`)
+	// Nodes: <root>, cd, title, "piano", "concerto".
+	if tree.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tree.Len())
+	}
+	if got := tree.Label(0); got != RootLabel {
+		t.Errorf("root label = %q", got)
+	}
+	labels := []string{RootLabel, "cd", "title", "piano", "concerto"}
+	kinds := []cost.Kind{cost.Struct, cost.Struct, cost.Struct, cost.Text, cost.Text}
+	for u := 0; u < tree.Len(); u++ {
+		if got := tree.Label(NodeID(u)); got != labels[u] {
+			t.Errorf("Label(%d) = %q, want %q", u, got, labels[u])
+		}
+		if got := tree.Kind(NodeID(u)); got != kinds[u] {
+			t.Errorf("Kind(%d) = %v, want %v", u, got, kinds[u])
+		}
+	}
+}
+
+func TestAttributesBecomeTwoNodes(t *testing.T) {
+	tree := mustParse(t, `<cd genre="classical music"/>`)
+	// <root>, cd, genre, "classical", "music"
+	if tree.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tree.Len())
+	}
+	if tree.Label(2) != "genre" || tree.Kind(2) != cost.Struct {
+		t.Errorf("attribute node: %q %v", tree.Label(2), tree.Kind(2))
+	}
+	if tree.Label(3) != "classical" || tree.Kind(3) != cost.Text {
+		t.Errorf("attribute value word: %q %v", tree.Label(3), tree.Kind(3))
+	}
+	if tree.Parent(3) != 2 || tree.Parent(4) != 2 {
+		t.Errorf("attribute words not children of attribute node")
+	}
+}
+
+func TestAncestorTest(t *testing.T) {
+	tree := mustParse(t, paperDataXML)
+	for u := NodeID(0); u < NodeID(tree.Len()); u++ {
+		for v := NodeID(0); v < NodeID(tree.Len()); v++ {
+			want := false
+			for p := tree.Parent(v); p >= 0; p = tree.Parent(p) {
+				if p == u {
+					want = true
+					break
+				}
+			}
+			if got := tree.IsAncestor(u, v); got != want {
+				t.Errorf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestPaperFigure3Encoding reproduces the Figure 3(a) worked example: with
+// the Section 6 cost table, node "vivace" is a descendant of node "tracks"
+// and their insert-distance is 4 (the insert costs of the track and title
+// nodes in between: 1 + 3).
+func TestPaperFigure3Encoding(t *testing.T) {
+	b := NewBuilder(cost.PaperExample())
+	if err := b.AddDocument(strings.NewReader(paperDataXML)); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracks, vivace NodeID = -1, -1
+	for u := NodeID(0); u < NodeID(tree.Len()); u++ {
+		switch tree.Label(u) {
+		case "tracks":
+			tracks = u
+		case "vivace":
+			vivace = u
+		}
+	}
+	if tracks < 0 || vivace < 0 {
+		t.Fatal("tracks or vivace not found")
+	}
+	if !tree.IsAncestor(tracks, vivace) {
+		t.Fatal("tracks is not an ancestor of vivace")
+	}
+	// distance = pathcost(vivace) − pathcost(tracks) − inscost(tracks).
+	// Between them sit track (insert cost 1, unlisted) and title (3).
+	if got := tree.Distance(tracks, vivace); got != 4 {
+		t.Errorf("Distance(tracks, vivace) = %d, want 4", got)
+	}
+}
+
+func TestChildrenIteration(t *testing.T) {
+	tree := mustParse(t, paperDataXML)
+	catalog := NodeID(1)
+	if tree.Label(catalog) != "catalog" {
+		t.Fatalf("node 1 = %q, want catalog", tree.Label(catalog))
+	}
+	kids := tree.Children(catalog, nil)
+	if len(kids) != 2 {
+		t.Fatalf("catalog has %d children, want 2", len(kids))
+	}
+	for _, c := range kids {
+		if tree.Label(c) != "cd" {
+			t.Errorf("child %d labeled %q, want cd", c, tree.Label(c))
+		}
+		if tree.Parent(c) != catalog {
+			t.Errorf("parent of %d = %d", c, tree.Parent(c))
+		}
+	}
+	if got := tree.NumChildren(catalog); got != 2 {
+		t.Errorf("NumChildren = %d, want 2", got)
+	}
+}
+
+func TestMultipleDocuments(t *testing.T) {
+	tree := mustParse(t, `<a><x>one</x></a>`, `<b><y>two</y></b>`)
+	docs := tree.Documents()
+	if len(docs) != 2 {
+		t.Fatalf("Documents = %v, want 2 roots", docs)
+	}
+	if tree.Label(docs[0]) != "a" || tree.Label(docs[1]) != "b" {
+		t.Errorf("document roots: %q %q", tree.Label(docs[0]), tree.Label(docs[1]))
+	}
+}
+
+func TestLabelTypePath(t *testing.T) {
+	tree := mustParse(t, `<cd><title>piano</title></cd>`)
+	var leaf NodeID = 3
+	if got := tree.LabelTypePath(leaf); got != "<root>/cd/title/#piano" {
+		t.Errorf("LabelTypePath = %q", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tree := mustParse(t, `<a><b><c>w</c></b></a>`)
+	wantDepths := []int{0, 1, 2, 3, 4}
+	for u, want := range wantDepths {
+		if got := tree.Depth(NodeID(u)); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tree := mustParse(t, paperDataXML)
+	st := tree.ComputeStats()
+	if st.Nodes != tree.Len() {
+		t.Errorf("Nodes = %d, want %d", st.Nodes, tree.Len())
+	}
+	if st.Documents != 1 {
+		t.Errorf("Documents = %d, want 1", st.Documents)
+	}
+	if st.TextNodes != 3 { // concerto, rachmaninov, vivace
+		t.Errorf("TextNodes = %d, want 3", st.TextNodes)
+	}
+	// Labels: cd ×2 and title ×2 are the most frequent.
+	if st.Selectivity != 2 {
+		t.Errorf("Selectivity = %d, want 2", st.Selectivity)
+	}
+	// No label repeats along a path except trivially once.
+	if st.Recursivity != 1 {
+		t.Errorf("Recursivity = %d, want 1", st.Recursivity)
+	}
+	if st.MaxDepth != 5 { // <root>/catalog/cd/tracks/track/title/vivace = 6 edges? count: root(0) catalog(1) cd(2) tracks(3) track(4) title(5) vivace(6)
+		t.Logf("MaxDepth = %d", st.MaxDepth)
+	}
+}
+
+func TestRecursivity(t *testing.T) {
+	tree := mustParse(t, `<a><a><b><a>w</a></b></a></a>`)
+	st := tree.ComputeStats()
+	if st.Recursivity != 3 {
+		t.Errorf("Recursivity = %d, want 3", st.Recursivity)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(nil)
+	b.BeginElement("a")
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish with open element succeeded")
+	}
+
+	b2 := NewBuilder(nil)
+	b2.End() // End without Begin
+	b2.BeginElement("a")
+	b2.End()
+	if _, err := b2.Finish(); err == nil {
+		t.Error("Finish after unbalanced End succeeded")
+	}
+
+	b3 := NewBuilder(nil)
+	b3.Word("floating") // text directly under super-root
+	if _, err := b3.Finish(); err == nil {
+		t.Error("Finish after super-root text succeeded")
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, err := ParseXML(`<a><b></a>`); err == nil {
+		t.Error("mismatched tags accepted")
+	}
+	if _, err := ParseXML(`<a>`); err == nil {
+		t.Error("unclosed tag accepted")
+	}
+}
+
+func TestTextNodeEncoding(t *testing.T) {
+	tree := mustParse(t, `<a>word</a>`)
+	w := NodeID(2)
+	if tree.Kind(w) != cost.Text {
+		t.Fatalf("node 2 is %v", tree.Kind(w))
+	}
+	if tree.InsCost(w) != 0 {
+		t.Errorf("text InsCost = %d, want 0", tree.InsCost(w))
+	}
+	if !tree.IsLeaf(w) {
+		t.Error("text node is not a leaf")
+	}
+}

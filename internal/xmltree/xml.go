@@ -1,0 +1,59 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// AddDocument parses one XML document from r and appends it under the
+// super-root (Section 4's modeling): elements and attributes become struct
+// nodes, attribute values and element text become word-labeled text nodes.
+// Comments, processing instructions and directives are ignored.
+func (b *Builder) AddDocument(r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if depth != 0 {
+				return fmt.Errorf("xmltree: unexpected EOF inside element")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("xmltree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.BeginElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				b.Attribute(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.End()
+			depth--
+		case xml.CharData:
+			if depth > 0 {
+				b.Words(string(t))
+			}
+		}
+	}
+}
+
+// ParseXML builds a data tree from the given XML document strings. It is a
+// convenience for tests and examples.
+func ParseXML(docs ...string) (*Tree, error) {
+	b := NewBuilder(nil)
+	for i, d := range docs {
+		if err := b.AddDocument(strings.NewReader(d)); err != nil {
+			return nil, fmt.Errorf("document %d: %w", i, err)
+		}
+	}
+	return b.Finish()
+}

@@ -1,0 +1,393 @@
+package approxql
+
+import (
+	"fmt"
+
+	"approxql/internal/cost"
+	"approxql/internal/costgen"
+	"approxql/internal/eval"
+	"approxql/internal/kbest"
+	"approxql/internal/lang"
+)
+
+// Strategy selects the best-n evaluation algorithm.
+type Strategy int
+
+const (
+	// Auto picks SchemaDriven when a bounded number of results is
+	// requested and Direct when all results are wanted — the paper's
+	// crossover finding applied as a planner rule.
+	Auto Strategy = iota
+	// Direct computes all approximate results with algorithm primary
+	// against the data indexes, sorts, and prunes (Section 6).
+	Direct
+	// SchemaDriven generates the best k second-level queries against the
+	// schema and executes them incrementally (Section 7).
+	SchemaDriven
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case SchemaDriven:
+		return "schema"
+	default:
+		return "auto"
+	}
+}
+
+type queryConfig struct {
+	model    *CostModel
+	strategy Strategy
+	initialK int
+	delta    int
+}
+
+// QueryOption configures Search, Stream, and Explain.
+type QueryOption func(*queryConfig)
+
+// WithCostModel supplies the transformation costs for this query. Without
+// it, only insertions are allowed (exact containment semantics with
+// context-specificity ranking).
+func WithCostModel(m *CostModel) QueryOption {
+	return func(c *queryConfig) { c.model = m }
+}
+
+// WithStrategy forces an evaluation strategy.
+func WithStrategy(s Strategy) QueryOption {
+	return func(c *queryConfig) { c.strategy = s }
+}
+
+// WithInitialK overrides the schema-driven algorithm's initial guess for
+// the number of second-level queries (Section 7.4: "a good initial guess of
+// k is crucial").
+func WithInitialK(k int) QueryOption {
+	return func(c *queryConfig) { c.initialK = k }
+}
+
+// WithDelta overrides the increment applied to k when the first k
+// second-level queries yield too few results.
+func WithDelta(d int) QueryOption {
+	return func(c *queryConfig) { c.delta = d }
+}
+
+func (db *Database) config(opts []QueryOption) queryConfig {
+	c := queryConfig{model: cost.NewModel()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Parse checks an approXQL query without executing it and returns its
+// canonical form.
+func Parse(query string) (string, error) {
+	q, err := lang.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}
+
+// Search returns the best n results for an approXQL query, ranked by
+// ascending transformation cost. n <= 0 returns all approximate results.
+func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, error) {
+	c := db.config(opts)
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	x := lang.Expand(q, c.model)
+	strategy := c.strategy
+	if strategy == Auto {
+		if n > 0 {
+			strategy = SchemaDriven
+		} else {
+			strategy = Direct
+		}
+	}
+	switch strategy {
+	case Direct:
+		return eval.New(db.tree, db.ix).BestN(x, n)
+	case SchemaDriven:
+		res, _, err := kbest.BestN(db.Schema(), x, n, kbest.Options{
+			InitialK: c.initialK,
+			Delta:    c.delta,
+		})
+		return res, err
+	}
+	return nil, fmt.Errorf("approxql: unknown strategy %d", strategy)
+}
+
+// Stream retrieves results incrementally in ascending cost order, calling
+// fn for each; fn returns false to stop. This is the "further advantage of
+// the schema-based approach" of the paper's conclusion: once the second-
+// level queries are generated, results are sent to the user as soon as each
+// second-level query completes.
+func (db *Database) Stream(query string, fn func(Result) bool, opts ...QueryOption) error {
+	c := db.config(opts)
+	q, err := lang.Parse(query)
+	if err != nil {
+		return err
+	}
+	x := lang.Expand(q, c.model)
+	sch := db.Schema()
+
+	k := c.initialK
+	if k <= 0 {
+		k = 8
+	}
+	delta := c.delta
+	if delta <= 0 {
+		delta = k
+	}
+	// Result roots are instances of classes carrying the root label or a
+	// renaming of it; reaching that bound ends the stream (further
+	// second-level queries can only repeat known roots).
+	maxResults := 0
+	for _, label := range append([]string{x.Root.Label}, renameTargets(x.Root)...) {
+		for _, cls := range sch.StructClasses(label) {
+			maxResults += len(sch.Instances(cls))
+		}
+	}
+
+	seen := make(map[NodeID]bool)
+	executed := make(map[string]bool)
+	for {
+		en := kbest.NewEngine(sch, k)
+		lp, err := en.SecondLevel(x)
+		if err != nil {
+			return err
+		}
+		for _, e := range lp {
+			sig := kbest.Signature(e)
+			if executed[sig] {
+				continue
+			}
+			executed[sig] = true
+			roots, err := en.Secondary(e)
+			if err != nil {
+				return err
+			}
+			for _, u := range roots {
+				if seen[u] {
+					continue
+				}
+				seen[u] = true
+				if !fn(Result{Root: u, Cost: e.Cost}) {
+					return nil
+				}
+			}
+		}
+		if len(lp) < k || len(seen) >= maxResults || k >= 1<<20 {
+			return nil
+		}
+		k += delta
+		delta *= 2
+	}
+}
+
+// ExplainedResult is a result together with the second-level query that
+// retrieved it: the transformed query whose exact embedding the result is.
+type ExplainedResult struct {
+	Result
+	// Plan renders the retrieving second-level query, e.g.
+	// "cd@4[title@5[#text@6=concerto]]".
+	Plan string
+}
+
+// SearchExplained is Search restricted to the schema-driven strategy,
+// additionally reporting for each result the transformed query that found
+// it — the explanation of *why* a result matched and what it cost.
+func (db *Database) SearchExplained(query string, n int, opts ...QueryOption) ([]ExplainedResult, error) {
+	c := db.config(opts)
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	x := lang.Expand(q, c.model)
+	sch := db.Schema()
+
+	k := c.initialK
+	if k <= 0 {
+		k = 8
+		if n > k {
+			k = n
+		}
+	}
+	delta := c.delta
+	if delta <= 0 {
+		delta = k
+	}
+	// Result roots are bounded by the instances of root-label classes.
+	maxResults := 0
+	for _, label := range append([]string{x.Root.Label}, renameTargets(x.Root)...) {
+		for _, cls := range sch.StructClasses(label) {
+			maxResults += len(sch.Instances(cls))
+		}
+	}
+	var out []ExplainedResult
+	seen := make(map[NodeID]bool)
+	executed := make(map[string]bool)
+	for {
+		en := kbest.NewEngine(sch, k)
+		lp, err := en.SecondLevel(x)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range lp {
+			sig := kbest.Signature(e)
+			if executed[sig] {
+				continue
+			}
+			executed[sig] = true
+			roots, err := en.Secondary(e)
+			if err != nil {
+				return nil, err
+			}
+			for _, u := range roots {
+				if seen[u] {
+					continue
+				}
+				seen[u] = true
+				out = append(out, ExplainedResult{
+					Result: Result{Root: u, Cost: e.Cost},
+					Plan:   kbest.Render(e),
+				})
+				if n > 0 && len(out) >= n {
+					return out, nil
+				}
+			}
+		}
+		if len(lp) < k || len(seen) >= maxResults || k >= 1<<20 {
+			return out, nil
+		}
+		k += delta
+		delta *= 2
+	}
+}
+
+// MatchStep reports the fate of one query selector in the cheapest
+// embedding of a query at a particular result (see MatchDetails).
+type MatchStep struct {
+	// QueryLabel is the selector's original label.
+	QueryLabel string
+	// Kind distinguishes name selectors from text selectors.
+	Kind Kind
+	// Action is "matched", "renamed", or "deleted".
+	Action string
+	// MatchedLabel is the data-side label (differs from QueryLabel when
+	// the selector was renamed; empty when deleted).
+	MatchedLabel string
+	// Node is the matched data node (undefined when deleted).
+	Node NodeID
+}
+
+// MatchDetails explains one result: it reconstructs the cheapest valid
+// embedding of the query at the given result root and reports, selector by
+// selector, whether it matched directly, matched under a renaming, or was
+// deleted — the information a UI needs for highlighting. The root must be a
+// result of the same query and cost model (as returned by Search).
+func (db *Database) MatchDetails(query string, root NodeID, opts ...QueryOption) ([]MatchStep, Cost, error) {
+	c := db.config(opts)
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, 0, err
+	}
+	assigns, total, err := eval.Explain(db.tree, q, c.model, root)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]MatchStep, len(assigns))
+	for i, a := range assigns {
+		out[i] = MatchStep{
+			QueryLabel:   a.Query.Label,
+			Kind:         a.Query.Kind,
+			Action:       a.Action.String(),
+			MatchedLabel: a.Label,
+			Node:         a.Node,
+		}
+		if a.Action == eval.Deleted {
+			out[i].MatchedLabel = ""
+		}
+	}
+	return out, total, nil
+}
+
+// SuggestOptions tune SuggestCostModel; the zero value uses the defaults of
+// the derivation heuristics (5 renamings per label, costs in [1, 9]).
+type SuggestOptions = costgen.Options
+
+// SuggestCostModel derives a transformation cost model for the given query
+// from the collection's structure: renaming candidates come from element
+// names and terms used in similar contexts (measured on the schema), and
+// delete costs reflect how much structure a name carries. This implements
+// the paper's future-work item on domain-specific cost rules; treat the
+// result as a starting point and inspect it with Explain.
+func (db *Database) SuggestCostModel(query string, opt SuggestOptions) (*CostModel, error) {
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	a := costgen.NewAnalyzer(db.Schema(), opt)
+	labels := make([]costgen.Label, 0, 8)
+	for _, l := range q.Labels() {
+		labels = append(labels, costgen.Label{Name: l.Name, Kind: l.Kind})
+	}
+	return a.ModelFor(labels), nil
+}
+
+func renameTargets(root *lang.XNode) []string {
+	out := make([]string, 0, len(root.Renamings))
+	for _, r := range root.Renamings {
+		out = append(out, r.To)
+	}
+	return out
+}
+
+// SecondLevelQuery describes one transformed query produced by the
+// schema-driven planner, for Explain.
+type SecondLevelQuery struct {
+	// Rendered is a compact textual form, e.g. "cd@3[title@5[#text@6]]".
+	Rendered string
+	// Cost is the embedding cost every result of this query receives.
+	Cost Cost
+	// Results is the number of data subtrees the query retrieves.
+	Results int
+}
+
+// Explain returns the best k second-level queries for an approXQL query —
+// the transformed queries the schema-driven strategy would execute — with
+// their costs and result counts. It is the introspection tool for cost-model
+// tuning.
+func (db *Database) Explain(query string, k int, opts ...QueryOption) ([]SecondLevelQuery, error) {
+	c := db.config(opts)
+	q, err := lang.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	x := lang.Expand(q, c.model)
+	if k <= 0 {
+		k = 10
+	}
+	en := kbest.NewEngine(db.Schema(), k)
+	lp, err := en.SecondLevel(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SecondLevelQuery, len(lp))
+	for i, e := range lp {
+		roots, err := en.Secondary(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = SecondLevelQuery{
+			Rendered: kbest.Render(e),
+			Cost:     e.Cost,
+			Results:  len(roots),
+		}
+	}
+	return out, nil
+}

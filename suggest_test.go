@@ -1,0 +1,79 @@
+package approxql
+
+import "testing"
+
+const mediaXML = `
+<catalog>
+  <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
+  <cd><title>Cello Sonata</title><performer>Rostropovich</performer></cd>
+  <dvd><title>Piano Recital</title><performer>Argerich</performer></dvd>
+  <mc><title>Concerto Grosso</title><composer>Handel</composer></mc>
+</catalog>`
+
+func buildMediaDB(t *testing.T) *Database {
+	t.Helper()
+	b := NewBuilder(nil)
+	if err := b.AddXMLString(mediaXML); err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSuggestCostModel(t *testing.T) {
+	db := buildMediaDB(t)
+	query := `cd[title["concerto"] and composer["rachmaninov"]]`
+	model, err := db.SuggestCostModel(query, SuggestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic should offer media-type renamings for cd...
+	cdRenames := model.Renamings("cd", Struct)
+	if len(cdRenames) == 0 {
+		t.Fatal("no renamings suggested for cd")
+	}
+	targets := make(map[string]bool)
+	for _, r := range cdRenames {
+		targets[r.To] = true
+	}
+	if !targets["mc"] && !targets["dvd"] {
+		t.Errorf("cd renamings = %v, want media types", cdRenames)
+	}
+	// ...and composer↔performer.
+	found := false
+	for _, r := range model.Renamings("composer", Struct) {
+		if r.To == "performer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("composer renamings = %v, want performer", model.Renamings("composer", Struct))
+	}
+	// The suggested model must widen the result set compared to the
+	// default model.
+	strict, err := db.Search(query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := db.Search(query, 0, WithCostModel(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) <= len(strict) {
+		t.Errorf("suggested model found %d results, default %d", len(loose), len(strict))
+	}
+	// Exact matches still rank first.
+	if len(loose) > 0 && loose[0].Cost != 0 {
+		t.Errorf("best result under suggested model costs %d", loose[0].Cost)
+	}
+}
+
+func TestSuggestCostModelSyntaxError(t *testing.T) {
+	db := buildMediaDB(t)
+	if _, err := db.SuggestCostModel(`cd[`, SuggestOptions{}); err == nil {
+		t.Error("syntax error not reported")
+	}
+}
