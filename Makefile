@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive tests (parallel secondary execution, shared
+# caches, cross-goroutine searches) under the race detector.
+race:
+	$(GO) test -race ./... -run 'Concurrent|Parallel'
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

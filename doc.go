@@ -40,4 +40,17 @@
 //	for _, r := range res {
 //		fmt.Printf("cost %d:\n%s", r.Cost, db.Render(r.Root))
 //	}
+//
+// Results can also be pulled lazily in ascending cost order:
+//
+//	for r, err := range db.Results(`cd[title["piano"]]`, approxql.WithCostModel(model)) {
+//		if err != nil {
+//			return err
+//		}
+//		fmt.Println(db.Path(r.Root), r.Cost) // break stops the evaluation
+//	}
+//
+// Every query entry point has a Context variant; WithParallelism fans the
+// schema-driven strategy's second-level queries out over a worker pool, and
+// WithMetrics records per-stage execution metrics.
 package approxql

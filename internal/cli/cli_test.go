@@ -167,8 +167,44 @@ func TestQueryHighlightAndStats(t *testing.T) {
 	if !strings.Contains(out.String(), "schema classes") || !strings.Contains(out.String(), "elements") {
 		t.Errorf("stats output:\n%s", out.String())
 	}
-	if err := Query([]string{"-xml", xml, "-stats", "extra"}, io.Discard, io.Discard); err == nil {
-		t.Error("-stats with a query accepted")
+
+	// -stats with a query appends per-stage execution metrics.
+	out.Reset()
+	if err := Query([]string{"-xml", xml, "-papercosts", "-stats", "-n", "2",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "execution metrics") || !strings.Contains(s, "rounds") ||
+		!strings.Contains(s, "executed") {
+		t.Errorf("query metrics output:\n%s", s)
+	}
+}
+
+func TestQueryParallelAndTimeout(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+
+	// Parallel and sequential runs print identical results.
+	var seq, par bytes.Buffer
+	for _, c := range []struct {
+		w    *bytes.Buffer
+		flag string
+	}{{&seq, "1"}, {&par, "4"}} {
+		if err := Query([]string{"-xml", xml, "-papercosts", "-parallel", c.flag,
+			"-n", "0", `cd[title["concerto"]]`}, c.w, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel output differs:\n%s\nvs\n%s", seq.String(), par.String())
+	}
+
+	// An absurdly small timeout aborts the query with a deadline error.
+	err := Query([]string{"-xml", xml, "-papercosts", "-timeout", "1ns",
+		`cd[title["concerto"]]`}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("timeout error = %v", err)
 	}
 }
 

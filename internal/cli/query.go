@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,15 +27,14 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		highlight = fs.Bool("highlight", false, "annotate each result with how every query selector matched")
 		explain   = fs.Bool("explain", false, "print the best second-level queries instead of results")
 		stream    = fs.Bool("stream", false, "print results incrementally as they are found")
-		stats     = fs.Bool("stats", false, "print collection statistics instead of querying")
+		stats     = fs.Bool("stats", false, "with a query: print per-stage execution metrics after the results; without: print collection statistics")
+		parallel  = fs.Int("parallel", 0, "worker-pool size for second-level queries (0 = GOMAXPROCS, 1 = sequential)")
+		timeout   = fs.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *stats {
-		if fs.NArg() != 0 {
-			return fmt.Errorf("usage: axql -stats [-db FILE | -xml FILES]")
-		}
+	if *stats && fs.NArg() == 0 {
 		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel())
 		if err != nil {
 			return err
@@ -45,6 +45,13 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("usage: axql [flags] 'query'")
 	}
 	query := fs.Arg(0)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fallback := approxql.NewCostModel()
 	if *paper {
@@ -79,10 +86,18 @@ func Query(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	if *parallel != 0 {
+		opts = append(opts, approxql.WithParallelism(*parallel))
+	}
+	var metrics *approxql.QueryMetrics
+	if *stats {
+		metrics = &approxql.QueryMetrics{}
+		opts = append(opts, approxql.WithMetrics(metrics))
+	}
 
 	switch {
 	case *explain:
-		plans, err := db.Explain(query, *n, opts...)
+		plans, err := db.ExplainContext(ctx, query, *n, opts...)
 		if err != nil {
 			return err
 		}
@@ -91,7 +106,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		}
 	case *stream:
 		i := 0
-		err := db.Stream(query, func(r approxql.Result) bool {
+		err := db.StreamContext(ctx, query, func(r approxql.Result) bool {
 			i++
 			printResult(stdout, db, i, r, *render)
 			return *n <= 0 || i < *n
@@ -100,7 +115,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	default:
-		results, err := db.Search(query, *n, opts...)
+		results, err := db.SearchContext(ctx, query, *n, opts...)
 		if err != nil {
 			return err
 		}
@@ -112,6 +127,9 @@ func Query(args []string, stdout, stderr io.Writer) error {
 				}
 			}
 		}
+	}
+	if metrics != nil {
+		fmt.Fprintf(stdout, "--- execution metrics ---\n%s", metrics.String())
 	}
 	return nil
 }

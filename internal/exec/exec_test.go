@@ -1,0 +1,355 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/datagen"
+	"approxql/internal/exec"
+	"approxql/internal/kbest"
+	"approxql/internal/lang"
+	"approxql/internal/querygen"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// testWorld is a synthetic multi-label collection plus generated queries:
+// the workload the paper's experiments run, scaled down for tests.
+type testWorld struct {
+	tree *xmltree.Tree
+	sch  *schema.Schema
+	gen  *querygen.Generator
+}
+
+var world *testWorld
+
+func getWorld(t *testing.T) *testWorld {
+	t.Helper()
+	if world != nil {
+		return world
+	}
+	cfg := datagen.Default(7).Scale(0.02) // ~2000 elements, ~20k words
+	g, err := datagen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := xmltree.NewBuilder(nil)
+	for !g.Done() {
+		g.GenerateDocument(b)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := querygen.New(tree, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world = &testWorld{tree: tree, sch: schema.Build(tree), gen: qg}
+	return world
+}
+
+func collect(t *testing.T, eng *exec.Engine, x *lang.Expanded) []exec.Item {
+	t.Helper()
+	var items []exec.Item
+	if err := eng.Run(context.Background(), x, func(it exec.Item) bool {
+		items = append(items, it)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// TestParallelMatchesSequentialSequences is the determinism property: for
+// any query and cost model, parallel and sequential execution emit
+// identical ordered (root, cost) sequences — the ordered fan-in releases
+// query i's results only after queries 0..i-1 delivered theirs.
+func TestParallelMatchesSequentialSequences(t *testing.T) {
+	w := getWorld(t)
+	for pi, pattern := range querygen.PaperPatterns {
+		for _, renamings := range []int{0, 5} {
+			g, err := w.gen.Generate(pattern, renamings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := lang.Expand(g.Query, g.Model)
+			for _, n := range []int{1, 10, 0} {
+				seq := collect(t, exec.New(w.sch, w.sch, exec.Config{N: n, Parallelism: 1}), x)
+				par := collect(t, exec.New(w.sch, w.sch, exec.Config{N: n, Parallelism: 8}), x)
+				name := fmt.Sprintf("pattern%d/renamings=%d/n=%d", pi+1, renamings, n)
+				if len(seq) != len(par) {
+					t.Fatalf("%s: sequential emitted %d items, parallel %d", name, len(seq), len(par))
+				}
+				for i := range seq {
+					if seq[i].Root != par[i].Root || seq[i].Cost != par[i].Cost {
+						t.Fatalf("%s: item %d: sequential (%d, %d), parallel (%d, %d)",
+							name, i, seq[i].Root, seq[i].Cost, par[i].Root, par[i].Cost)
+					}
+					if kbest.Signature(seq[i].Plan) != kbest.Signature(par[i].Plan) {
+						t.Fatalf("%s: item %d retrieved by different plans", name, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEarlyStop verifies the Stream contract under parallelism:
+// when the emit callback stops the run, Run returns nil promptly without
+// draining the remaining second-level queries into the callback.
+func TestParallelEarlyStop(t *testing.T) {
+	w := getWorld(t)
+	var (
+		x   *lang.Expanded
+		all []exec.Item
+	)
+	for seed := 0; seed < 20 && len(all) < 3; seed++ {
+		g, err := w.gen.Generate(querygen.PaperPatterns[seed%len(querygen.PaperPatterns)], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = lang.Expand(g.Query, g.Model)
+		all = collect(t, exec.New(w.sch, w.sch, exec.Config{Parallelism: 4}), x)
+	}
+	if len(all) < 3 {
+		t.Skipf("workload too small: %d results", len(all))
+	}
+
+	var got []exec.Item
+	err := exec.New(w.sch, w.sch, exec.Config{Parallelism: 4}).Run(context.Background(), x,
+		func(it exec.Item) bool {
+			got = append(got, it)
+			return len(got) < 3
+		})
+	if err != nil {
+		t.Fatalf("early-stopped run: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("callback saw %d items after stopping at 3", len(got))
+	}
+	for i := range got {
+		if got[i].Root != all[i].Root || got[i].Cost != all[i].Cost {
+			t.Fatalf("item %d differs from full run", i)
+		}
+	}
+}
+
+// cancellingSec cancels a context after a fixed number of secondary-index
+// fetches, simulating cancellation arriving mid-round.
+type cancellingSec struct {
+	schema.SecSource
+	cancel context.CancelFunc
+	after  int32
+	calls  atomic.Int32
+}
+
+func (c *cancellingSec) SecInstances(id schema.NodeID) ([]xmltree.NodeID, error) {
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.SecSource.SecInstances(id)
+}
+
+func (c *cancellingSec) SecTermInstances(id schema.NodeID, term string) ([]xmltree.NodeID, error) {
+	if c.calls.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.SecSource.SecTermInstances(id, term)
+}
+
+// TestParallelCancellationMidRound cancels the context from inside the
+// secondary index: the run must stop promptly and return ctx.Err() instead
+// of completing the round.
+func TestParallelCancellationMidRound(t *testing.T) {
+	w := getWorld(t)
+	g, err := w.gen.Generate(querygen.PaperPatterns[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(g.Query, g.Model)
+	for _, parallelism := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		sec := &cancellingSec{SecSource: w.sch, cancel: cancel, after: 3}
+		var m exec.Metrics
+		err := exec.New(w.sch, sec, exec.Config{Parallelism: parallelism, Metrics: &m}).Run(ctx, x,
+			func(exec.Item) bool { return true })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: Run returned %v, want context.Canceled", parallelism, err)
+		}
+		if m.Executed == 0 {
+			t.Fatalf("parallelism=%d: cancellation fired before any execution", parallelism)
+		}
+		cancel()
+	}
+}
+
+// TestPreCancelledContext: a context cancelled before Run starts returns
+// ctx.Err() without planning or executing anything.
+func TestPreCancelledContext(t *testing.T) {
+	w := getWorld(t)
+	g, err := w.gen.Generate(querygen.PaperPatterns[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(g.Query, g.Model)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var m exec.Metrics
+	err = exec.New(w.sch, w.sch, exec.Config{Metrics: &m}).Run(ctx, x,
+		func(exec.Item) bool { t.Fatal("emit called under cancelled context"); return false })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if m.Rounds != 0 || m.Executed != 0 {
+		t.Fatalf("work done under cancelled context: %+v", m)
+	}
+}
+
+// TestMetricsAccounting checks the invariants of the per-stage counters.
+func TestMetricsAccounting(t *testing.T) {
+	w := getWorld(t)
+	g, err := w.gen.Generate(querygen.PaperPatterns[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(g.Query, g.Model)
+	var m exec.Metrics
+	items := collect(t, exec.New(w.sch, w.sch, exec.Config{N: 10, InitialK: 2, Delta: 2, Metrics: &m}), x)
+
+	if m.Rounds < 1 || len(m.KPerRound) != m.Rounds {
+		t.Errorf("rounds = %d, k per round = %v", m.Rounds, m.KPerRound)
+	}
+	if m.FinalK != m.KPerRound[len(m.KPerRound)-1] {
+		t.Errorf("FinalK = %d, last round k = %d", m.FinalK, m.KPerRound[len(m.KPerRound)-1])
+	}
+	if m.Planned != m.Executed+m.Deduped {
+		t.Errorf("planned %d != executed %d + deduped %d", m.Planned, m.Executed, m.Deduped)
+	}
+	if m.ResultsEmitted != len(items) {
+		t.Errorf("ResultsEmitted = %d, emitted %d", m.ResultsEmitted, len(items))
+	}
+	if m.Executed > 0 && m.SecondaryFetches == 0 {
+		t.Error("no secondary fetches recorded despite executions")
+	}
+	if m.SchemaFetches == 0 || m.ListOps == 0 {
+		t.Errorf("planning counters empty: %+v", m)
+	}
+	if m.MaxK != kbest.PlanBound(w.sch, x) {
+		t.Errorf("MaxK = %d, PlanBound = %d", m.MaxK, kbest.PlanBound(w.sch, x))
+	}
+	if m.Rounds > 1 && m.Deduped == 0 {
+		t.Error("multiple rounds but nothing deduped: signature dedup broken")
+	}
+	if s := m.String(); len(s) == 0 {
+		t.Error("empty metrics rendering")
+	}
+}
+
+// TestGrowthPolicy: the growth knob controls the round schedule but never
+// the result set. Growth 1 (constant δ) needs at least as many rounds as
+// the default doubling policy.
+func TestGrowthPolicy(t *testing.T) {
+	w := getWorld(t)
+	g, err := w.gen.Generate(querygen.PaperPatterns[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(g.Query, g.Model)
+
+	sortedRoots := func(items []exec.Item) []string {
+		out := make([]string, len(items))
+		for i, it := range items {
+			out[i] = fmt.Sprintf("%d@%d", it.Root, it.Cost)
+		}
+		sort.Strings(out)
+		return out
+	}
+	var m1, m2 exec.Metrics
+	lin := collect(t, exec.New(w.sch, w.sch, exec.Config{InitialK: 1, Delta: 1, Growth: 1, Metrics: &m1}), x)
+	dbl := collect(t, exec.New(w.sch, w.sch, exec.Config{InitialK: 1, Delta: 1, Growth: 2, Metrics: &m2}), x)
+
+	a, b := sortedRoots(lin), sortedRoots(dbl)
+	if len(a) != len(b) {
+		t.Fatalf("growth=1 found %d results, growth=2 found %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result sets differ at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if m1.Rounds < m2.Rounds {
+		t.Errorf("constant δ used %d rounds, doubling δ %d", m1.Rounds, m2.Rounds)
+	}
+}
+
+// TestDerivedBoundTerminates: with a tiny schema the derived termination
+// bound is small, and a query whose plan space is exhausted stops without
+// the magic 1<<20 guard and without marking the answer truncated.
+func TestDerivedBoundTerminates(t *testing.T) {
+	b := xmltree.NewBuilder(cost.PaperExample())
+	doc := `<catalog><cd><title>concerto</title></cd><mc><title>sonata</title></mc></catalog>`
+	if err := b.AddDocument(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.Build(tree)
+	q, err := lang.Parse(`cd[title["concerto"]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(q, cost.PaperExample())
+	bound := kbest.PlanBound(sch, x)
+	if bound <= 0 || bound > 64 {
+		t.Fatalf("PlanBound = %d for a 3-selector query over a tiny schema", bound)
+	}
+	var m exec.Metrics
+	items := collect(t, exec.New(sch, sch, exec.Config{InitialK: 1, Delta: 1, Growth: 1, Metrics: &m}), x)
+	if len(items) == 0 {
+		t.Fatal("no results")
+	}
+	if m.Truncated {
+		t.Errorf("derived bound marked an exhaustive search truncated: %+v", m)
+	}
+	if m.MaxK != bound {
+		t.Errorf("MaxK = %d, derived bound = %d", m.MaxK, bound)
+	}
+}
+
+// TestExplainCountOnly: the Explain path reports the same counts as full
+// secondary execution.
+func TestExplainCountOnly(t *testing.T) {
+	w := getWorld(t)
+	g, err := w.gen.Generate(querygen.PaperPatterns[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lang.Expand(g.Query, g.Model)
+	eng := exec.New(w.sch, w.sch, exec.Config{})
+	plans, err := eng.Explain(context.Background(), x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	en := kbest.NewEngine(w.sch, 10)
+	for i, p := range plans {
+		roots, err := en.Secondary(p.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) != p.Results {
+			t.Errorf("plan %d: count-only says %d results, execution finds %d", i, p.Results, len(roots))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Metrics records per-stage counters and timings of one evaluation — the
+// EXPLAIN-ANALYZE view of the schema-driven strategy. Pass a zero Metrics
+// through Config.Metrics (one per Run; the engine does not reset it, so a
+// reused struct accumulates).
+//
+// Counters that depend on work distribution (SecondaryFetches,
+// PostingsScanned) may differ between parallel and sequential runs of the
+// same query: worker-local executor caches deduplicate shared skeleton
+// children per worker, not globally. Emitted results never differ.
+type Metrics struct {
+	// ParseTime and ExpandTime cover query parsing and the expansion
+	// under the cost model; they are filled by the public facade.
+	ParseTime  time.Duration
+	ExpandTime time.Duration
+	// PlanTime is the total time planning second-level queries against
+	// the schema (algorithm primary), summed over rounds.
+	PlanTime time.Duration
+	// ExecTime is the total time executing second-level queries against
+	// the secondary index, summed over rounds.
+	ExecTime time.Duration
+
+	// Rounds is the number of incremental rounds (k, k+δ, ...).
+	Rounds int
+	// KPerRound records the k of each round.
+	KPerRound []int
+	// FinalK is the k of the last round.
+	FinalK int
+	// MaxK is the termination bound in effect (configured or derived
+	// from the schema).
+	MaxK int
+
+	// Planned counts second-level queries returned by planning, summed
+	// over rounds (a query planned in r rounds counts r times).
+	Planned int
+	// Deduped counts planned queries skipped because an earlier round
+	// already executed a query with the same skeleton signature.
+	Deduped int
+	// Executed counts second-level queries actually executed: Planned
+	// minus Deduped.
+	Executed int
+
+	// SchemaFetches counts schema-index fetches during planning.
+	SchemaFetches int
+	// ListOps counts adapted list operations during planning.
+	ListOps int
+	// SecondaryFetches counts I_sec posting fetches during execution,
+	// including recursive fetches for skeleton children.
+	SecondaryFetches int
+	// PostingsScanned counts instance-posting entries touched.
+	PostingsScanned int
+
+	// ResultsEmitted counts distinct result roots delivered.
+	ResultsEmitted int
+	// Truncated reports that the search hit MaxK before finding N
+	// results or exhausting the plan space: the answer is best-effort.
+	Truncated bool
+	// Parallelism is the effective worker-pool size.
+	Parallelism int
+}
+
+// String renders the metrics as an aligned multi-line report.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	w("parse time        %v", m.ParseTime)
+	w("expand time       %v", m.ExpandTime)
+	w("plan time         %v", m.PlanTime)
+	w("exec time         %v", m.ExecTime)
+	w("rounds            %d  (k per round: %s)", m.Rounds, formatKs(m.KPerRound))
+	w("final k           %d  (bound %d)", m.FinalK, m.MaxK)
+	w("planned           %d", m.Planned)
+	w("deduped           %d", m.Deduped)
+	w("executed          %d", m.Executed)
+	w("schema fetches    %d", m.SchemaFetches)
+	w("list ops          %d", m.ListOps)
+	w("secondary fetches %d", m.SecondaryFetches)
+	w("postings scanned  %d", m.PostingsScanned)
+	w("results emitted   %d", m.ResultsEmitted)
+	w("parallelism       %d", m.Parallelism)
+	if m.Truncated {
+		w("truncated         true")
+	}
+	return b.String()
+}
+
+func formatKs(ks []int) string {
+	if len(ks) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = fmt.Sprint(k)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -24,6 +24,17 @@ func EncodePosting(post []xmltree.NodeID) []byte {
 	return buf
 }
 
+// PostingCount reads the entry count of an encoded posting from its header
+// without decoding the entries — the count-only fast path used when only a
+// posting's size is wanted.
+func PostingCount(data []byte) (int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, fmt.Errorf("index: bad posting header")
+	}
+	return int(count), nil
+}
+
 // DecodePosting reverses EncodePosting.
 func DecodePosting(data []byte) ([]xmltree.NodeID, error) {
 	count, n := binary.Uvarint(data)

@@ -1,6 +1,7 @@
 package kbest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,12 +38,19 @@ type Engine struct {
 	sec schema.SecSource
 	k   int
 
+	// ctx, when non-nil, is checked between planning steps so a cancelled
+	// or deadline-bounded query stops mid-plan. Set by SecondLevelContext.
+	ctx context.Context
+
 	stats      Stats
 	seq        int
 	fetchCache map[fetchKey]*List
 	innerCache map[*lang.XNode]*List
 	evalCache  map[evalKey]*List
-	secCache   map[*Entry][]xmltree.NodeID
+
+	// defaultExec serves the engine's own Secondary calls; a parallel
+	// driver bypasses it with per-goroutine Executors (NewExecutor).
+	defaultExec *Executor
 }
 
 type fetchKey struct {
@@ -76,12 +84,21 @@ func NewEngineWithSecondary(sch *schema.Schema, k int, sec schema.SecSource) *En
 		fetchCache: make(map[fetchKey]*List),
 		innerCache: make(map[*lang.XNode]*List),
 		evalCache:  make(map[evalKey]*List),
-		secCache:   make(map[*Entry][]xmltree.NodeID),
 	}
 }
 
-// Stats returns the engine's counters.
-func (en *Engine) Stats() Stats { return en.stats }
+// Stats returns the engine's counters, including the secondary executions
+// performed through the engine's own Secondary method. Work done by detached
+// Executors (NewExecutor) is reported by their own Stats.
+func (en *Engine) Stats() Stats {
+	s := en.stats
+	if en.defaultExec != nil {
+		es := en.defaultExec.Stats()
+		s.SecondLevelRuns += es.Runs
+		s.PostingsScanned += es.PostingsScanned
+	}
+	return s
+}
 
 func (en *Engine) nextSeq() int {
 	en.seq++
@@ -93,6 +110,15 @@ func (en *Engine) nextSeq() int {
 // (Section 7.2). Only skeletons containing at least one query-leaf match
 // qualify (the keep-one-leaf rule).
 func (en *Engine) SecondLevel(x *lang.Expanded) ([]*Entry, error) {
+	return en.SecondLevelContext(context.Background(), x)
+}
+
+// SecondLevelContext is SecondLevel with cancellation: the context is
+// checked between dynamic-programming steps, so a cancelled or expired
+// context aborts planning with ctx.Err() instead of running to completion.
+func (en *Engine) SecondLevelContext(ctx context.Context, x *lang.Expanded) ([]*Entry, error) {
+	en.ctx = ctx
+	defer func() { en.ctx = nil }()
 	if x.Root.Rep != lang.RepNode {
 		return nil, fmt.Errorf("kbest: expanded root has type %v, want node", x.Root.Rep)
 	}
@@ -127,6 +153,11 @@ func (en *Engine) SecondLevel(x *lang.Expanded) ([]*Entry, error) {
 func (en *Engine) inner(u *lang.XNode) (*List, error) {
 	if l, ok := en.innerCache[u]; ok {
 		return l, nil
+	}
+	if en.ctx != nil {
+		if err := en.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	l, err := en.computeInner(u)
 	if err != nil {
@@ -176,6 +207,11 @@ func (en *Engine) eval(u *lang.XNode, lA *List) (*List, error) {
 	key := evalKey{u, lA}
 	if l, ok := en.evalCache[key]; ok {
 		return l, nil
+	}
+	if en.ctx != nil {
+		if err := en.ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	l, err := en.computeEval(u, lA)
 	if err != nil {
@@ -230,57 +266,61 @@ func (en *Engine) computeEval(u *lang.XNode, lA *List) (*List, error) {
 // Secondary executes a second-level query against the data tree (Figure 5):
 // a bottom-up semijoin over the path-dependent postings that returns all
 // instances of the skeleton root whose subtrees contain the full skeleton.
+// It runs on the engine's internal Executor; parallel drivers create one
+// Executor per worker with NewExecutor instead.
 func (en *Engine) Secondary(e *Entry) ([]xmltree.NodeID, error) {
-	if res, ok := en.secCache[e]; ok {
-		return res, nil
+	if en.defaultExec == nil {
+		en.defaultExec = en.NewExecutor()
 	}
-	en.stats.SecondLevelRuns++
-	var la []xmltree.NodeID
-	var err error
-	if e.Kind == cost.Text {
-		la, err = en.sec.SecTermInstances(e.Class, e.Label)
-	} else {
-		la, err = en.sec.SecInstances(e.Class)
-	}
-	if err != nil {
-		return nil, err
-	}
-	en.stats.PostingsScanned += len(la)
-	for _, d := range e.Pointers {
-		ld, err := en.Secondary(d)
-		if err != nil {
-			return nil, err
-		}
-		la = en.semijoin(la, ld)
-		if len(la) == 0 {
-			break
-		}
-	}
-	en.secCache[e] = la
-	return la, nil
+	return en.defaultExec.Secondary(context.Background(), e)
 }
 
-// semijoin keeps the nodes of la that have a descendant in ld. Both lists
-// are sorted by preorder.
-func (en *Engine) semijoin(la, ld []xmltree.NodeID) []xmltree.NodeID {
-	tree := en.sch.Tree()
-	out := make([]xmltree.NodeID, 0, len(la))
-	j := 0
-	for _, u := range la {
-		for j < len(ld) && ld[j] <= u {
-			j++
-		}
-		// Nested ancestors overlap, so scan without moving j.
-		for x := j; x < len(ld); x++ {
-			if ld[x] > tree.Bound(u) {
-				break
-			}
-			out = append(out, u)
-			break
-		}
-		en.stats.PostingsScanned++
+// SecondaryCount reports how many result roots a second-level query
+// retrieves without retaining the root list — the introspection path used by
+// Explain, which needs counts for many queries but never the results.
+func (en *Engine) SecondaryCount(ctx context.Context, e *Entry) (int, error) {
+	if en.defaultExec == nil {
+		en.defaultExec = en.NewExecutor()
 	}
-	return out
+	return en.defaultExec.SecondaryCount(ctx, e)
+}
+
+// planBoundCeiling saturates PlanBound's product so it cannot overflow; it
+// still exceeds any k a driver could realistically plan with.
+const planBoundCeiling = 1 << 30
+
+// PlanBound returns an upper bound on the number of distinct second-level
+// queries that planning can generate for x against sch, derived from the
+// schema: every skeleton assigns to each selector node either one of its
+// candidate classes (for its label or any renaming) or "deleted", so the
+// product of (candidates + 1) over all selector nodes bounds the number of
+// skeletons. Incremental drivers use it as the termination guard — once k
+// reaches the bound, growing k cannot produce new second-level queries. The
+// product saturates at an implementation ceiling for pathological cost
+// models whose closure is astronomically large.
+func PlanBound(sch *schema.Schema, x *lang.Expanded) int {
+	bound := 1
+	for _, u := range x.Nodes {
+		if u.Rep != lang.RepNode && u.Rep != lang.RepLeaf {
+			continue
+		}
+		cand := classCount(sch, u.Label, u.Kind)
+		for _, r := range u.Renamings {
+			cand += classCount(sch, r.To, u.Kind)
+		}
+		if bound > planBoundCeiling/(cand+1) {
+			return planBoundCeiling
+		}
+		bound *= cand + 1
+	}
+	return bound
+}
+
+func classCount(sch *schema.Schema, label string, kind cost.Kind) int {
+	if kind == cost.Text {
+		return len(sch.TextClasses(label))
+	}
+	return len(sch.StructClasses(label))
 }
 
 // Options tune the incremental best-n algorithm of Figure 6.
@@ -293,11 +333,19 @@ type Options struct {
 	// increment doubles after every round so the number of rounds stays
 	// logarithmic even when the skeleton space grows with k.
 	Delta int
-	// MaxK is a safety valve: the search stops once k exceeds it even if
+	// MaxK is a safety valve: the search stops once k reaches it even if
 	// fewer than n results were found (the closure can contain
 	// astronomically many transformed queries that all retrieve already
-	// known roots). Zero means 1<<20.
+	// known roots). Zero derives the bound from the schema with PlanBound:
+	// the maximum number of distinct second-level queries the plan can
+	// generate, past which growing k is provably useless.
 	MaxK int
+	// Growth is the factor applied to Delta after every round. The
+	// skeleton space can grow with k, so a fixed δ may never catch up when
+	// many results are wanted; growing δ geometrically keeps the number of
+	// rounds logarithmic. Zero means 2 (the paper-era doubling policy);
+	// 1 keeps δ constant, i.e. the literal k ← k + δ of Figure 6.
+	Growth int
 }
 
 // BestN solves the best-n-pairs problem with the incremental schema-driven
@@ -332,9 +380,14 @@ func BestNWithSecondary(sch *schema.Schema, sec schema.SecSource, x *lang.Expand
 	if delta <= 0 {
 		delta = k
 	}
+	growth := opt.Growth
+	if growth <= 0 {
+		growth = 2
+	}
 	maxK := opt.MaxK
-	if maxK <= 0 {
-		maxK = 1 << 20
+	derivedMax := maxK <= 0
+	if derivedMax {
+		maxK = PlanBound(sch, x)
 	}
 
 	// maxResults bounds the achievable result count: every result root is
@@ -404,14 +457,15 @@ func BestNWithSecondary(sch *schema.Schema, sec schema.SecSource, x *lang.Expand
 			break
 		}
 		if k >= maxK {
-			stats.Truncated = true
+			// A derived bound dominates the number of distinct
+			// second-level queries, so every one of them was planned this
+			// round and the answer is exact; only a user-supplied MaxK (or
+			// a saturated derived bound) can cut the search short.
+			stats.Truncated = !derivedMax || maxK >= planBoundCeiling
 			break
 		}
 		k += delta
-		// The skeleton space can grow with k, so a fixed δ may never
-		// catch up when many results are wanted; double δ after each
-		// round to keep the number of rounds logarithmic.
-		delta *= 2
+		delta *= growth
 	}
 
 	// Results arrive in ascending cost order; sort ties by preorder for

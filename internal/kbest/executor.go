@@ -1,0 +1,153 @@
+package kbest
+
+import (
+	"context"
+
+	"approxql/internal/cost"
+	"approxql/internal/schema"
+	"approxql/internal/xmltree"
+)
+
+// ExecStats counts the work done by one Executor.
+type ExecStats struct {
+	// Runs counts secondary executions, including recursive executions of
+	// skeleton children (cache misses only).
+	Runs int
+	// PostingsScanned counts instance-posting entries touched.
+	PostingsScanned int
+}
+
+// Executor runs second-level queries against the data tree. It shares the
+// engine's schema and secondary-index source but owns its result cache and
+// counters, so a parallel driver can hand each worker goroutine its own
+// Executor and execute independent second-level queries concurrently.
+// An Executor must not be used from more than one goroutine at a time.
+type Executor struct {
+	tree  *xmltree.Tree
+	sec   schema.SecSource
+	cache map[*Entry][]xmltree.NodeID
+	stats ExecStats
+}
+
+// NewExecutor returns an Executor over the engine's schema and secondary
+// source with an empty cache.
+func (en *Engine) NewExecutor() *Executor {
+	return &Executor{
+		tree:  en.sch.Tree(),
+		sec:   en.sec,
+		cache: make(map[*Entry][]xmltree.NodeID),
+	}
+}
+
+// Stats returns the executor's counters.
+func (ex *Executor) Stats() ExecStats { return ex.stats }
+
+// Secondary executes a second-level query against the data tree (Figure 5):
+// a bottom-up semijoin over the path-dependent postings that returns all
+// instances of the skeleton root whose subtrees contain the full skeleton.
+// The context is checked before every posting fetch, so a cancelled query
+// stops between skeleton nodes.
+func (ex *Executor) Secondary(ctx context.Context, e *Entry) ([]xmltree.NodeID, error) {
+	if res, ok := ex.cache[e]; ok {
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	la, err := ex.fetchPosting(e)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range e.Pointers {
+		ld, err := ex.Secondary(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		la = ex.semijoin(la, ld)
+		if len(la) == 0 {
+			break
+		}
+	}
+	ex.cache[e] = la
+	return la, nil
+}
+
+// SecondaryCount is the count-only variant of Secondary: it reports how many
+// result roots the second-level query retrieves without retaining the root
+// list. Skeletons without pointers are counted straight from the secondary
+// index when the source supports it (schema.SecCounter), never materializing
+// the posting at all.
+func (ex *Executor) SecondaryCount(ctx context.Context, e *Entry) (int, error) {
+	if res, ok := ex.cache[e]; ok {
+		return len(res), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(e.Pointers) == 0 {
+		if sc, ok := ex.sec.(schema.SecCounter); ok {
+			ex.stats.Runs++
+			if e.Kind == cost.Text {
+				return sc.SecTermInstanceCount(e.Class, e.Label)
+			}
+			return sc.SecInstanceCount(e.Class)
+		}
+	}
+	la, err := ex.fetchPosting(e)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range e.Pointers {
+		ld, err := ex.Secondary(ctx, d)
+		if err != nil {
+			return 0, err
+		}
+		la = ex.semijoin(la, ld)
+		if len(la) == 0 {
+			break
+		}
+	}
+	// Deliberately not cached: the count-only path exists so that
+	// introspection over many second-level queries does not hold every
+	// result list in memory.
+	return len(la), nil
+}
+
+// fetchPosting loads the I_sec posting of the skeleton root.
+func (ex *Executor) fetchPosting(e *Entry) ([]xmltree.NodeID, error) {
+	ex.stats.Runs++
+	var la []xmltree.NodeID
+	var err error
+	if e.Kind == cost.Text {
+		la, err = ex.sec.SecTermInstances(e.Class, e.Label)
+	} else {
+		la, err = ex.sec.SecInstances(e.Class)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ex.stats.PostingsScanned += len(la)
+	return la, nil
+}
+
+// semijoin keeps the nodes of la that have a descendant in ld. Both lists
+// are sorted by preorder.
+func (ex *Executor) semijoin(la, ld []xmltree.NodeID) []xmltree.NodeID {
+	out := make([]xmltree.NodeID, 0, len(la))
+	j := 0
+	for _, u := range la {
+		for j < len(ld) && ld[j] <= u {
+			j++
+		}
+		// Nested ancestors overlap, so scan without moving j.
+		for x := j; x < len(ld); x++ {
+			if ld[x] > ex.tree.Bound(u) {
+				break
+			}
+			out = append(out, u)
+			break
+		}
+		ex.stats.PostingsScanned++
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package schema
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"approxql/internal/index"
 	"approxql/internal/storage"
@@ -27,6 +28,25 @@ func (s *Schema) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
 // SecTermInstances implements SecSource over the in-memory postings.
 func (s *Schema) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
 	return s.TermInstances(c, term), nil
+}
+
+// SecCounter is the optional count-only extension of SecSource: posting
+// sizes without the postings. Count-only evaluation paths (the Explain
+// introspection) probe for it so that reporting result counts never decodes
+// or retains full instance lists.
+type SecCounter interface {
+	SecInstanceCount(c NodeID) (int, error)
+	SecTermInstanceCount(c NodeID, term string) (int, error)
+}
+
+// SecInstanceCount implements SecCounter over the in-memory postings.
+func (s *Schema) SecInstanceCount(c NodeID) (int, error) {
+	return len(s.Instances(c)), nil
+}
+
+// SecTermInstanceCount implements SecCounter over the in-memory postings.
+func (s *Schema) SecTermInstanceCount(c NodeID, term string) (int, error) {
+	return len(s.TermInstances(c, term)), nil
 }
 
 // I_sec keys: the paper constructs them as pre(u)#label(u); here the class
@@ -70,9 +90,12 @@ func (s *Schema) SaveSec(db *storage.DB) error {
 	return nil
 }
 
-// StoredSec is a SecSource reading I_sec postings from a storage.DB.
+// StoredSec is a SecSource reading I_sec postings from a storage.DB. It is
+// safe for concurrent use: the parallel execution engine fans second-level
+// queries out over worker goroutines that share one source.
 type StoredSec struct {
 	db    *storage.DB
+	mu    sync.Mutex
 	cache map[string][]xmltree.NodeID
 	limit int
 }
@@ -82,9 +105,24 @@ func OpenStoredSec(db *storage.DB) *StoredSec {
 	return &StoredSec{db: db, cache: make(map[string][]xmltree.NodeID), limit: 4096}
 }
 
+// SetCacheLimit bounds the decode cache to n postings; 0 disables caching
+// so every fetch reads and decodes from storage (benchmarks use this to
+// measure raw I_sec access).
+func (ss *StoredSec) SetCacheLimit(n int) {
+	ss.mu.Lock()
+	ss.limit = n
+	if n == 0 {
+		ss.cache = make(map[string][]xmltree.NodeID)
+	}
+	ss.mu.Unlock()
+}
+
 func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
 	k := string(key)
-	if post, ok := ss.cache[k]; ok {
+	ss.mu.Lock()
+	post, ok := ss.cache[k]
+	ss.mu.Unlock()
+	if ok {
 		return post, nil
 	}
 	raw, ok, err := ss.db.Get(key)
@@ -94,16 +132,18 @@ func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
 	if !ok {
 		return nil, nil
 	}
-	post, err := index.DecodePosting(raw)
+	post, err = index.DecodePosting(raw)
 	if err != nil {
 		return nil, fmt.Errorf("schema: posting %q: %w", k, err)
 	}
+	ss.mu.Lock()
 	if ss.limit > 0 {
 		if len(ss.cache) >= ss.limit {
 			ss.cache = make(map[string][]xmltree.NodeID)
 		}
 		ss.cache[k] = post
 	}
+	ss.mu.Unlock()
 	return post, nil
 }
 
@@ -115,4 +155,38 @@ func (ss *StoredSec) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
 // SecTermInstances implements SecSource.
 func (ss *StoredSec) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
 	return ss.fetch(secTermKey(c, term))
+}
+
+// count reads a posting's size from its encoded header, without decoding —
+// or caching — the entries. Cached postings short-circuit to their length.
+func (ss *StoredSec) count(key []byte) (int, error) {
+	k := string(key)
+	ss.mu.Lock()
+	post, ok := ss.cache[k]
+	ss.mu.Unlock()
+	if ok {
+		return len(post), nil
+	}
+	raw, ok, err := ss.db.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	n, err := index.PostingCount(raw)
+	if err != nil {
+		return 0, fmt.Errorf("schema: posting %q: %w", k, err)
+	}
+	return n, nil
+}
+
+// SecInstanceCount implements SecCounter.
+func (ss *StoredSec) SecInstanceCount(c NodeID) (int, error) {
+	return ss.count(secStructKey(c))
+}
+
+// SecTermInstanceCount implements SecCounter.
+func (ss *StoredSec) SecTermInstanceCount(c NodeID, term string) (int, error) {
+	return ss.count(secTermKey(c, term))
 }

@@ -1,11 +1,15 @@
 package approxql
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"time"
 
 	"approxql/internal/cost"
 	"approxql/internal/costgen"
 	"approxql/internal/eval"
+	"approxql/internal/exec"
 	"approxql/internal/kbest"
 	"approxql/internal/lang"
 )
@@ -38,14 +42,24 @@ func (s Strategy) String() string {
 	}
 }
 
+// QueryMetrics records per-stage counters and timings of one schema-driven
+// evaluation: parse/expand/plan/exec time, rounds and their k values,
+// second-level queries planned vs. deduped vs. executed, index fetch
+// counts, and results emitted. Attach one with WithMetrics.
+type QueryMetrics = exec.Metrics
+
 type queryConfig struct {
 	model    *CostModel
 	strategy Strategy
 	initialK int
 	delta    int
+	growth   int
+	maxK     int
+	parallel int
+	metrics  *QueryMetrics
 }
 
-// QueryOption configures Search, Stream, and Explain.
+// QueryOption configures Search, Stream, Results, and Explain.
 type QueryOption func(*queryConfig)
 
 // WithCostModel supplies the transformation costs for this query. Without
@@ -73,6 +87,36 @@ func WithDelta(d int) QueryOption {
 	return func(c *queryConfig) { c.delta = d }
 }
 
+// WithGrowth overrides the factor applied to the increment after every
+// round (the default 2 keeps the number of rounds logarithmic; 1 grows k by
+// a constant δ per round, the literal policy of the paper's Figure 6).
+func WithGrowth(g int) QueryOption {
+	return func(c *queryConfig) { c.growth = g }
+}
+
+// WithMaxK bounds the schema-driven search: it stops once k reaches the
+// bound even if fewer results were found. Without it the bound is derived
+// from the schema — the maximum number of distinct second-level queries the
+// plan can generate, past which growing k is provably useless.
+func WithMaxK(k int) QueryOption {
+	return func(c *queryConfig) { c.maxK = k }
+}
+
+// WithParallelism sets the worker-pool size for executing second-level
+// queries against the secondary index. The default (0) uses GOMAXPROCS;
+// 1 executes sequentially. Results are identical at any setting: the
+// engine releases each query's results in plan order.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.parallel = n }
+}
+
+// WithMetrics attaches a metrics sink filled during evaluation — the
+// EXPLAIN-ANALYZE view of a query. Pass a zero QueryMetrics per query; a
+// reused struct accumulates across queries.
+func WithMetrics(m *QueryMetrics) QueryOption {
+	return func(c *queryConfig) { c.metrics = m }
+}
+
 func (db *Database) config(opts []QueryOption) queryConfig {
 	c := queryConfig{model: cost.NewModel()}
 	for _, o := range opts {
@@ -91,15 +135,55 @@ func Parse(query string) (string, error) {
 	return q.String(), nil
 }
 
-// Search returns the best n results for an approXQL query, ranked by
-// ascending transformation cost. n <= 0 returns all approximate results.
-func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, error) {
-	c := db.config(opts)
+// parseExpand parses and expands a query, recording stage timings when a
+// metrics sink is attached.
+func parseExpand(query string, c *queryConfig) (*lang.Expanded, error) {
+	t0 := time.Now()
 	q, err := lang.Parse(query)
 	if err != nil {
 		return nil, err
 	}
+	if c.metrics != nil {
+		c.metrics.ParseTime += time.Since(t0)
+	}
+	t0 = time.Now()
 	x := lang.Expand(q, c.model)
+	if c.metrics != nil {
+		c.metrics.ExpandTime += time.Since(t0)
+	}
+	return x, nil
+}
+
+// engine builds the incremental execution engine for one query — the single
+// execution path of the schema-driven strategy.
+func (db *Database) engine(c queryConfig, n int) *exec.Engine {
+	sch := db.Schema()
+	return exec.New(sch, sch, exec.Config{
+		N:           n,
+		InitialK:    c.initialK,
+		Delta:       c.delta,
+		Growth:      c.growth,
+		MaxK:        c.maxK,
+		Parallelism: c.parallel,
+		Metrics:     c.metrics,
+	})
+}
+
+// Search returns the best n results for an approXQL query, ranked by
+// ascending transformation cost. n <= 0 returns all approximate results.
+func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, error) {
+	return db.SearchContext(context.Background(), query, n, opts...)
+}
+
+// SearchContext is Search with cancellation: planning and secondary
+// execution check the context between steps, so a cancelled or
+// deadline-bounded context stops the evaluation with ctx.Err().
+func (db *Database) SearchContext(ctx context.Context, query string, n int, opts ...QueryOption) ([]Result, error) {
+	c := db.config(opts)
+	x, err := parseExpand(query, &c)
+	if err != nil {
+		return nil, err
+	}
 	strategy := c.strategy
 	if strategy == Auto {
 		if n > 0 {
@@ -110,13 +194,31 @@ func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, 
 	}
 	switch strategy {
 	case Direct:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return eval.New(db.tree, db.ix).BestN(x, n)
 	case SchemaDriven:
-		res, _, err := kbest.BestN(db.Schema(), x, n, kbest.Options{
-			InitialK: c.initialK,
-			Delta:    c.delta,
+		var results []Result
+		err := db.engine(c, n).Run(ctx, x, func(it exec.Item) bool {
+			results = append(results, Result{Root: it.Root, Cost: it.Cost})
+			return true
 		})
-		return res, err
+		if err != nil {
+			return nil, err
+		}
+		// Results arrive in ascending cost order; sort ties by preorder
+		// for deterministic output and truncate to n.
+		sort.SliceStable(results, func(i, j int) bool {
+			if results[i].Cost != results[j].Cost {
+				return results[i].Cost < results[j].Cost
+			}
+			return results[i].Root < results[j].Root
+		})
+		if n > 0 && n < len(results) {
+			results = results[:n]
+		}
+		return results, nil
 	}
 	return nil, fmt.Errorf("approxql: unknown strategy %d", strategy)
 }
@@ -127,66 +229,23 @@ func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, 
 // level queries are generated, results are sent to the user as soon as each
 // second-level query completes.
 func (db *Database) Stream(query string, fn func(Result) bool, opts ...QueryOption) error {
+	return db.StreamContext(context.Background(), query, fn, opts...)
+}
+
+// StreamContext is Stream with cancellation. When fn stops the stream the
+// return is nil; when the context fires first it is ctx.Err().
+func (db *Database) StreamContext(ctx context.Context, query string, fn func(Result) bool, opts ...QueryOption) error {
 	c := db.config(opts)
-	q, err := lang.Parse(query)
+	if c.initialK <= 0 {
+		c.initialK = 8
+	}
+	x, err := parseExpand(query, &c)
 	if err != nil {
 		return err
 	}
-	x := lang.Expand(q, c.model)
-	sch := db.Schema()
-
-	k := c.initialK
-	if k <= 0 {
-		k = 8
-	}
-	delta := c.delta
-	if delta <= 0 {
-		delta = k
-	}
-	// Result roots are instances of classes carrying the root label or a
-	// renaming of it; reaching that bound ends the stream (further
-	// second-level queries can only repeat known roots).
-	maxResults := 0
-	for _, label := range append([]string{x.Root.Label}, renameTargets(x.Root)...) {
-		for _, cls := range sch.StructClasses(label) {
-			maxResults += len(sch.Instances(cls))
-		}
-	}
-
-	seen := make(map[NodeID]bool)
-	executed := make(map[string]bool)
-	for {
-		en := kbest.NewEngine(sch, k)
-		lp, err := en.SecondLevel(x)
-		if err != nil {
-			return err
-		}
-		for _, e := range lp {
-			sig := kbest.Signature(e)
-			if executed[sig] {
-				continue
-			}
-			executed[sig] = true
-			roots, err := en.Secondary(e)
-			if err != nil {
-				return err
-			}
-			for _, u := range roots {
-				if seen[u] {
-					continue
-				}
-				seen[u] = true
-				if !fn(Result{Root: u, Cost: e.Cost}) {
-					return nil
-				}
-			}
-		}
-		if len(lp) < k || len(seen) >= maxResults || k >= 1<<20 {
-			return nil
-		}
-		k += delta
-		delta *= 2
-	}
+	return db.engine(c, 0).Run(ctx, x, func(it exec.Item) bool {
+		return fn(Result{Root: it.Root, Cost: it.Cost})
+	})
 }
 
 // ExplainedResult is a result together with the second-level query that
@@ -202,71 +261,28 @@ type ExplainedResult struct {
 // additionally reporting for each result the transformed query that found
 // it — the explanation of *why* a result matched and what it cost.
 func (db *Database) SearchExplained(query string, n int, opts ...QueryOption) ([]ExplainedResult, error) {
+	return db.SearchExplainedContext(context.Background(), query, n, opts...)
+}
+
+// SearchExplainedContext is SearchExplained with cancellation.
+func (db *Database) SearchExplainedContext(ctx context.Context, query string, n int, opts ...QueryOption) ([]ExplainedResult, error) {
 	c := db.config(opts)
-	q, err := lang.Parse(query)
+	x, err := parseExpand(query, &c)
 	if err != nil {
 		return nil, err
 	}
-	x := lang.Expand(q, c.model)
-	sch := db.Schema()
-
-	k := c.initialK
-	if k <= 0 {
-		k = 8
-		if n > k {
-			k = n
-		}
-	}
-	delta := c.delta
-	if delta <= 0 {
-		delta = k
-	}
-	// Result roots are bounded by the instances of root-label classes.
-	maxResults := 0
-	for _, label := range append([]string{x.Root.Label}, renameTargets(x.Root)...) {
-		for _, cls := range sch.StructClasses(label) {
-			maxResults += len(sch.Instances(cls))
-		}
-	}
 	var out []ExplainedResult
-	seen := make(map[NodeID]bool)
-	executed := make(map[string]bool)
-	for {
-		en := kbest.NewEngine(sch, k)
-		lp, err := en.SecondLevel(x)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range lp {
-			sig := kbest.Signature(e)
-			if executed[sig] {
-				continue
-			}
-			executed[sig] = true
-			roots, err := en.Secondary(e)
-			if err != nil {
-				return nil, err
-			}
-			for _, u := range roots {
-				if seen[u] {
-					continue
-				}
-				seen[u] = true
-				out = append(out, ExplainedResult{
-					Result: Result{Root: u, Cost: e.Cost},
-					Plan:   kbest.Render(e),
-				})
-				if n > 0 && len(out) >= n {
-					return out, nil
-				}
-			}
-		}
-		if len(lp) < k || len(seen) >= maxResults || k >= 1<<20 {
-			return out, nil
-		}
-		k += delta
-		delta *= 2
+	err = db.engine(c, n).Run(ctx, x, func(it exec.Item) bool {
+		out = append(out, ExplainedResult{
+			Result: Result{Root: it.Root, Cost: it.Cost},
+			Plan:   kbest.Render(it.Plan),
+		})
+		return n <= 0 || len(out) < n
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // MatchStep reports the fate of one query selector in the cheapest
@@ -339,14 +355,6 @@ func (db *Database) SuggestCostModel(query string, opt SuggestOptions) (*CostMod
 	return a.ModelFor(labels), nil
 }
 
-func renameTargets(root *lang.XNode) []string {
-	out := make([]string, 0, len(root.Renamings))
-	for _, r := range root.Renamings {
-		out = append(out, r.To)
-	}
-	return out
-}
-
 // SecondLevelQuery describes one transformed query produced by the
 // schema-driven planner, for Explain.
 type SecondLevelQuery struct {
@@ -361,32 +369,32 @@ type SecondLevelQuery struct {
 // Explain returns the best k second-level queries for an approXQL query —
 // the transformed queries the schema-driven strategy would execute — with
 // their costs and result counts. It is the introspection tool for cost-model
-// tuning.
+// tuning. Result counts come from a count-only execution path: no result
+// list is materialized or retained.
 func (db *Database) Explain(query string, k int, opts ...QueryOption) ([]SecondLevelQuery, error) {
+	return db.ExplainContext(context.Background(), query, k, opts...)
+}
+
+// ExplainContext is Explain with cancellation.
+func (db *Database) ExplainContext(ctx context.Context, query string, k int, opts ...QueryOption) ([]SecondLevelQuery, error) {
 	c := db.config(opts)
-	q, err := lang.Parse(query)
+	x, err := parseExpand(query, &c)
 	if err != nil {
 		return nil, err
 	}
-	x := lang.Expand(q, c.model)
 	if k <= 0 {
 		k = 10
 	}
-	en := kbest.NewEngine(db.Schema(), k)
-	lp, err := en.SecondLevel(x)
+	plans, err := db.engine(c, 0).Explain(ctx, x, k)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]SecondLevelQuery, len(lp))
-	for i, e := range lp {
-		roots, err := en.Secondary(e)
-		if err != nil {
-			return nil, err
-		}
+	out := make([]SecondLevelQuery, len(plans))
+	for i, p := range plans {
 		out[i] = SecondLevelQuery{
-			Rendered: kbest.Render(e),
-			Cost:     e.Cost,
-			Results:  len(roots),
+			Rendered: kbest.Render(p.Entry),
+			Cost:     p.Entry.Cost,
+			Results:  p.Results,
 		}
 	}
 	return out, nil
