@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench
+.PHONY: all vet build test race check bench bench-backends
 
 all: check
 
@@ -22,3 +22,9 @@ check: vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Figure 7 series over both posting backends; each run appends an entry to
+# BENCH_backends.json.
+bench-backends:
+	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend memory -json BENCH_backends.json
+	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend stored -json BENCH_backends.json

@@ -5,12 +5,13 @@ import (
 	"io"
 	"os"
 	"strings"
-	"sync"
 
+	"approxql/internal/backend"
 	"approxql/internal/cost"
 	"approxql/internal/eval"
 	"approxql/internal/index"
 	"approxql/internal/schema"
+	"approxql/internal/storage"
 	"approxql/internal/xmltree"
 )
 
@@ -130,46 +131,56 @@ func (bl *Builder) Database() (*Database, error) {
 
 // Database is an indexed, immutable XML collection supporting approximate
 // tree-pattern search. It is safe for concurrent use.
+//
+// A Database reads its postings through a storage backend: in-memory
+// indexes for databases built from XML (Builder) or loaded from a
+// collection file (OpenDatabaseFile), B+tree files for databases opened
+// over persisted indexes (OpenStored, OpenBundle). Every query path —
+// direct evaluation, the schema-driven k-growing loop, Explain — runs
+// unmodified over either backend.
 type Database struct {
-	tree *xmltree.Tree
-	ix   *index.Memory
-
-	schemaOnce sync.Once
-	sch        *schema.Schema
+	be backend.Backend
 }
 
 func newDatabase(tree *xmltree.Tree) *Database {
-	return &Database{tree: tree, ix: index.Build(tree)}
+	return &Database{be: backend.NewMemory(tree)}
 }
 
 // Schema returns the database's structural summary, building it on first
 // use. The schema is shared and must be treated as read-only.
-func (db *Database) Schema() *schema.Schema {
-	db.schemaOnce.Do(func() { db.sch = schema.Build(db.tree) })
-	return db.sch
-}
+func (db *Database) Schema() *schema.Schema { return db.be.Schema() }
 
 // Tree exposes the underlying data tree for advanced integrations (the
 // benchmark harness, the CLIs).
-func (db *Database) Tree() *xmltree.Tree { return db.tree }
+func (db *Database) Tree() *xmltree.Tree { return db.be.Tree() }
 
-// Index exposes the underlying label indexes.
-func (db *Database) Index() *index.Memory { return db.ix }
+// Index exposes the in-memory label indexes, or nil when the database
+// reads its postings from stored indexes (OpenStored, OpenBundle).
+func (db *Database) Index() *index.Memory {
+	if m, ok := db.be.(*backend.Memory); ok {
+		return m.Index()
+	}
+	return nil
+}
+
+// Close releases the database's resources (open index files of a stored
+// backend). It is a no-op for in-memory databases.
+func (db *Database) Close() error { return db.be.Close() }
 
 // Render pretty-prints the subtree rooted at a result root.
 func (db *Database) Render(root NodeID) string {
-	return db.tree.RenderString(root)
+	return db.be.Tree().RenderString(root)
 }
 
 // Label returns the label of a node (element name or word).
-func (db *Database) Label(u NodeID) string { return db.tree.Label(u) }
+func (db *Database) Label(u NodeID) string { return db.be.Tree().Label(u) }
 
 // Path returns the label-type path of a node, e.g. "<root>/catalog/cd".
-func (db *Database) Path(u NodeID) string { return db.tree.LabelTypePath(u) }
+func (db *Database) Path(u NodeID) string { return db.be.Tree().LabelTypePath(u) }
 
 // Len returns the number of nodes in the collection, including the
 // synthetic super-root.
-func (db *Database) Len() int { return db.tree.Len() }
+func (db *Database) Len() int { return db.be.Tree().Len() }
 
 // Stats summarizes a collection and its schema.
 type Stats struct {
@@ -198,7 +209,7 @@ type Stats struct {
 // Stats computes collection statistics (walks the tree once and builds the
 // schema if not yet built).
 func (db *Database) Stats() Stats {
-	ts := db.tree.ComputeStats()
+	ts := db.be.Tree().ComputeStats()
 	ss := db.Schema().ComputeStats()
 	return Stats{
 		Nodes:         ts.Nodes,
@@ -216,7 +227,7 @@ func (db *Database) Stats() Stats {
 // WriteTo serializes the collection (dictionaries and structure). Indexes
 // and schema are rebuilt on load. It implements io.WriterTo.
 func (db *Database) WriteTo(w io.Writer) (int64, error) {
-	return db.tree.WriteTo(w)
+	return db.be.Tree().WriteTo(w)
 }
 
 // ReadDatabase loads a collection written by WriteTo, re-encoding the
@@ -229,8 +240,15 @@ func ReadDatabase(r io.Reader, model *CostModel) (*Database, error) {
 	return newDatabase(tree), nil
 }
 
-// OpenDatabaseFile loads a collection file written by WriteTo.
+// OpenDatabaseFile loads a collection file written by WriteTo into an
+// in-memory database, rebuilding indexes and schema. When path is a bundle
+// manifest (written by axqlindex or WriteBundle) it opens the stored
+// backend instead — the persisted B+tree indexes are queried directly and
+// nothing is rebuilt beyond the schema structure.
 func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
+	if backend.IsBundle(path) {
+		return OpenBundle(path, model)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -241,4 +259,94 @@ func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return db, nil
+}
+
+// OpenStored opens a collection over its persisted indexes: collection is
+// the file written by WriteTo (or axqlindex -out), postings the B+tree
+// holding I_struct/I_text, secondary the B+tree holding I_sec (both written
+// by PersistIndexes or axqlindex -postings/-secondary). The index files are
+// opened read-only and postings are fetched on demand through one shared
+// LRU, so queries run without re-ingesting XML or rebuilding postings. The
+// optional model fixes the node-insertion costs, as in NewBuilder; it must
+// match the model used at indexing time for the stored postings to agree
+// with the tree encoding. Close the returned database to release the index
+// files.
+func OpenStored(collection, postings, secondary string, model *CostModel) (*Database, error) {
+	f, err := os.Open(collection)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := xmltree.ReadTree(f, model)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", collection, err)
+	}
+	be, err := backend.OpenStored(tree, postings, secondary, backend.DefaultCacheEntries)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{be: be}, nil
+}
+
+// OpenBundle opens the stored database described by a bundle manifest, the
+// one-path form of OpenStored. Bundles are written by WriteBundle and by
+// axqlindex when it persists both index files.
+func OpenBundle(path string, model *CostModel) (*Database, error) {
+	b, err := backend.ReadBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenStored(b.Collection, b.Postings, b.Secondary, model)
+}
+
+// WriteBundle writes a bundle manifest at path referencing a collection
+// file and its two persisted index files, relativized to the manifest's
+// directory so the files can move as a unit.
+func WriteBundle(path, collection, postings, secondary string) error {
+	return backend.WriteBundle(path, backend.Bundle{
+		Collection: collection, Postings: postings, Secondary: secondary,
+	})
+}
+
+// PersistIndexes writes the database's postings (I_struct/I_text) and
+// path-dependent secondary index (I_sec) into two B+tree files, the inputs
+// of OpenStored. An empty path skips that store. The database must be
+// in-memory (built from XML or loaded from a collection file).
+func (db *Database) PersistIndexes(postings, secondary string) error {
+	m, ok := db.be.(*backend.Memory)
+	if !ok {
+		return fmt.Errorf("approxql: database already reads from stored indexes")
+	}
+	if err := persistInto(postings, func(s *storage.DB) error {
+		return index.Save(m.Index(), s)
+	}); err != nil {
+		return err
+	}
+	return persistInto(secondary, func(s *storage.DB) error {
+		return db.Schema().SaveSec(s)
+	})
+}
+
+func persistInto(path string, save func(*storage.DB) error) error {
+	if path == "" {
+		return nil
+	}
+	s, err := storage.Open(path, nil)
+	if err != nil {
+		return err
+	}
+	if err := save(s); err != nil {
+		s.Close()
+		return err
+	}
+	return s.Close()
+}
+
+// SetStoredCacheSize resizes the shared posting cache of a stored database
+// to n entries (n <= 0 disables caching). It is a no-op for in-memory
+// databases. See docs/BACKENDS.md for sizing guidance.
+func (db *Database) SetStoredCacheSize(n int) {
+	if s, ok := db.be.(*backend.Stored); ok {
+		s.SetCacheCapacity(n)
+	}
 }

@@ -1,0 +1,238 @@
+package approxql
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"approxql/internal/datagen"
+	"approxql/internal/querygen"
+)
+
+// persistBundle writes db's collection file, both index stores, and a bundle
+// manifest into a temp dir, returning the bundle path.
+func persistBundle(t *testing.T, db *Database) string {
+	t.Helper()
+	dir := t.TempDir()
+	collection := filepath.Join(dir, "c.axql")
+	postings := filepath.Join(dir, "c.post")
+	secondary := filepath.Join(dir, "c.sec")
+	bundle := filepath.Join(dir, "c.bundle")
+
+	f, err := os.Create(collection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PersistIndexes(postings, secondary); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(bundle, collection, postings, secondary); err != nil {
+		t.Fatal(err)
+	}
+	return bundle
+}
+
+// TestBackendEquivalence is the cross-backend contract: Search,
+// SearchExplained, and Explain return identical answers whether the postings
+// come from the in-memory indexes or from the persisted B+tree files, for
+// both strategies and for sequential and parallel secondary execution.
+func TestBackendEquivalence(t *testing.T) {
+	cfg := datagen.Config{
+		Seed: 42, NumElementNames: 25, VocabularySize: 500,
+		TargetElements: 4000, TargetWords: 15000,
+		TemplateNodes: 80, MaxDepth: 6, MaxRepeat: 3, ZipfSkew: 1.3,
+	}
+	tree, err := datagen.GenerateTree(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newDatabase(tree)
+	bundle := persistBundle(t, mem)
+
+	stored, err := OpenBundle(bundle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stored.Close()
+	if stored.Index() != nil {
+		t.Fatal("stored database exposes in-memory indexes")
+	}
+	if err := stored.PersistIndexes(bundle+".p", bundle+".s"); err == nil {
+		t.Fatal("PersistIndexes accepted a stored database")
+	}
+
+	qg, err := querygen.New(mem.Tree(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	var lastQuery string
+	var lastModel *CostModel
+	for _, p := range querygen.PaperPatterns {
+		for _, ren := range []int{0, 5} {
+			set, err := qg.GenerateSet(p, ren, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range set {
+				query := g.Query.String()
+				lastQuery, lastModel = query, g.Model
+				for _, strategy := range []Strategy{Direct, SchemaDriven} {
+					for _, workers := range []int{1, 8} {
+						opts := []QueryOption{
+							WithCostModel(g.Model),
+							WithStrategy(strategy),
+							WithParallelism(workers),
+						}
+						want, err := mem.Search(query, n, opts...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := stored.Search(query, n, opts...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sameResults(want, got) {
+							t.Fatalf("%s (strategy=%v workers=%d): memory %v vs stored %v",
+								query, strategy, workers, want, got)
+						}
+					}
+				}
+
+				// SearchExplained (schema-driven only) and Explain.
+				opts := []QueryOption{WithCostModel(g.Model), WithParallelism(1)}
+				wantEx, err := mem.SearchExplained(query, n, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotEx, err := stored.SearchExplained(query, n, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(wantEx) != len(gotEx) {
+					t.Fatalf("%s: explained count %d vs %d", query, len(wantEx), len(gotEx))
+				}
+				for i := range wantEx {
+					if wantEx[i].Root != gotEx[i].Root || wantEx[i].Cost != gotEx[i].Cost {
+						t.Fatalf("%s: explained[%d] = %+v vs %+v", query, i, wantEx[i], gotEx[i])
+					}
+				}
+
+				wantPlans, err := mem.Explain(query, 5, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPlans, err := stored.Explain(query, 5, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(wantPlans) != len(gotPlans) {
+					t.Fatalf("%s: plan count %d vs %d", query, len(wantPlans), len(gotPlans))
+				}
+				for i := range wantPlans {
+					if wantPlans[i].Cost != gotPlans[i].Cost ||
+						wantPlans[i].Results != gotPlans[i].Results ||
+						wantPlans[i].Rendered != gotPlans[i].Rendered {
+						t.Fatalf("%s: plan[%d] = %+v vs %+v", query, i, wantPlans[i], gotPlans[i])
+					}
+				}
+			}
+		}
+	}
+
+	// The stored path must actually account its fetches.
+	var m QueryMetrics
+	if _, err := stored.Search(lastQuery, n,
+		WithCostModel(lastModel), WithStrategy(SchemaDriven), WithMetrics(&m)); err != nil {
+		t.Fatal(err)
+	}
+	if m.BackendFetches == 0 {
+		t.Error("stored query reported zero backend fetches")
+	}
+}
+
+// sameResults compares ranked results exactly by root and cost, tolerating
+// permutations within one cost tier (parallel execution may reorder ties).
+func sameResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, r := range a {
+		found := false
+		for j, s := range b {
+			if !used[j] && r.Cost == s.Cost && r.Root == s.Root {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoredBackendConcurrentQueries runs mixed-strategy searches against one
+// stored database from many goroutines: the shared LRU, the read-only B+tree
+// handles, and the lazily built schema must all tolerate it. Run with -race.
+func TestStoredBackendConcurrentQueries(t *testing.T) {
+	mem := buildDB(t)
+	bundle := persistBundle(t, mem)
+	stored, err := OpenBundle(bundle, PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stored.Close()
+	// A tiny cache keeps eviction churning under load.
+	stored.SetStoredCacheSize(4)
+
+	model := PaperCostModel()
+	queries := []string{
+		`cd[title["concerto"]]`,
+		`cd[title["piano" and "concerto"]]`,
+		`cd[title["concerto" or "sonata"]]`,
+		`mc[title["concerto"]]`,
+	}
+	want := make(map[string][]Result)
+	for _, q := range queries {
+		res, err := mem.Search(q, 0, WithCostModel(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				q := queries[(g+i)%len(queries)]
+				strategy := Direct
+				if (g+i)%2 == 0 {
+					strategy = SchemaDriven
+				}
+				res, err := stored.Search(q, 0, WithCostModel(model), WithStrategy(strategy))
+				if err != nil {
+					t.Errorf("%s: %v", q, err)
+					return
+				}
+				if !sameResults(want[q], res) {
+					t.Errorf("%s (strategy=%v): %v, want %v", q, strategy, res, want[q])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

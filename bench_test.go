@@ -197,8 +197,8 @@ func BenchmarkAblationStorage(b *testing.B) {
 		}
 	})
 	b.Run("postings=btree", func(b *testing.B) {
+		// stored has no cache attached, so every fetch reads the store.
 		for i := 0; i < b.N; i++ {
-			stored.SetCacheLimit(0) // force storage reads every time
 			if _, err := eval.New(tree, stored).BestN(x, 10); err != nil {
 				b.Fatal(err)
 			}
@@ -254,8 +254,9 @@ func BenchmarkParallelSecondary(b *testing.B) {
 	if err := sch.SaveSec(db); err != nil {
 		b.Fatal(err)
 	}
+	// stored has no cache attached: every fetch reads the store and pays
+	// the modeled seek.
 	stored := schema.OpenStoredSec(db)
-	stored.SetCacheLimit(0) // every fetch reads the store and pays the seek
 	sec := latencySec{sec: stored, latency: 250 * time.Microsecond}
 
 	const n = 10

@@ -1,0 +1,238 @@
+package backend
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"approxql/internal/index"
+	"approxql/internal/schema"
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+const catalogXML = `
+<catalog>
+  <cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd>
+  <cd><title>Piano Sonata</title></cd>
+  <cd><title>Cello Suite</title><composer>Bach</composer></cd>
+</catalog>`
+
+// openTestStored persists a small collection's indexes into tmpdir files and
+// opens the stored backend over them.
+func openTestStored(t *testing.T, cacheEntries int) (*Memory, *Stored) {
+	t.Helper()
+	tree, err := xmltree.ParseXML(catalogXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(tree)
+	dir := t.TempDir()
+	postPath := filepath.Join(dir, "post.db")
+	secPath := filepath.Join(dir, "sec.db")
+
+	db, err := storage.Open(postPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := index.Save(mem.Index(), db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = storage.Open(secPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Schema().SaveSec(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStored(tree, postPath, secPath, cacheEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return mem, st
+}
+
+// TestStoredMatchesMemory checks every Backend accessor agrees between the
+// two implementations.
+func TestStoredMatchesMemory(t *testing.T) {
+	mem, st := openTestStored(t, DefaultCacheEntries)
+	for _, label := range []string{"catalog", "cd", "title", "composer", "missing"} {
+		want, _ := mem.Struct(label)
+		got, err := st.Struct(label)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("Struct(%s) = %v %v, want %v", label, got, err, want)
+		}
+	}
+	for _, term := range []string{"piano", "concerto", "bach", "nope"} {
+		want, _ := mem.Text(term)
+		got, err := st.Text(term)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("Text(%s) = %v %v, want %v", term, got, err, want)
+		}
+	}
+	for c := range mem.Schema().Len() {
+		cid := schema.NodeID(c)
+		want, _ := mem.SecInstances(cid)
+		got, err := st.SecInstances(cid)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("SecInstances(%d) = %v %v, want %v", cid, got, err, want)
+		}
+		wn, _ := mem.SecInstanceCount(cid)
+		gn, err := st.SecInstanceCount(cid)
+		if err != nil || gn != wn {
+			t.Errorf("SecInstanceCount(%d) = %d %v, want %d", cid, gn, err, wn)
+		}
+	}
+	if st.CacheStats().Fetches == 0 {
+		t.Error("stored backend reported no fetches")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestStoredConcurrentAccess drives postings and I_sec fetches through the
+// shared LRU from many goroutines (run under -race). The tiny capacity keeps
+// the cache evicting so hits, misses, and evictions all interleave.
+func TestStoredConcurrentAccess(t *testing.T) {
+	mem, st := openTestStored(t, 2)
+	labels := []string{"catalog", "cd", "title", "composer"}
+	terms := []string{"piano", "concerto", "sonata", "bach"}
+	classes := mem.Schema().Len()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				label := labels[(g+i)%len(labels)]
+				want, _ := mem.Struct(label)
+				if got, err := st.Struct(label); err != nil || !reflect.DeepEqual(got, want) {
+					t.Errorf("Struct(%s) = %v %v, want %v", label, got, err, want)
+					return
+				}
+				term := terms[(g+i)%len(terms)]
+				want, _ = mem.Text(term)
+				if got, err := st.Text(term); err != nil || !reflect.DeepEqual(got, want) {
+					t.Errorf("Text(%s) = %v %v, want %v", term, got, err, want)
+					return
+				}
+				c := schema.NodeID((g + i) % classes)
+				want, _ = mem.SecInstances(c)
+				if got, err := st.SecInstances(c); err != nil || !reflect.DeepEqual(got, want) {
+					t.Errorf("SecInstances(%d) = %v %v, want %v", c, got, err, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := st.CacheStats()
+	if stats.Fetches == 0 || stats.BytesDecoded == 0 {
+		t.Errorf("stats = %+v, want non-zero fetches and bytes", stats)
+	}
+}
+
+func TestLRUEvictionAndStats(t *testing.T) {
+	lru := NewLRU(2)
+	if _, ok := lru.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	lru.Put("a", []xmltree.NodeID{1}, 10)
+	lru.Put("b", []xmltree.NodeID{2}, 20)
+	if _, ok := lru.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	lru.Put("c", []xmltree.NodeID{3}, 30) // evicts b (a was just used)
+	if _, ok := lru.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := lru.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if lru.Len() != 2 {
+		t.Errorf("Len = %d, want 2", lru.Len())
+	}
+	st := lru.Stats()
+	if st.Fetches != 4 || st.Hits != 2 || st.BytesDecoded != 60 {
+		t.Errorf("stats = %+v, want fetches=4 hits=2 bytes=60", st)
+	}
+}
+
+func TestLRUDisabledStillCounts(t *testing.T) {
+	lru := NewLRU(0)
+	lru.Put("a", []xmltree.NodeID{1}, 5)
+	if _, ok := lru.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	st := lru.Stats()
+	if st.Fetches != 1 || st.Hits != 0 || st.BytesDecoded != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.bundle")
+	b := Bundle{
+		Collection: filepath.Join(dir, "c.axql"),
+		Postings:   filepath.Join(dir, "c.post"),
+		Secondary:  filepath.Join(dir, "sub", "c.sec"),
+	}
+	if err := WriteBundle(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBundle(path) {
+		t.Error("IsBundle = false on a bundle")
+	}
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Errorf("round trip = %+v, want %+v", got, b)
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"magic":   "not a bundle\ncollection c\npostings p\nsecondary s\n",
+		"missing": "axql-bundle v1\ncollection c\npostings p\n",
+		"key":     "axql-bundle v1\ncollection c\npostings p\nsecondary s\nextra x\n",
+	}
+	i := 0
+	for name, content := range cases {
+		i++
+		path := filepath.Join(dir, fmt.Sprintf("b%d", i))
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBundle(path); err == nil {
+			t.Errorf("%s: ReadBundle accepted malformed manifest", name)
+		}
+		if name == "magic" && IsBundle(path) {
+			t.Error("IsBundle = true without magic")
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

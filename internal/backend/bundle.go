@@ -1,0 +1,120 @@
+package backend
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// bundleMagic is the first line of a bundle manifest; axql sniffs it to
+// distinguish bundles from collection files.
+const bundleMagic = "axql-bundle v1"
+
+// Bundle names the three files of a persisted collection: the collection
+// file (tree dictionaries and structure, xmltree.WriteTo format), the
+// postings B+tree (I_struct/I_text), and the secondary B+tree (I_sec). A
+// bundle manifest is a small text file tying them together so one path
+// opens the whole stored database:
+//
+//	axql-bundle v1
+//	collection catalog.axql
+//	postings catalog.post
+//	secondary catalog.sec
+//
+// Paths are relative to the manifest's directory (absolute paths are kept
+// verbatim), so a bundle directory can be moved as a unit.
+type Bundle struct {
+	Collection string
+	Postings   string
+	Secondary  string
+}
+
+// IsBundle reports whether the file at path starts with the bundle magic.
+func IsBundle(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, len(bundleMagic))
+	n, _ := f.Read(buf)
+	return string(buf[:n]) == bundleMagic
+}
+
+// WriteBundle writes a manifest at path referencing the bundle's files,
+// relativized to the manifest's directory where possible.
+func WriteBundle(path string, b Bundle) error {
+	dir := filepath.Dir(path)
+	var sb strings.Builder
+	sb.WriteString(bundleMagic + "\n")
+	for _, e := range []struct{ key, file string }{
+		{"collection", b.Collection},
+		{"postings", b.Postings},
+		{"secondary", b.Secondary},
+	} {
+		if e.file == "" {
+			return fmt.Errorf("backend: bundle is missing the %s file", e.key)
+		}
+		p := e.file
+		if rel, err := filepath.Rel(dir, p); err == nil && !strings.HasPrefix(rel, "..") {
+			p = rel
+		}
+		fmt.Fprintf(&sb, "%s %s\n", e.key, p)
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// ReadBundle parses the manifest at path and resolves its file paths
+// against the manifest's directory.
+func ReadBundle(path string) (Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Bundle{}, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() || sc.Text() != bundleMagic {
+		return Bundle{}, fmt.Errorf("backend: %s is not an axql bundle", path)
+	}
+	var b Bundle
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return Bundle{}, fmt.Errorf("backend: %s: malformed bundle line %q", path, line)
+		}
+		val = strings.TrimSpace(val)
+		if !filepath.IsAbs(val) {
+			val = filepath.Join(dir, val)
+		}
+		switch key {
+		case "collection":
+			b.Collection = val
+		case "postings":
+			b.Postings = val
+		case "secondary":
+			b.Secondary = val
+		default:
+			return Bundle{}, fmt.Errorf("backend: %s: unknown bundle key %q", path, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Bundle{}, err
+	}
+	for _, e := range []struct{ key, file string }{
+		{"collection", b.Collection},
+		{"postings", b.Postings},
+		{"secondary", b.Secondary},
+	} {
+		if e.file == "" {
+			return Bundle{}, fmt.Errorf("backend: %s: bundle is missing the %s file", path, e.key)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,115 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"approxql/internal/index"
+	"approxql/internal/schema"
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+// Stored is the B+tree-backed backend: primary postings and I_sec are
+// served from storage files written by index.Save and Schema.SaveSec, the
+// role Berkeley DB plays in the paper's system. Decoded postings from both
+// stores share one LRU; the structural summary is rebuilt from the data
+// tree on first use (the schema is small — one node per label-type path —
+// while the postings it indexes are what the store keeps on disk).
+type Stored struct {
+	tree   *xmltree.Tree
+	post   *index.Stored
+	sec    *schema.StoredSec
+	postDB *storage.DB
+	secDB  *storage.DB
+	lru    *LRU
+
+	schemaOnce sync.Once
+	sch        *schema.Schema
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenStored opens the stored backend over tree: postings is the B+tree
+// file holding I_struct/I_text (index.Save), secondary the file holding
+// I_sec (Schema.SaveSec). Both files are opened read-only and shared
+// through one LRU bounded to cacheEntries decoded postings (<= 0 disables
+// caching; DefaultCacheEntries is the usual choice).
+func OpenStored(tree *xmltree.Tree, postings, secondary string, cacheEntries int) (*Stored, error) {
+	postDB, err := storage.Open(postings, &storage.Options{ReadOnly: true})
+	if err != nil {
+		return nil, fmt.Errorf("backend: postings %s: %w", postings, err)
+	}
+	secDB, err := storage.Open(secondary, &storage.Options{ReadOnly: true})
+	if err != nil {
+		postDB.Close()
+		return nil, fmt.Errorf("backend: secondary %s: %w", secondary, err)
+	}
+	lru := NewLRU(cacheEntries)
+	post := index.OpenStored(postDB)
+	post.SetCache(lru)
+	sec := schema.OpenStoredSec(secDB)
+	sec.SetCache(lru)
+	return &Stored{
+		tree:   tree,
+		post:   post,
+		sec:    sec,
+		postDB: postDB,
+		secDB:  secDB,
+		lru:    lru,
+	}, nil
+}
+
+// Tree implements Backend.
+func (s *Stored) Tree() *xmltree.Tree { return s.tree }
+
+// Schema implements Backend, building the structural summary on first use.
+func (s *Stored) Schema() *schema.Schema {
+	s.schemaOnce.Do(func() { s.sch = schema.Build(s.tree) })
+	return s.sch
+}
+
+// Struct implements index.Source.
+func (s *Stored) Struct(name string) ([]xmltree.NodeID, error) { return s.post.Struct(name) }
+
+// Text implements index.Source.
+func (s *Stored) Text(term string) ([]xmltree.NodeID, error) { return s.post.Text(term) }
+
+// SecInstances implements schema.SecSource.
+func (s *Stored) SecInstances(c schema.NodeID) ([]xmltree.NodeID, error) {
+	return s.sec.SecInstances(c)
+}
+
+// SecTermInstances implements schema.SecSource.
+func (s *Stored) SecTermInstances(c schema.NodeID, term string) ([]xmltree.NodeID, error) {
+	return s.sec.SecTermInstances(c, term)
+}
+
+// SecInstanceCount implements schema.SecCounter.
+func (s *Stored) SecInstanceCount(c schema.NodeID) (int, error) {
+	return s.sec.SecInstanceCount(c)
+}
+
+// SecTermInstanceCount implements schema.SecCounter.
+func (s *Stored) SecTermInstanceCount(c schema.NodeID, term string) (int, error) {
+	return s.sec.SecTermInstanceCount(c, term)
+}
+
+// CacheStats implements Backend: the counters of the shared LRU.
+func (s *Stored) CacheStats() CacheStats { return s.lru.Stats() }
+
+// SetCacheCapacity resizes the shared posting cache to n entries.
+func (s *Stored) SetCacheCapacity(n int) { s.lru.SetCapacity(n) }
+
+// Close implements Backend, closing both index files. Close is idempotent.
+func (s *Stored) Close() error {
+	s.closeOnce.Do(func() {
+		err := s.postDB.Close()
+		if cerr := s.secDB.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

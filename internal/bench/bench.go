@@ -8,9 +8,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
+	"approxql/internal/backend"
 	"approxql/internal/datagen"
 	"approxql/internal/eval"
 	"approxql/internal/index"
@@ -18,6 +21,7 @@ import (
 	"approxql/internal/lang"
 	"approxql/internal/querygen"
 	"approxql/internal/schema"
+	"approxql/internal/storage"
 	"approxql/internal/xmltree"
 )
 
@@ -38,6 +42,14 @@ type Config struct {
 	// NValues are the tested result counts; AllN means all results
 	// (the paper's n = ∞).
 	NValues []int
+	// Backend selects where the postings are served from: "memory" (the
+	// default) builds in-memory indexes; "stored" persists I_struct/I_text
+	// and I_sec into B+tree files and evaluates against them — the paper's
+	// disk-resident configuration.
+	Backend string
+	// Dir is the directory for the stored backend's index files; empty
+	// uses a temporary directory removed by Close.
+	Dir string
 }
 
 // Default returns the paper's experimental design over a collection scaled
@@ -77,20 +89,23 @@ type Measurement struct {
 	Queries int
 }
 
-// Runner holds the generated collection and query sets.
+// Runner holds the generated collection, the selected backend, and the
+// query sets.
 type Runner struct {
-	cfg  Config
-	tree *xmltree.Tree
-	ix   *index.Memory
-	sch  *schema.Schema
+	cfg    Config
+	tree   *xmltree.Tree
+	be     backend.Backend
+	sch    *schema.Schema
+	tmpDir string // removed by Close when the stored backend used a temp dir
 
 	// sets[pattern][renamings] is one pre-generated query set.
 	sets map[string]map[int][]*querygen.Generated
 }
 
-// NewRunner generates the collection, builds the indexes and the schema,
-// and pre-generates every query set so that measurements only time query
-// evaluation.
+// NewRunner generates the collection, builds (or persists and reopens) the
+// indexes and the schema, and pre-generates every query set so that
+// measurements only time query evaluation. Close the runner to release the
+// stored backend's files.
 func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.QueriesPerPoint <= 0 {
 		cfg.QueriesPerPoint = 10
@@ -102,9 +117,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r := &Runner{
 		cfg:  cfg,
 		tree: tree,
-		ix:   index.Build(tree),
-		sch:  schema.Build(tree),
 		sets: make(map[string]map[int][]*querygen.Generated),
+	}
+	switch cfg.Backend {
+	case "", "memory":
+		r.be = backend.NewMemory(tree)
+		r.sch = r.be.Schema()
+	case "stored":
+		if err := r.openStored(tree); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q", cfg.Backend)
 	}
 	qg, err := querygen.New(tree, cfg.QuerySeed)
 	if err != nil {
@@ -115,6 +139,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		for _, ren := range cfg.Renamings {
 			set, err := qg.GenerateSet(p, ren, cfg.QueriesPerPoint)
 			if err != nil {
+				r.Close()
 				return nil, err
 			}
 			r.sets[p.Name][ren] = set
@@ -122,6 +147,68 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	return r, nil
 }
+
+// openStored persists the postings and I_sec into B+tree files and opens
+// the stored backend over them, so measurements pay real storage fetches.
+func (r *Runner) openStored(tree *xmltree.Tree) error {
+	dir := r.cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "axqlbench")
+		if err != nil {
+			return err
+		}
+		r.tmpDir = dir
+	}
+	postPath := filepath.Join(dir, "postings.db")
+	secPath := filepath.Join(dir, "secondary.db")
+	sch := schema.Build(tree)
+	if err := persist(postPath, func(s *storage.DB) error {
+		return index.Save(index.Build(tree), s)
+	}); err != nil {
+		return err
+	}
+	if err := persist(secPath, sch.SaveSec); err != nil {
+		return err
+	}
+	be, err := backend.OpenStored(tree, postPath, secPath, backend.DefaultCacheEntries)
+	if err != nil {
+		return err
+	}
+	r.be = be
+	r.sch = sch
+	return nil
+}
+
+func persist(path string, save func(*storage.DB) error) error {
+	s, err := storage.Open(path, nil)
+	if err != nil {
+		return err
+	}
+	if err := save(s); err != nil {
+		s.Close()
+		return err
+	}
+	return s.Close()
+}
+
+// Close releases the backend and removes the stored backend's temporary
+// directory, if one was created.
+func (r *Runner) Close() error {
+	var err error
+	if r.be != nil {
+		err = r.be.Close()
+	}
+	if r.tmpDir != "" {
+		if rerr := os.RemoveAll(r.tmpDir); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// Backend returns the runner's posting source.
+func (r *Runner) Backend() backend.Backend { return r.be }
 
 // Tree returns the generated collection.
 func (r *Runner) Tree() *xmltree.Tree { return r.tree }
@@ -153,7 +240,7 @@ func (r *Runner) EvaluateStats(g *querygen.Generated, n int, algo Algo) (int, kb
 	x := lang.Expand(g.Query, g.Model)
 	switch algo {
 	case Direct:
-		res, err := eval.New(r.tree, r.ix).BestN(x, n)
+		res, err := eval.New(r.tree, r.be).BestN(x, n)
 		return len(res), kbest.Stats{}, err
 	case Schema:
 		opt := kbest.Options{}
@@ -163,7 +250,7 @@ func (r *Runner) EvaluateStats(g *querygen.Generated, n int, algo Algo) (int, kb
 			opt.InitialK = 16
 			opt.MaxK = allNMaxK
 		}
-		res, stats, err := kbest.BestN(r.sch, x, n, opt)
+		res, stats, err := kbest.BestNWithSecondary(r.sch, r.be, x, n, opt)
 		return len(res), stats, err
 	}
 	return 0, kbest.Stats{}, fmt.Errorf("bench: unknown algorithm %q", algo)

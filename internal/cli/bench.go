@@ -1,9 +1,11 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"approxql/internal/bench"
@@ -11,37 +13,46 @@ import (
 )
 
 // Bench is the axqlbench entry point: it regenerates the evaluation-time
-// series of the paper's Figure 7.
+// series of the paper's Figure 7, over the in-memory or the stored
+// (B+tree-backed) backend.
 func Bench(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("axqlbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scale   = fs.Float64("scale", 0.05, "collection scale relative to the paper's 1M elements / 10M words")
-		figure  = fs.String("figure", "all", "which panel to run: 7a, 7b, 7c, or all")
-		queries = fs.Int("queries", 10, "queries averaged per point")
-		seed    = fs.Int64("seed", 2002, "query-generation seed")
+		scale    = fs.Float64("scale", 0.05, "collection scale relative to the paper's 1M elements / 10M words")
+		figure   = fs.String("figure", "all", "which panel to run: 7a, 7b, 7c, or all")
+		queries  = fs.Int("queries", 10, "queries averaged per point")
+		seed     = fs.Int64("seed", 2002, "query-generation seed")
+		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
+		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *backendF != "memory" && *backendF != "stored" {
+		return fmt.Errorf("axqlbench: unknown backend %q (want memory or stored)", *backendF)
 	}
 
 	cfg := bench.Default(*scale)
 	cfg.QueriesPerPoint = *queries
 	cfg.QuerySeed = *seed
+	cfg.Backend = *backendF
 
-	fmt.Fprintf(stderr, "generating collection (%d elements, %d words)...\n",
-		cfg.Data.TargetElements, cfg.Data.TargetWords)
+	fmt.Fprintf(stderr, "generating collection (%d elements, %d words), backend=%s...\n",
+		cfg.Data.TargetElements, cfg.Data.TargetWords, *backendF)
 	start := time.Now()
 	runner, err := bench.NewRunner(cfg)
 	if err != nil {
 		return err
 	}
+	defer runner.Close()
 	ts, ss := runner.DataStats()
 	fmt.Fprintf(stderr,
 		"ready in %v: %d nodes (%d elements, %d words), schema: %d classes, largest class %d\n\n",
 		time.Since(start).Round(time.Millisecond),
 		ts.Nodes, ts.StructNodes, ts.TextNodes, ss.Classes, ss.MaxInstances)
 
+	var all []bench.Measurement
 	panels := map[string]string{"7a": "pattern1", "7b": "pattern2", "7c": "pattern3"}
 	for _, panel := range []string{"7a", "7b", "7c"} {
 		if *figure != "all" && *figure != panel {
@@ -61,6 +72,67 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		}
 		bench.PrintSeries(stdout, ms)
 		fmt.Fprintln(stdout)
+		all = append(all, ms...)
+	}
+
+	if *jsonOut != "" {
+		if err := appendBenchJSON(*jsonOut, *backendF, *scale, *queries, all); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(all), *jsonOut)
 	}
 	return nil
+}
+
+// benchEntry is one recorded axqlbench run.
+type benchEntry struct {
+	Date    string             `json:"date"`
+	Backend string             `json:"backend"`
+	Scale   float64            `json:"scale"`
+	Queries int                `json:"queries_per_point"`
+	Points  []benchMeasurement `json:"points"`
+}
+
+type benchMeasurement struct {
+	Pattern     string  `json:"pattern"`
+	Renamings   int     `json:"renamings"`
+	N           string  `json:"n"`
+	Algo        string  `json:"algo"`
+	MeanNs      int64   `json:"mean_ns"`
+	MeanResults float64 `json:"mean_results"`
+}
+
+// appendBenchJSON appends one run to a JSON file holding an array of runs,
+// creating the file on first use.
+func appendBenchJSON(path, backend string, scale float64, queries int, ms []bench.Measurement) error {
+	var entries []benchEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("%s: existing file is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	e := benchEntry{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Backend: backend,
+		Scale:   scale,
+		Queries: queries,
+	}
+	for _, m := range ms {
+		e.Points = append(e.Points, benchMeasurement{
+			Pattern:     m.Pattern,
+			Renamings:   m.Renamings,
+			N:           bench.FormatN(m.N),
+			Algo:        string(m.Algo),
+			MeanNs:      m.MeanTime.Nanoseconds(),
+			MeanResults: m.MeanResults,
+		})
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -333,3 +333,97 @@ func TestBenchSmoke(t *testing.T) {
 		t.Errorf("bench output:\n%s", out.String())
 	}
 }
+
+func TestBenchStoredBackendAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "runs.json")
+	for _, backend := range []string{"memory", "stored"} {
+		var out, stderr bytes.Buffer
+		err := Bench([]string{"-scale", "0.0004", "-queries", "1", "-figure", "7a",
+			"-backend", backend, "-json", jsonPath}, &out, &stderr)
+		if err != nil {
+			t.Fatalf("Bench -backend %s: %v\n%s", backend, err, stderr.String())
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"backend": "memory"`) || !strings.Contains(s, `"backend": "stored"`) {
+		t.Errorf("json file lacks both backend entries:\n%s", s)
+	}
+	// Unknown backends are rejected.
+	if err := Bench([]string{"-backend", "warp"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBundleQueryWithoutXML is the acceptance path of the stored backend:
+// axqlindex persists the collection, both index stores, and a bundle; axql
+// then queries the bundle after the source XML has been deleted — proving
+// no re-parse happens — and returns the same ranked results as querying the
+// collection file, for both strategies.
+func TestBundleQueryWithoutXML(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	dbFile := filepath.Join(dir, "catalog.axdb")
+	postings := filepath.Join(dir, "catalog.idx")
+	secondary := filepath.Join(dir, "catalog.sec")
+
+	var stderr bytes.Buffer
+	err := Index([]string{
+		"-out", dbFile, "-postings", postings, "-secondary", secondary, xml,
+	}, io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	bundle := dbFile + ".bundle"
+	if _, err := os.Stat(bundle); err != nil {
+		t.Fatalf("bundle not written: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "bundle:") {
+		t.Errorf("summary missing bundle line: %q", stderr.String())
+	}
+
+	// No re-ingestion: the XML is gone before the bundle is queried.
+	if err := os.Remove(xml); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, strategy := range []string{"direct", "schema"} {
+		var viaCollection, viaBundle bytes.Buffer
+		if err := Query([]string{"-db", dbFile, "-papercosts", "-strategy", strategy,
+			"-n", "0", `cd[title["concerto"]]`}, &viaCollection, io.Discard); err != nil {
+			t.Fatalf("query via collection: %v", err)
+		}
+		if err := Query([]string{"-db", bundle, "-papercosts", "-strategy", strategy,
+			"-n", "0", `cd[title["concerto"]]`}, &viaBundle, io.Discard); err != nil {
+			t.Fatalf("query via bundle: %v", err)
+		}
+		if viaCollection.String() != viaBundle.String() {
+			t.Errorf("strategy %s: bundle results differ:\n%s\nvs\n%s",
+				strategy, viaBundle.String(), viaCollection.String())
+		}
+		if viaBundle.Len() == 0 {
+			t.Errorf("strategy %s: bundle query returned nothing", strategy)
+		}
+	}
+
+	// -cache and -stats work against the bundle and report backend fetches.
+	var out bytes.Buffer
+	if err := Query([]string{"-db", bundle, "-papercosts", "-cache", "64", "-stats",
+		"-strategy", "schema", "-n", "2", `cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "backend fetches") {
+		t.Errorf("stats over bundle lack backend fetches:\n%s", out.String())
+	}
+
+	// -bundle without both stores is rejected.
+	if err := Index([]string{"-out", dbFile, "-bundle", bundle, xml}, io.Discard, io.Discard); err == nil {
+		t.Error("-bundle without -postings/-secondary accepted")
+	}
+}

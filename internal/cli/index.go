@@ -7,12 +7,13 @@ import (
 	"os"
 
 	"approxql"
-	"approxql/internal/index"
-	"approxql/internal/storage"
 )
 
 // Index is the axqlindex entry point: it builds a collection file from XML
-// documents and optionally persists the postings into the B+tree store.
+// documents and optionally persists the postings and the secondary index
+// into B+tree stores. When both stores are written it also writes a bundle
+// manifest (default <out>.bundle) so `axql -db <bundle>` queries the
+// persisted indexes directly, without re-ingesting the XML.
 func Index(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("axqlindex", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -20,6 +21,7 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("out", "", "output collection file (required)")
 		postings = fs.String("postings", "", "optional: also persist postings into this B+tree file")
 		secIdx   = fs.String("secondary", "", "optional: also persist the path-dependent secondary index into this B+tree file")
+		bundle   = fs.String("bundle", "", "bundle manifest path (default <out>.bundle when -postings and -secondary are both set)")
 		costs    = fs.String("costs", "", "optional: cost file fixing node-insertion costs")
 		quiet    = fs.Bool("q", false, "suppress the summary")
 	)
@@ -27,7 +29,10 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *out == "" || fs.NArg() == 0 {
-		return fmt.Errorf("usage: axqlindex -out FILE [-postings FILE] [-secondary FILE] [-costs FILE] input.xml...")
+		return fmt.Errorf("usage: axqlindex -out FILE [-postings FILE] [-secondary FILE] [-bundle FILE] [-costs FILE] input.xml...")
+	}
+	if *bundle != "" && (*postings == "" || *secIdx == "") {
+		return fmt.Errorf("axqlindex: -bundle requires both -postings and -secondary")
 	}
 
 	model, err := loadCosts(*costs, nil)
@@ -59,29 +64,14 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	if *postings != "" {
-		store, err := storage.Open(*postings, nil)
-		if err != nil {
-			return err
-		}
-		if err := index.Save(db.Index(), store); err != nil {
-			store.Close()
-			return err
-		}
-		if err := store.Close(); err != nil {
-			return err
-		}
+	if err := db.PersistIndexes(*postings, *secIdx); err != nil {
+		return err
 	}
-	if *secIdx != "" {
-		store, err := storage.Open(*secIdx, nil)
-		if err != nil {
-			return err
+	if *postings != "" && *secIdx != "" {
+		if *bundle == "" {
+			*bundle = *out + ".bundle"
 		}
-		if err := db.Schema().SaveSec(store); err != nil {
-			store.Close()
-			return err
-		}
-		if err := store.Close(); err != nil {
+		if err := approxql.WriteBundle(*bundle, *out, *postings, *secIdx); err != nil {
 			return err
 		}
 	}
@@ -94,6 +84,9 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		sch := db.Schema().ComputeStats()
 		fmt.Fprintf(stderr, "schema: %d classes (largest class: %d instances)\n",
 			sch.Classes, sch.MaxInstances)
+		if *postings != "" && *secIdx != "" {
+			fmt.Fprintf(stderr, "bundle: %s (query it with: axql -db %s)\n", *bundle, *bundle)
+		}
 	}
 	return nil
 }

@@ -16,8 +16,9 @@ func Query(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("axql", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dbPath    = fs.String("db", "", "collection file built by axqlindex")
+		dbPath    = fs.String("db", "", "collection file or bundle manifest built by axqlindex (a bundle queries the stored indexes)")
 		xml       = fs.String("xml", "", "comma-separated XML files to index on the fly")
+		cache     = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096)")
 		costs     = fs.String("costs", "", "cost file with delete/rename costs")
 		paper     = fs.Bool("papercosts", false, "use the paper's Section 6 example cost table")
 		auto      = fs.Bool("autocosts", false, "derive delete/rename costs from the collection structure")
@@ -35,10 +36,11 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *stats && fs.NArg() == 0 {
-		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel())
+		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel(), *cache)
 		if err != nil {
 			return err
 		}
+		defer db.Close()
 		return printStats(stdout, db)
 	}
 	if fs.NArg() != 1 {
@@ -62,10 +64,11 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	db, err := openDatabase(*dbPath, *xml, model)
+	db, err := openDatabase(*dbPath, *xml, model, *cache)
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	if *auto {
 		if *costs != "" || *paper {
 			return fmt.Errorf("-autocosts conflicts with -costs and -papercosts")
@@ -168,10 +171,17 @@ func printStats(w io.Writer, db *approxql.Database) error {
 	return nil
 }
 
-func openDatabase(dbPath, xml string, model *approxql.CostModel) (*approxql.Database, error) {
+func openDatabase(dbPath, xml string, model *approxql.CostModel, cache int) (*approxql.Database, error) {
 	switch {
 	case dbPath != "":
-		return approxql.OpenDatabaseFile(dbPath, model)
+		db, err := approxql.OpenDatabaseFile(dbPath, model)
+		if err != nil {
+			return nil, err
+		}
+		if cache > 0 {
+			db.SetStoredCacheSize(cache)
+		}
+		return db, nil
 	case xml != "":
 		b := approxql.NewBuilder(model)
 		for _, path := range strings.Split(xml, ",") {

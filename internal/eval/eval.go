@@ -153,11 +153,11 @@ func resultLess(a, b Result) bool {
 // resultMaxHeap keeps the n smallest results; the root is the largest kept.
 type resultMaxHeap []Result
 
-func (h resultMaxHeap) Len() int            { return len(h) }
-func (h resultMaxHeap) Less(i, j int) bool  { return resultLess(h[j], h[i]) }
-func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultMaxHeap) Push(v interface{}) { *h = append(*h, v.(Result)) }
-func (h *resultMaxHeap) Pop() interface{} {
+func (h resultMaxHeap) Len() int           { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool { return resultLess(h[j], h[i]) }
+func (h resultMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(v any)        { *h = append(*h, v.(Result)) }
+func (h *resultMaxHeap) Pop() any {
 	old := *h
 	n := len(old)
 	v := old[n-1]

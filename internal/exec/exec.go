@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"approxql/internal/backend"
 	"approxql/internal/cost"
 	"approxql/internal/kbest"
 	"approxql/internal/lang"
@@ -79,10 +80,36 @@ type Engine struct {
 	cfg Config
 }
 
-// New returns an engine over sch reading I_sec postings from sec (pass sch
-// itself for the in-memory postings).
+// New returns an engine over sch reading I_sec postings from sec: the
+// in-memory schema itself, a schema.StoredSec, or a full backend.Backend —
+// the engine consumes only the secondary-source interface. Backends that
+// additionally expose shared-cache counters (cacheStatser, satisfied by
+// backend.Backend) have their fetch statistics snapshotted into Metrics
+// around every run.
 func New(sch *schema.Schema, sec schema.SecSource, cfg Config) *Engine {
 	return &Engine{sch: sch, sec: sec, cfg: cfg}
+}
+
+// cacheStatser is the optional fetch-statistics surface of a storage
+// backend; backend.Backend satisfies it.
+type cacheStatser interface {
+	CacheStats() backend.CacheStats
+}
+
+// snapshotCacheStats records the backend's cache counters and returns a
+// function that folds the delta into m.
+func (g *Engine) snapshotCacheStats(m *Metrics) func() {
+	cs, ok := g.sec.(cacheStatser)
+	if !ok {
+		return func() {}
+	}
+	before := cs.CacheStats()
+	return func() {
+		after := cs.CacheStats()
+		m.BackendFetches += int(after.Fetches - before.Fetches)
+		m.BackendHits += int(after.Hits - before.Hits)
+		m.BackendBytesDecoded += after.BytesDecoded - before.BytesDecoded
+	}
 }
 
 // Run evaluates x incrementally, calling emit for every distinct result
@@ -100,6 +127,7 @@ func (g *Engine) Run(ctx context.Context, x *lang.Expanded, emit func(Item) bool
 	if m == nil {
 		m = &Metrics{}
 	}
+	defer g.snapshotCacheStats(m)()
 
 	k := g.cfg.InitialK
 	if k <= 0 {
@@ -387,6 +415,9 @@ type PlanInfo struct {
 // query's result count without materializing any result list (the
 // count-only path of the secondary index).
 func (g *Engine) Explain(ctx context.Context, x *lang.Expanded, k int) ([]PlanInfo, error) {
+	if g.cfg.Metrics != nil {
+		defer g.snapshotCacheStats(g.cfg.Metrics)()
+	}
 	en := kbest.NewEngineWithSecondary(g.sch, k, g.sec)
 	lp, err := en.SecondLevelContext(ctx, x)
 	if err != nil {

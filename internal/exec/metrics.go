@@ -57,6 +57,18 @@ type Metrics struct {
 	// PostingsScanned counts instance-posting entries touched.
 	PostingsScanned int
 
+	// BackendFetches, BackendHits, and BackendBytesDecoded are the shared
+	// posting-cache counters of a stored backend, accumulated over the run:
+	// fetches that went through the cache layer, the subset served without
+	// touching storage, and the raw bytes decoded on misses. All zero when
+	// the postings are served from memory. Engines sharing one backend
+	// attribute concurrent fetches to whichever run is being measured.
+	BackendFetches int
+	// BackendHits counts BackendFetches served from the shared LRU.
+	BackendHits int
+	// BackendBytesDecoded counts raw posting bytes decoded from storage.
+	BackendBytesDecoded int64
+
 	// ResultsEmitted counts distinct result roots delivered.
 	ResultsEmitted int
 	// Truncated reports that the search hit MaxK before finding N
@@ -69,7 +81,7 @@ type Metrics struct {
 // String renders the metrics as an aligned multi-line report.
 func (m *Metrics) String() string {
 	var b strings.Builder
-	w := func(format string, args ...interface{}) {
+	w := func(format string, args ...any) {
 		fmt.Fprintf(&b, format+"\n", args...)
 	}
 	w("parse time        %v", m.ParseTime)
@@ -85,6 +97,10 @@ func (m *Metrics) String() string {
 	w("list ops          %d", m.ListOps)
 	w("secondary fetches %d", m.SecondaryFetches)
 	w("postings scanned  %d", m.PostingsScanned)
+	if m.BackendFetches > 0 {
+		w("backend fetches   %d  (cache hits %d, %d bytes decoded)",
+			m.BackendFetches, m.BackendHits, m.BackendBytesDecoded)
+	}
 	w("results emitted   %d", m.ResultsEmitted)
 	w("parallelism       %d", m.Parallelism)
 	if m.Truncated {

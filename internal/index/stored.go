@@ -15,13 +15,26 @@ const (
 	textPrefix   = "t\x00"
 )
 
+// PostingCache caches decoded postings for stored index readers. One cache
+// is shared by every reader of a backend (the I_struct/I_text postings and
+// the I_sec postings live in disjoint key namespaces), so implementations
+// must be safe for concurrent use. rawBytes is the encoded size of the
+// posting, for cache instrumentation. The production implementation is the
+// shared LRU of internal/backend.
+type PostingCache interface {
+	Get(key string) ([]xmltree.NodeID, bool)
+	Put(key string, post []xmltree.NodeID, rawBytes int)
+}
+
 // Stored is an index whose postings live in a storage.DB, the role Berkeley
-// DB plays in the paper's system. Postings are decoded on demand and cached.
+// DB plays in the paper's system. Postings are decoded on demand; attach a
+// PostingCache with SetCache to reuse decoded postings across fetches. A
+// Stored index without a cache is stateless and safe for concurrent use
+// (the underlying store serializes page access); with a cache it is as safe
+// as the cache implementation.
 type Stored struct {
 	db    *storage.DB
-	cache map[string][]xmltree.NodeID
-	// cacheLimit bounds the number of cached postings; 0 disables caching.
-	cacheLimit int
+	cache PostingCache // nil: every fetch reads and decodes from storage
 }
 
 // Save persists all postings of a Memory index into db.
@@ -47,22 +60,19 @@ func Save(ix *Memory, db *storage.DB) error {
 	return nil
 }
 
-// OpenStored returns a Stored index reading from db.
+// OpenStored returns a Stored index reading from db, without a cache.
 func OpenStored(db *storage.DB) *Stored {
-	return &Stored{db: db, cache: make(map[string][]xmltree.NodeID), cacheLimit: 4096}
+	return &Stored{db: db}
 }
 
-// SetCacheLimit bounds the posting cache (0 disables caching).
-func (s *Stored) SetCacheLimit(n int) {
-	s.cacheLimit = n
-	if n == 0 {
-		s.cache = make(map[string][]xmltree.NodeID)
-	}
-}
+// SetCache attaches a posting cache (nil disables caching).
+func (s *Stored) SetCache(c PostingCache) { s.cache = c }
 
 func (s *Stored) fetch(key string) ([]xmltree.NodeID, error) {
-	if post, ok := s.cache[key]; ok {
-		return post, nil
+	if s.cache != nil {
+		if post, ok := s.cache.Get(key); ok {
+			return post, nil
+		}
 	}
 	raw, ok, err := s.db.Get([]byte(key))
 	if err != nil {
@@ -75,13 +85,8 @@ func (s *Stored) fetch(key string) ([]xmltree.NodeID, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: posting %q: %w", key, err)
 	}
-	if s.cacheLimit > 0 {
-		if len(s.cache) >= s.cacheLimit {
-			// Simple full reset beats tracking recency for the query
-			// workloads here, which reuse a small set of labels.
-			s.cache = make(map[string][]xmltree.NodeID)
-		}
-		s.cache[key] = post
+	if s.cache != nil {
+		s.cache.Put(key, post, len(raw))
 	}
 	return post, nil
 }

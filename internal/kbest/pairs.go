@@ -60,10 +60,10 @@ func (h pairHeap) Less(x, y int) bool {
 	return h[x].j < h[y].j
 }
 func (h pairHeap) Swap(x, y int) { h[x], h[y] = h[y], h[x] }
-func (h *pairHeap) Push(v interface{}) {
+func (h *pairHeap) Push(v any) {
 	*h = append(*h, v.(pairItem))
 }
-func (h *pairHeap) Pop() interface{} {
+func (h *pairHeap) Pop() any {
 	old := *h
 	n := len(old)
 	v := old[n-1]

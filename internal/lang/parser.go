@@ -55,7 +55,7 @@ func (p *parser) advance() error {
 	return nil
 }
 
-func (p *parser) errorf(format string, args ...interface{}) error {
+func (p *parser) errorf(format string, args ...any) error {
 	return &SyntaxError{p.tok.pos, fmt.Sprintf(format, args...)}
 }
 

@@ -3,7 +3,6 @@ package schema
 import (
 	"encoding/binary"
 	"fmt"
-	"sync"
 
 	"approxql/internal/index"
 	"approxql/internal/storage"
@@ -92,38 +91,28 @@ func (s *Schema) SaveSec(db *storage.DB) error {
 
 // StoredSec is a SecSource reading I_sec postings from a storage.DB. It is
 // safe for concurrent use: the parallel execution engine fans second-level
-// queries out over worker goroutines that share one source.
+// queries out over worker goroutines that share one source. Attach a
+// posting cache with SetCache (the stored backend shares one LRU between
+// the primary postings and I_sec; the key namespaces are disjoint).
 type StoredSec struct {
 	db    *storage.DB
-	mu    sync.Mutex
-	cache map[string][]xmltree.NodeID
-	limit int
+	cache index.PostingCache // nil: every fetch reads and decodes from storage
 }
 
-// OpenStoredSec returns a stored secondary index with a small decode cache.
+// OpenStoredSec returns a stored secondary index, without a cache.
 func OpenStoredSec(db *storage.DB) *StoredSec {
-	return &StoredSec{db: db, cache: make(map[string][]xmltree.NodeID), limit: 4096}
+	return &StoredSec{db: db}
 }
 
-// SetCacheLimit bounds the decode cache to n postings; 0 disables caching
-// so every fetch reads and decodes from storage (benchmarks use this to
-// measure raw I_sec access).
-func (ss *StoredSec) SetCacheLimit(n int) {
-	ss.mu.Lock()
-	ss.limit = n
-	if n == 0 {
-		ss.cache = make(map[string][]xmltree.NodeID)
-	}
-	ss.mu.Unlock()
-}
+// SetCache attaches a posting cache (nil disables caching).
+func (ss *StoredSec) SetCache(c index.PostingCache) { ss.cache = c }
 
 func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
 	k := string(key)
-	ss.mu.Lock()
-	post, ok := ss.cache[k]
-	ss.mu.Unlock()
-	if ok {
-		return post, nil
+	if ss.cache != nil {
+		if post, ok := ss.cache.Get(k); ok {
+			return post, nil
+		}
 	}
 	raw, ok, err := ss.db.Get(key)
 	if err != nil {
@@ -132,18 +121,13 @@ func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
 	if !ok {
 		return nil, nil
 	}
-	post, err = index.DecodePosting(raw)
+	post, err := index.DecodePosting(raw)
 	if err != nil {
 		return nil, fmt.Errorf("schema: posting %q: %w", k, err)
 	}
-	ss.mu.Lock()
-	if ss.limit > 0 {
-		if len(ss.cache) >= ss.limit {
-			ss.cache = make(map[string][]xmltree.NodeID)
-		}
-		ss.cache[k] = post
+	if ss.cache != nil {
+		ss.cache.Put(k, post, len(raw))
 	}
-	ss.mu.Unlock()
 	return post, nil
 }
 
@@ -161,11 +145,10 @@ func (ss *StoredSec) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, 
 // or caching — the entries. Cached postings short-circuit to their length.
 func (ss *StoredSec) count(key []byte) (int, error) {
 	k := string(key)
-	ss.mu.Lock()
-	post, ok := ss.cache[k]
-	ss.mu.Unlock()
-	if ok {
-		return len(post), nil
+	if ss.cache != nil {
+		if post, ok := ss.cache.Get(k); ok {
+			return len(post), nil
+		}
 	}
 	raw, ok, err := ss.db.Get(key)
 	if err != nil {

@@ -34,7 +34,7 @@ var (
 	ErrCorrupt     = errors.New("storage: file is corrupt")
 )
 
-func corruptf(format string, args ...interface{}) error {
+func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 

@@ -155,10 +155,11 @@ func parseExpand(query string, c *queryConfig) (*lang.Expanded, error) {
 }
 
 // engine builds the incremental execution engine for one query — the single
-// execution path of the schema-driven strategy.
+// execution path of the schema-driven strategy. The engine plans against
+// the schema and executes against the database's backend, so the same loop
+// runs over in-memory and stored I_sec postings.
 func (db *Database) engine(c queryConfig, n int) *exec.Engine {
-	sch := db.Schema()
-	return exec.New(sch, sch, exec.Config{
+	return exec.New(db.Schema(), db.be, exec.Config{
 		N:           n,
 		InitialK:    c.initialK,
 		Delta:       c.delta,
@@ -197,7 +198,7 @@ func (db *Database) SearchContext(ctx context.Context, query string, n int, opts
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return eval.New(db.tree, db.ix).BestN(x, n)
+		return eval.New(db.be.Tree(), db.be).BestN(x, n)
 	case SchemaDriven:
 		var results []Result
 		err := db.engine(c, n).Run(ctx, x, func(it exec.Item) bool {
@@ -312,7 +313,7 @@ func (db *Database) MatchDetails(query string, root NodeID, opts ...QueryOption)
 	if err != nil {
 		return nil, 0, err
 	}
-	assigns, total, err := eval.Explain(db.tree, q, c.model, root)
+	assigns, total, err := eval.Explain(db.be.Tree(), q, c.model, root)
 	if err != nil {
 		return nil, 0, err
 	}
