@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-backends
+.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends
 
 all: check
 
@@ -14,9 +14,28 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive tests (parallel secondary execution, shared
-# caches, cross-goroutine searches) under the race detector.
+# caches, cross-goroutine searches, the query server) under the race
+# detector — the fast subset for local iteration; CI runs race-full.
 race:
-	$(GO) test -race ./... -run 'Concurrent|Parallel'
+	$(GO) test -race ./... -run 'Concurrent|Parallel|Serve|Server|Saturation|Drain'
+
+# The full test suite under the race detector.
+race-full:
+	$(GO) test -race ./...
+
+# Fail when any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Requires staticcheck on PATH (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	staticcheck ./...
+
+# End-to-end smoke test: generate, index, serve, query over HTTP.
+smoke:
+	./scripts/smoke.sh
 
 check: vet build test race
 

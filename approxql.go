@@ -1,10 +1,14 @@
 package approxql
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"approxql/internal/lang"
 
 	"approxql/internal/backend"
 	"approxql/internal/cost"
@@ -340,6 +344,22 @@ func persistInto(path string, save func(*storage.DB) error) error {
 		return err
 	}
 	return s.Close()
+}
+
+// Fingerprint parses a query and returns a compact, stable identifier of
+// its canonical parse tree: syntactically different spellings of the same
+// query — extra whitespace, redundant parentheses, multi-word text selectors
+// versus explicit conjunctions — share one fingerprint. It is the cache key
+// primitive for result caches layered over a Database (see internal/server):
+// two queries with equal fingerprints evaluated with equal n, strategy, and
+// cost model produce identical rankings.
+func Fingerprint(query string) (string, error) {
+	q, err := lang.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(q.String()))
+	return hex.EncodeToString(sum[:16]), nil
 }
 
 // SetStoredCacheSize resizes the shared posting cache of a stored database

@@ -326,3 +326,39 @@ func TestMatchDetails(t *testing.T) {
 		t.Error("MatchDetails at the super-root succeeded")
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	fp := func(q string) string {
+		t.Helper()
+		f, err := Fingerprint(q)
+		if err != nil {
+			t.Fatalf("Fingerprint(%q): %v", q, err)
+		}
+		return f
+	}
+	// Spelling variants of one canonical parse tree share a fingerprint.
+	base := fp(`cd[title["piano" and "concerto"]]`)
+	for _, variant := range []string{
+		`cd[ title[ "piano" and "concerto" ] ]`,
+		`cd[title[("piano" and "concerto")]]`,
+		`cd[title["piano concerto"]]`,
+	} {
+		if got := fp(variant); got != base {
+			t.Errorf("Fingerprint(%q) = %s, want %s", variant, got, base)
+		}
+	}
+	// Different trees get different fingerprints.
+	for _, other := range []string{
+		`cd[title["piano" or "concerto"]]`,
+		`cd[title["piano"]]`,
+		`mc[title["piano" and "concerto"]]`,
+	} {
+		if got := fp(other); got == base {
+			t.Errorf("Fingerprint(%q) collides with the base query", other)
+		}
+	}
+	// Malformed queries fail instead of fingerprinting garbage.
+	if _, err := Fingerprint(`cd[`); err == nil {
+		t.Error("Fingerprint accepted a malformed query")
+	}
+}

@@ -1,0 +1,24 @@
+// Command axqlserve serves approXQL queries over HTTP from one shared
+// database: an in-memory collection built from XML, a collection file, or a
+// bundle of persisted indexes built by axqlindex.
+//
+//	axqlserve -xml catalog.xml -addr :8080
+//	axqlserve -db catalog.bundle -max-inflight 64 -timeout 5s
+//
+// Endpoints: POST /query, GET /healthz, GET /metrics (Prometheus text
+// format), GET /debug/pprof. See docs/SERVER.md for the full reference.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"approxql/internal/cli"
+)
+
+func main() {
+	if err := cli.Serve(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "axqlserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"approxql"
+	"approxql/internal/server"
+)
+
+// Serve is the axqlserve entry point: it opens a database (in-memory from
+// XML, a collection file, or a bundle over stored indexes) and serves
+// approXQL queries over HTTP until SIGINT/SIGTERM, then drains in-flight
+// queries and exits.
+func Serve(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return ServeContext(ctx, args, stdout, stderr)
+}
+
+// ServeContext is Serve bounded by a context: cancelling ctx triggers the
+// same graceful drain as SIGTERM. Exposed for tests and embedders.
+func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("axqlserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbPath      = fs.String("db", "", "collection file or bundle manifest built by axqlindex (a bundle serves the stored indexes)")
+		xml         = fs.String("xml", "", "comma-separated XML files to index on the fly")
+		cache       = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096)")
+		costs       = fs.String("costs", "", "cost file with delete/rename costs applied to every query")
+		paper       = fs.Bool("papercosts", false, "use the paper's Section 6 example cost table")
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxInflight = fs.Int("max-inflight", 0, "max queries evaluating at once; beyond it requests get 429 (0 = 4×GOMAXPROCS, -1 = unlimited)")
+		timeout     = fs.Duration("timeout", 10*time.Second, "default per-query evaluation deadline")
+		maxTimeout  = fs.Duration("max-timeout", 60*time.Second, "cap on the deadline a request may ask for")
+		maxN        = fs.Int("max-n", 1000, "cap on the number of results one request may ask for")
+		resultCache = fs.Int("result-cache", 1024, "result-cache entries (-1 disables caching)")
+		slow        = fs.Duration("slow", time.Second, "log completed queries slower than this at warning level (-1ns disables)")
+		drain       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
+		logFormat   = fs.String("log", "text", "request log format: text, json, or off")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: axqlserve [flags] (queries arrive over HTTP, not as arguments)")
+	}
+
+	fallback := approxql.NewCostModel()
+	if *paper {
+		fallback = approxql.PaperCostModel()
+	}
+	model, err := loadCosts(*costs, fallback)
+	if err != nil {
+		return err
+	}
+
+	logger, err := newLogger(*logFormat, stderr)
+	if err != nil {
+		return err
+	}
+
+	db, err := openDatabase(*dbPath, *xml, model, *cache)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		Model:          model,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxN:           *maxN,
+		CacheEntries:   *resultCache,
+		SlowQuery:      *slow,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the readiness signal scripts wait for
+	// (and with -addr :0 the only way to learn the port).
+	fmt.Fprintf(stderr, "axqlserve: listening on %s (%d nodes)\n", l.Addr(), db.Len())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stderr, "axqlserve: shutting down, draining in-flight queries")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("axqlserve: drain incomplete: %w", err)
+	}
+	return <-errc
+}
+
+func newLogger(format string, stderr io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(stderr, nil)), nil
+	case "off":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown log format %q (want text, json, or off)", format)
+}

@@ -1,0 +1,125 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test poll axqlserve's stderr for the readiness line
+// while the server goroutine keeps writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s]+)`)
+
+func TestServeEndToEndOverBundle(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	collection := filepath.Join(dir, "catalog.axdb")
+	postings := filepath.Join(dir, "catalog.postings")
+	secondary := filepath.Join(dir, "catalog.sec")
+	err := Index([]string{
+		"-out", collection, "-postings", postings, "-secondary", secondary, "-q", xml,
+	}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stderr := &syncBuffer{}
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ServeContext(ctx, []string{
+			"-db", collection + ".bundle", "-addr", "127.0.0.1:0", "-log", "off",
+		}, io.Discard, stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"query":"cd[title[\"concerto\"]]","n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Results []struct {
+			Cost int64  `json:"cost"`
+			Path string `json:"path"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d, %v", resp.StatusCode, err)
+	}
+	if len(qr.Results) == 0 || !strings.Contains(qr.Results[0].Path, "cd") {
+		t.Fatalf("unexpected ranking over the bundle: %+v", qr.Results)
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ServeContext after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within 5s")
+	}
+}
+
+func TestServeRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	if err := ServeContext(ctx, []string{"-log", "bogus", "-xml", "x.xml"}, io.Discard, io.Discard); err == nil {
+		t.Error("bad log format accepted")
+	}
+	if err := ServeContext(ctx, []string{}, io.Discard, io.Discard); err == nil {
+		t.Error("missing -db/-xml accepted")
+	}
+	if err := ServeContext(ctx, []string{"-xml", "x.xml", "positional"}, io.Discard, io.Discard); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

@@ -78,6 +78,50 @@ type Metrics struct {
 	Parallelism int
 }
 
+// Merge accumulates another evaluation's metrics into m: durations and
+// counters add, KPerRound appends, MaxK/FinalK/Parallelism keep the maximum
+// seen, and Truncated ors. It is the aggregation primitive for long-running
+// processes (the query server) that fold per-request metrics into one
+// cumulative view. The caller provides synchronization.
+func (m *Metrics) Merge(o *Metrics) {
+	m.ParseTime += o.ParseTime
+	m.ExpandTime += o.ExpandTime
+	m.PlanTime += o.PlanTime
+	m.ExecTime += o.ExecTime
+	m.Rounds += o.Rounds
+	m.KPerRound = append(m.KPerRound, o.KPerRound...)
+	if o.FinalK > m.FinalK {
+		m.FinalK = o.FinalK
+	}
+	if o.MaxK > m.MaxK {
+		m.MaxK = o.MaxK
+	}
+	m.Planned += o.Planned
+	m.Deduped += o.Deduped
+	m.Executed += o.Executed
+	m.SchemaFetches += o.SchemaFetches
+	m.ListOps += o.ListOps
+	m.SecondaryFetches += o.SecondaryFetches
+	m.PostingsScanned += o.PostingsScanned
+	m.BackendFetches += o.BackendFetches
+	m.BackendHits += o.BackendHits
+	m.BackendBytesDecoded += o.BackendBytesDecoded
+	m.ResultsEmitted += o.ResultsEmitted
+	m.Truncated = m.Truncated || o.Truncated
+	if o.Parallelism > m.Parallelism {
+		m.Parallelism = o.Parallelism
+	}
+}
+
+// Snapshot returns a copy of m safe to read while the original keeps
+// accumulating under the caller's lock: the one reference-typed field
+// (KPerRound) is cloned.
+func (m *Metrics) Snapshot() Metrics {
+	s := *m
+	s.KPerRound = append([]int(nil), m.KPerRound...)
+	return s
+}
+
 // String renders the metrics as an aligned multi-line report.
 func (m *Metrics) String() string {
 	var b strings.Builder

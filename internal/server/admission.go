@@ -1,0 +1,46 @@
+package server
+
+import "sync/atomic"
+
+// admission is the semaphore-based admission controller: it bounds the
+// number of queries evaluating at once so a traffic burst degrades into
+// fast 429s instead of a convoy of slow, memory-hungry evaluations.
+// Acquisition never blocks — interactive clients are better served by an
+// immediate retry signal than by queueing behind an unknown backlog.
+type admission struct {
+	slots chan struct{} // nil disables admission control
+	// inflight and rejected feed /metrics.
+	inflight atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmission(maxInflight int) *admission {
+	a := &admission{}
+	if maxInflight > 0 {
+		a.slots = make(chan struct{}, maxInflight)
+	}
+	return a
+}
+
+// tryAcquire claims an evaluation slot. It reports false at saturation,
+// in which case release must not be called.
+func (a *admission) tryAcquire() bool {
+	if a.slots != nil {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			a.rejected.Add(1)
+			return false
+		}
+	}
+	a.inflight.Add(1)
+	return true
+}
+
+// release returns a slot claimed by tryAcquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	if a.slots != nil {
+		<-a.slots
+	}
+}

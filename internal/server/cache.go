@@ -1,0 +1,105 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"approxql"
+)
+
+// resultCache is the normalized-query result LRU. Keys combine the
+// canonical parse-tree fingerprint (approxql.Fingerprint) with n and the
+// strategy, so syntactically different spellings of one query share an
+// entry while different result counts or forced strategies do not. Values
+// are complete rankings: a hit reproduces the cold path's response
+// byte-for-byte (the ranking is deterministic, see exec's ordered fan-in).
+//
+// The cache belongs to one database: invalidate drops every entry when the
+// database is swapped, by bumping a generation stamped into live entries —
+// cheaper than waiting on in-flight readers, and stale entries can never
+// be returned afterwards.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     uint64
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key     string
+	gen     uint64
+	results []approxql.Result // never mutated after insertion
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// cacheKey builds the lookup key for one evaluation.
+func cacheKey(fingerprint string, n int, strategy approxql.Strategy) string {
+	return fmt.Sprintf("%s/%d/%s", fingerprint, n, strategy)
+}
+
+// get returns the cached ranking for key, if present.
+func (c *resultCache) get(key string) ([]approxql.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		c.misses++
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok || el.Value.(*cacheEntry).gen != c.gen {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).results, true
+}
+
+// put stores a complete ranking. The caller must not modify results
+// afterwards.
+func (c *resultCache) put(key string, results []approxql.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, gen: c.gen, results: results}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, gen: c.gen, results: results})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops every entry.
+func (c *resultCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+}
+
+// stats reports cumulative hit/miss counters and the current entry count.
+func (c *resultCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"approxql"
+	"approxql/internal/lang"
+)
+
+// maxRequestBody bounds the /query request body; approXQL queries are
+// short, so anything past this is a client error, not a real query.
+const maxRequestBody = 1 << 20
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the approXQL query string (required).
+	Query string `json:"query"`
+	// N is the number of results wanted (required, 1..Config.MaxN;
+	// larger values are clamped to the cap).
+	N int `json:"n"`
+	// Strategy forces an evaluation strategy: "auto" (default),
+	// "direct", or "schema".
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS overrides the server's default evaluation deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Render asks for the matching subtrees, not only roots and paths.
+	Render bool `json:"render,omitempty"`
+}
+
+// QueryResult is one ranked answer in a QueryResponse.
+type QueryResult struct {
+	// Rank is the 1-based position in the ranking.
+	Rank int `json:"rank"`
+	// Root identifies the matching subtree's root node.
+	Root approxql.NodeID `json:"root"`
+	// Cost is the transformation cost; 0 is an exact match.
+	Cost int64 `json:"cost"`
+	// Path is the label-type path of the root, e.g. "<root>/catalog/cd".
+	Path string `json:"path"`
+	// Subtree is the rendered subtree, present only when requested.
+	Subtree string `json:"subtree,omitempty"`
+}
+
+// QueryResponse is the POST /query response.
+type QueryResponse struct {
+	// Query echoes the canonical form of the evaluated query.
+	Query string `json:"query"`
+	// Fingerprint is the canonical parse-tree fingerprint (the result-
+	// cache key component exposed for client-side caching).
+	Fingerprint string `json:"fingerprint"`
+	// N is the effective result bound after clamping.
+	N int `json:"n"`
+	// Strategy is the effective strategy.
+	Strategy string `json:"strategy"`
+	// Cached reports that the ranking was served from the result cache.
+	Cached bool `json:"cached"`
+	// TookMS is the server-side handling time in milliseconds.
+	TookMS float64 `json:"took_ms"`
+	// Results is the ranking, ascending by cost.
+	Results []QueryResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Position is the byte offset of a syntax error in the query string,
+	// present only for parse failures.
+	Position *int `json:"position,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err), nil)
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "missing field: query", nil)
+		return
+	}
+	if req.N <= 0 {
+		writeError(w, http.StatusBadRequest, "n must be positive", nil)
+		return
+	}
+	n := min(req.N, s.cfg.MaxN)
+
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	// Parsing doubles as validation: a malformed query is reported with
+	// its position before it costs an admission slot, and the fingerprint
+	// of a well-formed one keys the result cache.
+	fingerprint, err := approxql.Fingerprint(req.Query)
+	if err != nil {
+		var syn *lang.SyntaxError
+		if errors.As(err, &syn) {
+			writeError(w, http.StatusBadRequest, err.Error(), &syn.Pos)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	canonical, _ := approxql.Parse(req.Query)
+
+	key := cacheKey(fingerprint, n, strategy)
+	if results, ok := s.cache.get(key); ok {
+		s.writeRanking(w, r, req, canonical, fingerprint, n, strategy, results, true, start)
+		return
+	}
+
+	// Cache misses are the expensive path: only they pass through
+	// admission control.
+	if !s.admission.tryAcquire() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated: too many queries in flight", nil)
+		return
+	}
+	defer s.admission.release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if s.testHookSearch != nil {
+		s.testHookSearch()
+	}
+
+	opts := []approxql.QueryOption{approxql.WithStrategy(strategy)}
+	if s.cfg.Model != nil {
+		opts = append(opts, approxql.WithCostModel(s.cfg.Model))
+	}
+	var qm approxql.QueryMetrics
+	opts = append(opts, approxql.WithMetrics(&qm))
+
+	results, err := s.cfg.DB.SearchContext(ctx, req.Query, n, opts...)
+	s.metrics.mergeExec(&qm)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("query exceeded its %v deadline", timeout), nil)
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody reads this response, but the
+			// status keeps the access log honest.
+			writeError(w, 499, "client closed request", nil)
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), nil)
+		}
+		return
+	}
+
+	s.cache.put(key, results)
+	s.writeRanking(w, r, req, canonical, fingerprint, n, strategy, results, false, start)
+}
+
+func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryRequest,
+	canonical, fingerprint string, n int, strategy approxql.Strategy,
+	results []approxql.Result, cached bool, start time.Time) {
+
+	resp := QueryResponse{
+		Query:       canonical,
+		Fingerprint: fingerprint,
+		N:           n,
+		Strategy:    strategy.String(),
+		Cached:      cached,
+		TookMS:      float64(time.Since(start).Microseconds()) / 1000,
+		Results:     make([]QueryResult, len(results)),
+	}
+	for i, res := range results {
+		qr := QueryResult{
+			Rank: i + 1,
+			Root: res.Root,
+			Cost: int64(res.Cost),
+			Path: s.cfg.DB.Path(res.Root),
+		}
+		if req.Render {
+			qr.Subtree = s.cfg.DB.Render(res.Root)
+		}
+		resp.Results[i] = qr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Nodes    int    `json:"nodes"`
+	Inflight int64  `json:"inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Nodes:    s.cfg.DB.Len(),
+		Inflight: s.admission.inflight.Load(),
+	})
+}
+
+func parseStrategy(name string) (approxql.Strategy, error) {
+	switch name {
+	case "", "auto":
+		return approxql.Auto, nil
+	case "direct":
+		return approxql.Direct, nil
+	case "schema":
+		return approxql.SchemaDriven, nil
+	}
+	return approxql.Auto, fmt.Errorf("unknown strategy %q (want auto, direct, or schema)", name)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, pos *int) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Position: pos})
+}

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// logRequest emits one structured log line per request. Completed queries
+// slower than the slow-query threshold are raised to warning level so a
+// latency regression surfaces in logs before it surfaces in dashboards;
+// server-side errors log at error level.
+func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapsed time.Duration) {
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case endpoint == "/query" && s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery:
+		level = slog.LevelWarn
+	}
+	if !s.cfg.Logger.Enabled(r.Context(), level) {
+		return
+	}
+	attrs := []any{
+		slog.String("endpoint", endpoint),
+		slog.String("method", r.Method),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+		slog.String("remote", r.RemoteAddr),
+	}
+	msg := "request"
+	if level == slog.LevelWarn {
+		msg = "slow query"
+	}
+	s.cfg.Logger.Log(r.Context(), level, msg, attrs...)
+}

@@ -1,0 +1,211 @@
+// Package server implements axqlserve: a concurrent HTTP/JSON query service
+// over one shared approxql.Database.
+//
+// The paper's schema-driven best-n semantics (Section 7) is an interactive
+// access pattern — small n, incremental k-growth, results ranked by
+// transformation cost — and this package turns the library into the service
+// that pattern assumes. The endpoints:
+//
+//	POST /query        evaluate an approXQL query, ranked JSON response
+//	GET  /healthz      liveness and readiness probe
+//	GET  /metrics      Prometheus text format: request counters, latency
+//	                   histograms, result-cache and backend-cache counters,
+//	                   aggregated execution metrics
+//	GET  /debug/pprof  the standard Go profiling endpoints
+//
+// Hardening for real traffic: per-request context deadlines wired into
+// SearchContext, a semaphore-based admission controller that answers 429
+// with Retry-After at saturation, a normalized-query result LRU keyed by
+// canonical parse-tree fingerprint + n + strategy, structured request
+// logging with a slow-query threshold, and graceful shutdown that drains
+// in-flight queries.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"approxql"
+)
+
+// Config tunes a Server. The zero value of every field selects a
+// production-safe default.
+type Config struct {
+	// DB is the shared database queries run against (required).
+	DB *approxql.Database
+	// Model supplies the delete/rename costs applied to every query; nil
+	// allows insertions only (exact containment with context ranking).
+	Model *approxql.CostModel
+
+	// MaxInflight bounds concurrently evaluating queries; requests beyond
+	// the bound are rejected with 429 and a Retry-After header. Zero
+	// means 4×GOMAXPROCS; negative disables admission control.
+	MaxInflight int
+	// DefaultTimeout is the evaluation deadline applied when a request
+	// does not set one. Zero means 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a request may ask for. Zero means 60s.
+	MaxTimeout time.Duration
+	// MaxN caps the number of results one request may ask for (requests
+	// above the cap are clamped, n <= 0 is rejected: the "all results"
+	// form is not offered over the network). Zero means 1000.
+	MaxN int
+
+	// CacheEntries bounds the result cache; zero means 1024, negative
+	// disables result caching.
+	CacheEntries int
+
+	// SlowQuery is the latency past which a completed query is logged at
+	// warning level. Zero means 1s; negative disables slow-query logging.
+	SlowQuery time.Duration
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 1000
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	return c
+}
+
+// Server is the HTTP query service. Create one with New, expose it through
+// Handler (or Serve), and stop it with Shutdown. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg       Config
+	admission *admission
+	cache     *resultCache
+	metrics   *metrics
+
+	mu   sync.Mutex
+	http *http.Server
+
+	// testHookSearch, when non-nil, runs inside the admitted section just
+	// before evaluation — the seam load and drain tests use to hold a
+	// request in flight deterministically.
+	testHookSearch func()
+}
+
+// New returns a Server for cfg. It fails when no database is configured.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		admission: newAdmission(cfg.MaxInflight),
+		cache:     newResultCache(cfg.CacheEntries),
+		metrics:   newMetrics(),
+	}
+	return s, nil
+}
+
+// Handler returns the root handler serving every endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns the error of
+// the underlying http.Server; after a clean Shutdown that error is
+// http.ErrServerClosed, which Serve maps to nil.
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.http = hs
+	s.mu.Unlock()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and drains in-flight queries:
+// it returns once every active request has completed or ctx fires,
+// whichever comes first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Shutdown(ctx)
+}
+
+// InvalidateCache drops every cached result. Call it when the underlying
+// database is swapped or its cost model changes; entries cached for the
+// previous database can never be served afterwards.
+func (s *Server) InvalidateCache() { s.cache.invalidate() }
+
+// instrument wraps a handler with latency/status accounting and structured
+// request logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(rw, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(endpoint, rw.status, elapsed)
+		s.logRequest(r, endpoint, rw.status, elapsed)
+	}
+}
+
+// statusWriter records the status code a handler sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// discardHandler is a slog.Handler that drops everything; it stands in for
+// slog.DiscardHandler, which needs go 1.24.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: generate a synthetic collection, persist it as a
+# bundle, serve it with axqlserve, and exercise the HTTP surface — the CI
+# guard that the binaries compose into a working service.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: FAIL: $1" >&2
+    [ -f "$workdir/server.log" ] && sed 's/^/smoke: server: /' "$workdir/server.log" >&2
+    exit 1
+}
+
+echo "smoke: building binaries"
+go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve
+
+echo "smoke: generating a small collection"
+"$workdir/axqlgen" -seed 7 -elements 2000 -words 8000 -names 20 -vocab 200 \
+    -out "$workdir/data.xml" -q
+
+# Pick the most frequent element name so the smoke query is guaranteed to
+# have matches regardless of generator internals.
+name=$(grep -o '<n[0-9]*' "$workdir/data.xml" | sort | uniq -c | sort -rn |
+    head -1 | tr -d ' <' | sed 's/^[0-9]*//')
+[ -n "$name" ] || fail "no element names found in generated data"
+echo "smoke: querying for element <$name>"
+
+echo "smoke: indexing into a bundle"
+"$workdir/axqlindex" -out "$workdir/c.axdb" -postings "$workdir/c.postings" \
+    -secondary "$workdir/c.sec" -q "$workdir/data.xml"
+[ -f "$workdir/c.axdb.bundle" ] || fail "bundle manifest not written"
+
+echo "smoke: starting axqlserve over the bundle"
+"$workdir/axqlserve" -db "$workdir/c.axdb.bundle" -addr 127.0.0.1:0 -log text \
+    >/dev/null 2>"$workdir/server.log" &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    if addr=$(grep -o 'listening on [^ ]*' "$workdir/server.log" 2>/dev/null | head -1); then
+        base="http://${addr#listening on }"
+        break
+    fi
+    kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -n "$base" ] || fail "server never reported its address"
+
+echo "smoke: checking /healthz"
+health=$(curl -sSf "$base/healthz")
+echo "$health" | grep -q '"status":"ok"' || fail "unexpected /healthz body: $health"
+
+echo "smoke: querying /query"
+body="{\"query\":\"$name\",\"n\":5}"
+response=$(curl -sSf -X POST -H 'Content-Type: application/json' -d "$body" "$base/query")
+echo "$response" | grep -q '"rank":1' || fail "no ranked results in: $response"
+echo "$response" | grep -q '"cost":' || fail "no costs in: $response"
+echo "$response" | grep -q '"cached":false' || fail "first query claimed cached: $response"
+
+echo "smoke: repeating the query to hit the result cache"
+response=$(curl -sSf -X POST -H 'Content-Type: application/json' -d "$body" "$base/query")
+echo "$response" | grep -q '"cached":true' || fail "repeat query missed the cache: $response"
+
+echo "smoke: checking /metrics"
+metrics=$(curl -sSf "$base/metrics")
+echo "$metrics" | grep -Eq 'axql_result_cache_hits_total [1-9]' ||
+    fail "no cache hits reported in /metrics"
+echo "$metrics" | grep -q 'axql_requests_total{endpoint="/query",code="200"} 2' ||
+    fail "request counters wrong in /metrics"
+
+echo "smoke: malformed query returns 400 with a position"
+status=$(curl -s -o "$workdir/err.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d '{"query":"a[b[","n":5}' "$base/query")
+[ "$status" = "400" ] || fail "malformed query returned $status"
+grep -q '"position"' "$workdir/err.json" || fail "400 body lacks parser position"
+
+echo "smoke: graceful shutdown on SIGTERM"
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    fail "server still running 10s after SIGTERM"
+fi
+wait "$server_pid" || fail "server exited non-zero"
+server_pid=""
+grep -q 'shutting down' "$workdir/server.log" || fail "no drain message logged"
+
+echo "smoke: OK"
