@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends
+.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-smoke
 
 all: check
 
@@ -47,3 +47,14 @@ bench:
 bench-backends:
 	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend memory -json BENCH_backends.json
 	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend stored -json BENCH_backends.json
+
+# Direct-evaluation time/allocation suite (docs/PERFORMANCE.md); each run
+# appends an entry to BENCH_eval.json.
+bench-eval:
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.1 -json BENCH_eval.json
+
+# Fast benchmark pass for CI: a fixed small iteration count just proves the
+# benchmarks still compile and run; timings are not meaningful.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./internal/eval/ ./internal/index/
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.002

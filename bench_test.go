@@ -110,6 +110,40 @@ func BenchmarkFigure7b(b *testing.B) { benchFigure7(b, "pattern2") }
 // times, degrading further with 10 renamings per label.
 func BenchmarkFigure7c(b *testing.B) { benchFigure7(b, "pattern3") }
 
+// BenchmarkDirectEval measures algorithm primary end to end — the direct
+// strategy's hot path — with a fresh Evaluator per iteration, as production
+// queries run it. It sweeps the paper patterns and the evaluator's
+// Parallelism knob; allocs/op is the headline number the allocation
+// discipline work targets (see docs/PERFORMANCE.md and BENCH_eval.json).
+func BenchmarkDirectEval(b *testing.B) {
+	r := benchRunner(b)
+	qg, err := querygen.New(r.Tree(), 2002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pi := range []int{0, 2} {
+		pattern := querygen.PaperPatterns[pi]
+		g, err := qg.Generate(pattern, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := lang.Expand(g.Query, g.Model)
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", pattern.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ev := eval.New(r.Tree(), r.Backend())
+					ev.Parallelism = workers
+					if _, err := ev.BestN(x, 10); err != nil {
+						b.Fatal(err)
+					}
+					ev.Release()
+				}
+			})
+		}
+	}
+}
+
 // --- Ablations -------------------------------------------------------------
 
 // benchWorkload returns a fixed mid-size workload for the ablations.

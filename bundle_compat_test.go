@@ -1,0 +1,98 @@
+package approxql
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"approxql/internal/index"
+	"approxql/internal/storage"
+)
+
+// downgradeStore rewrites every posting in a B+tree store from the current
+// codec to the v1 flat-varint format, producing a store byte-compatible with
+// pre-v2 writers. Both index stores hold nothing but encoded postings, so
+// the rewrite is key-agnostic.
+func downgradeStore(t *testing.T, path string) {
+	t.Helper()
+	db, err := storage.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	type kv struct{ k, v []byte }
+	var all []kv
+	err = db.Scan(nil, func(key, value []byte) bool {
+		all = append(all, kv{append([]byte(nil), key...), append([]byte(nil), value...)})
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatalf("store %s is empty", path)
+	}
+	for _, p := range all {
+		post, err := index.DecodePosting(p.v)
+		if err != nil {
+			t.Fatalf("store %s key %q holds a non-posting value: %v", path, p.k, err)
+		}
+		if err := db.Put(p.k, index.EncodePostingV1(post)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1BundleStillOpens pins backward compatibility: a bundle written by a
+// pre-v2 version — "axql-bundle v1" manifest and flat-varint postings in
+// both stores — must still open and answer queries identically to the
+// in-memory database.
+func TestV1BundleStillOpens(t *testing.T) {
+	mem := buildDB(t)
+	bundle := persistBundle(t, mem)
+
+	manifest, err := os.ReadFile(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(manifest), "\n", 2)
+	if lines[0] != "axql-bundle v2" {
+		t.Fatalf("fresh bundle manifest starts with %q, want axql-bundle v2", lines[0])
+	}
+	if err := os.WriteFile(bundle, []byte("axql-bundle v1\n"+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".post")
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".sec")
+
+	stored, err := OpenBundle(bundle, PaperCostModel())
+	if err != nil {
+		t.Fatalf("opening v1 bundle: %v", err)
+	}
+	defer stored.Close()
+
+	model := PaperCostModel()
+	for _, query := range []string{
+		`cd[title["concerto"]]`,
+		`cd[title["piano" and "concerto"]]`,
+		`cd[title["concerto" or "sonata"]]`,
+		`mc[title["concerto"]]`,
+	} {
+		want, err := mem.Search(query, 0, WithCostModel(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strategy := range []Strategy{Direct, SchemaDriven} {
+			got, err := stored.Search(query, 0, WithCostModel(model), WithStrategy(strategy))
+			if err != nil {
+				t.Fatalf("%s (%v) on v1 bundle: %v", query, strategy, err)
+			}
+			if !sameResults(want, got) {
+				t.Errorf("%s (%v): v1 bundle returned %v, memory %v", query, strategy, got, want)
+			}
+		}
+	}
+}

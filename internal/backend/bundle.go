@@ -8,9 +8,16 @@ import (
 	"strings"
 )
 
-// bundleMagic is the first line of a bundle manifest; axql sniffs it to
-// distinguish bundles from collection files.
-const bundleMagic = "axql-bundle v1"
+// bundleMagic is the first line of a bundle manifest; axql sniffs its prefix
+// to distinguish bundles from collection files. New bundles are written as
+// v2 (their postings use the blocked codec), but v1 bundles stay readable:
+// the posting codec is self-describing, so the manifest version only records
+// which encoder produced the files.
+const (
+	bundleMagicPrefix = "axql-bundle v"
+	bundleMagic       = "axql-bundle v2"
+	bundleMagicV1     = "axql-bundle v1"
+)
 
 // Bundle names the three files of a persisted collection: the collection
 // file (tree dictionaries and structure, xmltree.WriteTo format), the
@@ -31,16 +38,17 @@ type Bundle struct {
 	Secondary  string
 }
 
-// IsBundle reports whether the file at path starts with the bundle magic.
+// IsBundle reports whether the file at path starts with a bundle magic of
+// any supported version.
 func IsBundle(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
 		return false
 	}
 	defer f.Close()
-	buf := make([]byte, len(bundleMagic))
+	buf := make([]byte, len(bundleMagicPrefix))
 	n, _ := f.Read(buf)
-	return string(buf[:n]) == bundleMagic
+	return string(buf[:n]) == bundleMagicPrefix
 }
 
 // WriteBundle writes a manifest at path referencing the bundle's files,
@@ -76,7 +84,7 @@ func ReadBundle(path string) (Bundle, error) {
 	defer f.Close()
 	dir := filepath.Dir(path)
 	sc := bufio.NewScanner(f)
-	if !sc.Scan() || sc.Text() != bundleMagic {
+	if !sc.Scan() || (sc.Text() != bundleMagic && sc.Text() != bundleMagicV1) {
 		return Bundle{}, fmt.Errorf("backend: %s is not an axql bundle", path)
 	}
 	var b Bundle

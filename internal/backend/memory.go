@@ -53,6 +53,16 @@ func (m *Memory) SecTermInstances(c schema.NodeID, term string) ([]xmltree.NodeI
 	return m.Schema().SecTermInstances(c, term)
 }
 
+// SecInstancesUpTo implements schema.SecSourceUpTo.
+func (m *Memory) SecInstancesUpTo(c schema.NodeID, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return m.Schema().SecInstancesUpTo(c, bound)
+}
+
+// SecTermInstancesUpTo implements schema.SecSourceUpTo.
+func (m *Memory) SecTermInstancesUpTo(c schema.NodeID, term string, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return m.Schema().SecTermInstancesUpTo(c, term, bound)
+}
+
 // SecInstanceCount implements schema.SecCounter.
 func (m *Memory) SecInstanceCount(c schema.NodeID) (int, error) {
 	return m.Schema().SecInstanceCount(c)

@@ -86,6 +86,16 @@ func (s *Stored) SecTermInstances(c schema.NodeID, term string) ([]xmltree.NodeI
 	return s.sec.SecTermInstances(c, term)
 }
 
+// SecInstancesUpTo implements schema.SecSourceUpTo.
+func (s *Stored) SecInstancesUpTo(c schema.NodeID, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return s.sec.SecInstancesUpTo(c, bound)
+}
+
+// SecTermInstancesUpTo implements schema.SecSourceUpTo.
+func (s *Stored) SecTermInstancesUpTo(c schema.NodeID, term string, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return s.sec.SecTermInstancesUpTo(c, term, bound)
+}
+
 // SecInstanceCount implements schema.SecCounter.
 func (s *Stored) SecInstanceCount(c schema.NodeID) (int, error) {
 	return s.sec.SecInstanceCount(c)

@@ -240,7 +240,9 @@ func (r *Runner) EvaluateStats(g *querygen.Generated, n int, algo Algo) (int, kb
 	x := lang.Expand(g.Query, g.Model)
 	switch algo {
 	case Direct:
-		res, err := eval.New(r.tree, r.be).BestN(x, n)
+		ev := eval.New(r.tree, r.be)
+		res, err := ev.BestN(x, n)
+		ev.Release()
 		return len(res), kbest.Stats{}, err
 	case Schema:
 		opt := kbest.Options{}

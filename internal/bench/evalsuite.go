@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"approxql/internal/eval"
+	"approxql/internal/lang"
+)
+
+// EvalMeasurement is one point of the direct-evaluation suite (`axqlbench
+// -suite eval`): algorithm primary timed over a pre-generated query set with
+// allocation counts sampled from the runtime, the harness behind
+// BENCH_eval.json.
+type EvalMeasurement struct {
+	Pattern   string
+	Renamings int
+	N         int
+	// Workers is the evaluator's Parallelism setting (1 = serial).
+	Workers int
+	// Queries is the query-set size; Iterations how many times the whole
+	// set was evaluated inside the timed region.
+	Queries    int
+	Iterations int
+
+	// NsPerQuery is the mean wall-clock time of one BestN call.
+	NsPerQuery float64
+	// AllocsPerQuery and BytesPerQuery are the mean heap allocations
+	// (mallocs) and bytes allocated per BestN call, from
+	// runtime.ReadMemStats deltas around the timed region.
+	AllocsPerQuery float64
+	BytesPerQuery  float64
+	// MeanResults is the average result count, a sanity check that runs
+	// being compared evaluated the same workload.
+	MeanResults float64
+}
+
+// MeasureDirect times the direct algorithm (a fresh Evaluator per query, as
+// the production path uses) over the pre-generated (pattern, renamings) query
+// set. The set is evaluated repeatedly until minTime of wall clock has
+// accumulated, after one untimed warm-up pass that populates any backend
+// cache, so stored and memory backends are measured in steady state.
+func (r *Runner) MeasureDirect(pattern string, renamings, n, workers int, minTime time.Duration) (EvalMeasurement, error) {
+	set, ok := r.sets[pattern][renamings]
+	if !ok || len(set) == 0 {
+		return EvalMeasurement{}, fmt.Errorf("bench: no query set for %s/%d", pattern, renamings)
+	}
+	xs := make([]*lang.Expanded, len(set))
+	for i, g := range set {
+		xs[i] = lang.Expand(g.Query, g.Model)
+	}
+	runSet := func() (int, error) {
+		results := 0
+		for _, x := range xs {
+			ev := eval.New(r.tree, r.be)
+			ev.Parallelism = workers
+			res, err := ev.BestN(x, n)
+			if err != nil {
+				return 0, err
+			}
+			results += len(res)
+			ev.Release()
+		}
+		return results, nil
+	}
+	results, err := runSet() // warm-up, untimed
+	if err != nil {
+		return EvalMeasurement{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minTime || iters < 2 {
+		if _, err := runSet(); err != nil {
+			return EvalMeasurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	evals := float64(iters * len(set))
+	return EvalMeasurement{
+		Pattern:        pattern,
+		Renamings:      renamings,
+		N:              n,
+		Workers:        workers,
+		Queries:        len(set),
+		Iterations:     iters,
+		NsPerQuery:     float64(elapsed.Nanoseconds()) / evals,
+		AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / evals,
+		BytesPerQuery:  float64(after.TotalAlloc-before.TotalAlloc) / evals,
+		MeanResults:    float64(results) / float64(len(set)),
+	}, nil
+}
+
+// EvalSuite measures every (pattern, renamings, workers) combination of the
+// direct-evaluation suite at the given result count: all three paper
+// patterns, the runner's renamings levels, serial and parallel evaluators.
+func (r *Runner) EvalSuite(n int, workersList []int, minTime time.Duration) ([]EvalMeasurement, error) {
+	var out []EvalMeasurement
+	for _, pattern := range []string{"pattern1", "pattern2", "pattern3"} {
+		if _, ok := r.sets[pattern]; !ok {
+			continue
+		}
+		for _, ren := range r.cfg.Renamings {
+			for _, w := range workersList {
+				m, err := r.MeasureDirect(pattern, ren, n, w, minTime)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}

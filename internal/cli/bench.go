@@ -24,7 +24,8 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		queries  = fs.Int("queries", 10, "queries averaged per point")
 		seed     = fs.Int64("seed", 2002, "query-generation seed")
 		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
-		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json)")
+		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json)")
+		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series) or eval (direct-evaluation time/allocation suite)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,6 +38,13 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 	cfg.QueriesPerPoint = *queries
 	cfg.QuerySeed = *seed
 	cfg.Backend = *backendF
+
+	if *suite == "eval" {
+		return benchEvalSuite(cfg, *scale, *jsonOut, stdout, stderr)
+	}
+	if *suite != "figure7" {
+		return fmt.Errorf("axqlbench: unknown suite %q (want figure7 or eval)", *suite)
+	}
 
 	fmt.Fprintf(stderr, "generating collection (%d elements, %d words), backend=%s...\n",
 		cfg.Data.TargetElements, cfg.Data.TargetWords, *backendF)
@@ -82,6 +90,112 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(all), *jsonOut)
 	}
 	return nil
+}
+
+// benchEvalSuite runs the direct-evaluation suite: algorithm primary over
+// every (pattern, renamings, workers) point at n=10, reporting time and
+// allocations per query, optionally appended to BENCH_eval.json.
+func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, stdout, stderr io.Writer) error {
+	cfg.Renamings = []int{0, 5}
+	const (
+		evalN       = 10
+		pointBudget = 300 * time.Millisecond
+	)
+	workers := []int{1, 8}
+
+	fmt.Fprintf(stderr, "generating collection (%d elements, %d words), backend=%s...\n",
+		cfg.Data.TargetElements, cfg.Data.TargetWords, cfg.Backend)
+	start := time.Now()
+	runner, err := bench.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
+	ts, ss := runner.DataStats()
+	fmt.Fprintf(stderr,
+		"ready in %v: %d nodes (%d elements, %d words), schema: %d classes, largest class %d\n\n",
+		time.Since(start).Round(time.Millisecond),
+		ts.Nodes, ts.StructNodes, ts.TextNodes, ss.Classes, ss.MaxInstances)
+
+	ms, err := runner.EvalSuite(evalN, workers, pointBudget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "=== direct-evaluation suite (n=%d) ===\n", evalN)
+	fmt.Fprintf(stdout, "%-10s %-10s %-8s %14s %12s %12s %12s\n",
+		"pattern", "renamings", "workers", "ns/query", "allocs/query", "B/query", "mean_results")
+	for _, m := range ms {
+		fmt.Fprintf(stdout, "%-10s %-10d %-8d %14.0f %12.1f %12.0f %12.1f\n",
+			m.Pattern, m.Renamings, m.Workers,
+			m.NsPerQuery, m.AllocsPerQuery, m.BytesPerQuery, m.MeanResults)
+	}
+
+	if jsonOut != "" {
+		if err := appendEvalJSON(jsonOut, cfg.Backend, scale, ms); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(ms), jsonOut)
+	}
+	return nil
+}
+
+// evalEntry is one recorded `-suite eval` run.
+type evalEntry struct {
+	Date    string      `json:"date"`
+	Backend string      `json:"backend"`
+	Scale   float64     `json:"scale"`
+	Points  []evalPoint `json:"points"`
+}
+
+type evalPoint struct {
+	Pattern        string  `json:"pattern"`
+	Renamings      int     `json:"renamings"`
+	N              int     `json:"n"`
+	Workers        int     `json:"workers"`
+	Queries        int     `json:"queries"`
+	Iterations     int     `json:"iterations"`
+	NsPerQuery     float64 `json:"ns_per_query"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+	MeanResults    float64 `json:"mean_results"`
+}
+
+// appendEvalJSON appends one eval-suite run to a JSON array file, creating
+// the file on first use.
+func appendEvalJSON(path, backend string, scale float64, ms []bench.EvalMeasurement) error {
+	var entries []evalEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("%s: existing file is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	e := evalEntry{
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Backend: backend,
+		Scale:   scale,
+	}
+	for _, m := range ms {
+		e.Points = append(e.Points, evalPoint{
+			Pattern:        m.Pattern,
+			Renamings:      m.Renamings,
+			N:              m.N,
+			Workers:        m.Workers,
+			Queries:        m.Queries,
+			Iterations:     m.Iterations,
+			NsPerQuery:     m.NsPerQuery,
+			AllocsPerQuery: m.AllocsPerQuery,
+			BytesPerQuery:  m.BytesPerQuery,
+			MeanResults:    m.MeanResults,
+		})
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // benchEntry is one recorded axqlbench run.

@@ -147,13 +147,6 @@ func TestWriteDocumentXMLParsesBack(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{},

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"approxql/internal/cost"
+	"approxql/internal/index"
+	"approxql/internal/lang"
+	"approxql/internal/xmltree"
+)
+
+// catalogFixture builds the Section 6 catalog without a testing.T, for use
+// from benchmarks as well as tests.
+func catalogFixture() (*xmltree.Tree, *index.Memory, *cost.Model) {
+	model := cost.PaperExample()
+	b := xmltree.NewBuilder(model)
+	if err := b.AddDocument(strings.NewReader(catalogXML)); err != nil {
+		panic(err)
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return tree, index.Build(tree), model
+}
+
+// TestListOpAllocBudgets pins the per-operation discipline: every append
+// variant of the list algebra runs allocation-free when the destination and
+// scratch already have capacity. A regression here silently reintroduces
+// per-call garbage across the whole direct evaluation.
+func TestListOpAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	lA, lD := benchLists(2_000, 8_000)
+	lB := &List{entries: make([]Entry, 0, 1_000)}
+	for i := 0; i < len(lA.entries); i += 2 {
+		lB.entries = append(lB.entries, lA.entries[i])
+	}
+	dst := make([]Entry, 0, len(lA.entries)+len(lD.entries))
+	var sc joinScratch
+	sc.grow(len(lA.entries))
+
+	ops := map[string]func(){
+		"appendJoin":      func() { dst = appendJoin(dst[:0], lA.entries, lD.entries, 1, &sc) },
+		"appendOuterjoin": func() { dst = appendOuterjoin(dst[:0], lA.entries, lD.entries, 1, 5, &sc) },
+		"appendIntersect": func() { dst = appendIntersect(dst[:0], lA.entries, lB.entries, 1) },
+		"appendUnion":     func() { dst = appendUnion(dst[:0], lA.entries, lB.entries, 0, 1) },
+		"appendMerge":     func() { dst = appendMerge(dst[:0], lA.entries, lB.entries, 3, false) },
+		"appendMarkLeaf":  func() { dst = appendMarkLeaf(dst[:0], lA.entries) },
+		"appendMinUnion":  func() { dst = appendMinUnion(dst[:0], lA.entries, lB.entries, 0, 1, false, false) },
+	}
+	for name, op := range ops {
+		op() // warm any lazy growth inside the op
+		if allocs := testing.AllocsPerRun(20, op); allocs > 0 {
+			t.Errorf("%s: %.1f allocs/run with preallocated buffers, want 0", name, allocs)
+		}
+	}
+}
+
+// TestEvalAllocBudget pins the end-to-end budget: after the first query has
+// warmed the process-wide pools, a fresh evaluator answering the same query
+// stays within a small constant number of allocations, independent of list
+// sizes (the arena, scratch pool, and chunk pool absorb the data-dependent
+// part).
+func TestEvalAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	tree, ix, model := catalogFixture()
+	x := lang.Expand(lang.MustParse(`cd[title["concerto" and "piano"] or composer]`), model)
+
+	run := func() {
+		ev := New(tree, ix)
+		if _, err := ev.BestN(x, 0); err != nil {
+			t.Fatal(err)
+		}
+		ev.Release()
+	}
+	run() // warm the chunk and scratch pools
+	// Warm runs measure ~19 allocs on this fixture; the budget leaves a
+	// little headroom for runtime variation but catches any per-entry or
+	// per-list regression immediately.
+	const budget = 32
+	if allocs := testing.AllocsPerRun(10, run); allocs > budget {
+		t.Errorf("full evaluation: %.1f allocs/run, budget %d", allocs, budget)
+	}
+}
+
+func BenchmarkEvalWarm(b *testing.B) {
+	tree, ix, model := catalogFixture()
+	for _, q := range []string{
+		`cd[title["concerto"]]`,
+		`cd[title["concerto" and "piano"] or composer]`,
+	} {
+		x := lang.Expand(lang.MustParse(q), model)
+		b.Run(fmt.Sprintf("q=%s", q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ev := New(tree, ix)
+				if _, err := ev.BestN(x, 0); err != nil {
+					b.Fatal(err)
+				}
+				ev.Release()
+			}
+		})
+	}
+}

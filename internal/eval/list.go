@@ -4,6 +4,15 @@
 // approximate embeddings of a query in one bottom-up pass and solves the
 // best-n-pairs problem by sorting and pruning.
 //
+// The list algebra is allocation-disciplined: every operation has an
+// append-style core that writes into a caller-provided buffer — an arena
+// reservation for retained (memoized) lists, pooled scratch for merge-chain
+// intermediates — with exact output upper bounds (merge/union ≤ |l|+|r|,
+// join/outerjoin ≤ |lA|, intersect ≤ min(|l|,|r|)). The thin wrappers that
+// allocate fresh slices remain for the reference paths and the tests; the
+// evaluator hot path never calls them. docs/PERFORMANCE.md describes the
+// discipline.
+//
 // The package also contains an independent reference evaluator
 // (reference.go) that implements the closure semantics of Section 5
 // directly; the property tests cross-check both.
@@ -40,8 +49,9 @@ func isAncestor(a, d *Entry) bool {
 }
 
 // List is a sequence of entries sorted by ascending Pre with at most one
-// entry per node. Lists are immutable once built: every operation returns a
-// new list, which makes fetch and inner-list memoization safe.
+// entry per node. Lists are immutable once built: operations never write
+// through a *List, which makes fetch and inner-list memoization safe. The
+// entries may live in an evaluator's arena; the List keeps the chunk alive.
 type List struct {
 	entries []Entry
 }
@@ -57,87 +67,113 @@ func (l *List) Entries() []Entry { return l.entries }
 
 var emptyList = &List{}
 
-// bump returns a copy of l with c added to every entry's costs. A zero bump
-// returns l itself.
-func bump(l *List, c cost.Cost) *List {
-	if c == 0 || l.Len() == 0 {
-		return l
+// --- append-style cores ----------------------------------------------------
+//
+// Each core appends its result to dst and returns the extended slice. dst
+// must not alias either input. Appending at most the documented bound keeps
+// an arena reservation or a pre-grown scratch buffer allocation-free.
+
+// appendMarkLeaf appends a copy of l with LeafCost set to EmbCost: leaf
+// matches are by definition query-leaf matches. Appends exactly len(l).
+func appendMarkLeaf(dst, l []Entry) []Entry {
+	for _, e := range l {
+		e.LeafCost = e.EmbCost
+		dst = append(dst, e)
 	}
-	out := make([]Entry, len(l.entries))
-	copy(out, l.entries)
-	for i := range out {
-		out[i].EmbCost = cost.Add(out[i].EmbCost, c)
-		out[i].LeafCost = cost.Add(out[i].LeafCost, c)
-	}
-	return &List{entries: out}
+	return dst
 }
 
-// merge returns all entries from lL and lR, with cRen added to the costs of
-// the entries from lR (Section 6.4, function merge): lR holds the matches of
-// a renamed label. The result stays sorted by Pre; should both lists carry
-// the same node (possible in the schema, where renamed terms can share a
-// compacted text class), the cheaper costs win.
-func merge(lL, lR *List, cRen cost.Cost) *List {
-	if lR.Len() == 0 {
-		return lL
-	}
-	out := make([]Entry, 0, lL.Len()+lR.Len())
+// appendMinUnion is the shared core of merge and union: the pointwise
+// minimum over the union of both lists, with cL/cR added to each side's
+// costs and the leaf rule (LeafCost = EmbCost, before the charge) optionally
+// applied per side. Minimum and clamped addition make the operation
+// associative and commutative over charged lists, which is what lets a
+// renaming merge chain be folded in any order — including the parallel
+// reduction tree — with bit-identical results. Appends at most
+// len(lL)+len(lR).
+func appendMinUnion(dst, lL, lR []Entry, cL, cR cost.Cost, markL, markR bool) []Entry {
 	i, j := 0, 0
-	for i < lL.Len() && j < lR.Len() {
-		a, b := lL.entries[i], lR.entries[j]
+	for i < len(lL) && j < len(lR) {
+		a, b := lL[i], lR[j]
+		if markL {
+			a.LeafCost = a.EmbCost
+		}
+		if markR {
+			b.LeafCost = b.EmbCost
+		}
 		switch {
 		case a.Pre < b.Pre:
-			out = append(out, a)
+			a.EmbCost = cost.Add(a.EmbCost, cL)
+			a.LeafCost = cost.Add(a.LeafCost, cL)
+			dst = append(dst, a)
 			i++
 		case a.Pre > b.Pre:
-			b.EmbCost = cost.Add(b.EmbCost, cRen)
-			b.LeafCost = cost.Add(b.LeafCost, cRen)
-			out = append(out, b)
+			b.EmbCost = cost.Add(b.EmbCost, cR)
+			b.LeafCost = cost.Add(b.LeafCost, cR)
+			dst = append(dst, b)
 			j++
 		default:
-			b.EmbCost = cost.Min(a.EmbCost, cost.Add(b.EmbCost, cRen))
-			b.LeafCost = cost.Min(a.LeafCost, cost.Add(b.LeafCost, cRen))
-			out = append(out, b)
+			// Same node on both sides (possible in the schema, where
+			// renamed terms can share a compacted text class): the
+			// cheaper charged costs win; the identity fields agree.
+			b.EmbCost = cost.Min(cost.Add(a.EmbCost, cL), cost.Add(b.EmbCost, cR))
+			b.LeafCost = cost.Min(cost.Add(a.LeafCost, cL), cost.Add(b.LeafCost, cR))
+			dst = append(dst, b)
 			i++
 			j++
 		}
 	}
-	out = append(out, lL.entries[i:]...)
-	for ; j < lR.Len(); j++ {
-		b := lR.entries[j]
-		b.EmbCost = cost.Add(b.EmbCost, cRen)
-		b.LeafCost = cost.Add(b.LeafCost, cRen)
-		out = append(out, b)
+	for ; i < len(lL); i++ {
+		a := lL[i]
+		if markL {
+			a.LeafCost = a.EmbCost
+		}
+		a.EmbCost = cost.Add(a.EmbCost, cL)
+		a.LeafCost = cost.Add(a.LeafCost, cL)
+		dst = append(dst, a)
 	}
-	return &List{entries: out}
+	for ; j < len(lR); j++ {
+		b := lR[j]
+		if markR {
+			b.LeafCost = b.EmbCost
+		}
+		b.EmbCost = cost.Add(b.EmbCost, cR)
+		b.LeafCost = cost.Add(b.LeafCost, cR)
+		dst = append(dst, b)
+	}
+	return dst
 }
 
-// join returns copies of the entries from lA that have descendants in lD
-// (Section 6.4, function join). The embedding cost of each ancestor is the
-// cheapest distance+cost over its descendants, plus cEdge. Because lists
-// are sorted by Pre and subtrees nest, a stack of open ancestors processes
-// both lists in one merge pass: every descendant contributes to exactly the
-// ancestors currently open, of which there are at most l (the recursivity
-// of the data tree) — the paper's O(s·l) bound.
-func join(lA, lD *List, cEdge cost.Cost) *List {
-	if lA.Len() == 0 || lD.Len() == 0 {
-		return emptyList
-	}
-	out := make([]Entry, 0, lA.Len())
-	// open holds indexes into tmp, the pending copies of open ancestors.
-	tmp := make([]Entry, lA.Len())
-	matched := make([]bool, lA.Len())
-	var open []int
+// appendMerge appends all entries from lL and lR, with cRen added to the
+// costs of the entries from lR (Section 6.4, function merge): lR holds the
+// matches of a renamed label. markRight additionally applies the leaf rule
+// to lR entries, fusing the markLeaf of a renamed leaf variant into the
+// merge. Appends at most len(lL)+len(lR).
+func appendMerge(dst, lL, lR []Entry, cRen cost.Cost, markRight bool) []Entry {
+	return appendMinUnion(dst, lL, lR, 0, cRen, false, markRight)
+}
+
+// joinCore runs the one-pass stack algorithm shared by join and outerjoin
+// (Section 6.4): for every ancestor in lA it computes the cheapest
+// distance+cost over its descendants in lD. Because lists are sorted by Pre
+// and subtrees nest, a stack of open ancestors processes both lists in one
+// merge pass: every descendant contributes to exactly the ancestors
+// currently open, of which there are at most l (the recursivity of the data
+// tree) — the paper's O(s·l) bound. Results land in sc.tmp/sc.matched,
+// indexed like lA; the caller emits them under its own cost rule.
+func joinCore(lA, lD []Entry, sc *joinScratch) {
+	sc.grow(len(lA))
+	tmp, matched, open := sc.tmp, sc.matched, sc.open
 
 	i, j := 0, 0
-	for j < lD.Len() {
-		d := &lD.entries[j]
+	for j < len(lD) {
+		d := &lD[j]
 		// Open all ancestors that start before this descendant, popping
 		// expired ones first so the stack stays properly nested (siblings
 		// never coexist on it).
-		for i < lA.Len() && lA.entries[i].Pre < d.Pre {
-			open = closeExpired(open, tmp, lA.entries[i].Pre)
-			tmp[i] = lA.entries[i]
+		for i < len(lA) && lA[i].Pre < d.Pre {
+			open = closeExpired(open, tmp, lA[i].Pre)
+			tmp[i] = lA[i]
 			tmp[i].EmbCost = cost.Inf
 			tmp[i].LeafCost = cost.Inf
 			open = append(open, i)
@@ -145,7 +181,7 @@ func join(lA, lD *List, cEdge cost.Cost) *List {
 		}
 		// Close ancestors whose subtree ended.
 		open = closeExpired(open, tmp, d.Pre)
-		if len(open) == 0 && i >= lA.Len() {
+		if len(open) == 0 && i >= len(lA) {
 			break
 		}
 		for _, ai := range open {
@@ -164,46 +200,46 @@ func join(lA, lD *List, cEdge cost.Cost) *List {
 		}
 		j++
 	}
-	for ai := range tmp {
-		if matched[ai] {
-			e := tmp[ai]
+	sc.open = open // keep the grown stack for reuse
+}
+
+// appendJoin appends the join of lA with lD (Section 6.4, function join):
+// copies of the entries from lA that have descendants in lD, each costing
+// the cheapest distance+cost over its descendants plus cEdge. Appends at
+// most len(lA).
+func appendJoin(dst, lA, lD []Entry, cEdge cost.Cost, sc *joinScratch) []Entry {
+	if len(lA) == 0 || len(lD) == 0 {
+		return dst
+	}
+	joinCore(lA, lD, sc)
+	for ai := range sc.tmp {
+		if sc.matched[ai] {
+			e := sc.tmp[ai]
 			e.EmbCost = cost.Add(e.EmbCost, cEdge)
 			e.LeafCost = cost.Add(e.LeafCost, cEdge)
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return &List{entries: out}
+	return dst
 }
 
-// closeExpired removes ancestors from the open stack whose bound lies before
-// pre. Ancestors nest, so expired ones form a suffix of the stack.
-func closeExpired(open []int, tmp []Entry, pre xmltree.NodeID) []int {
-	for len(open) > 0 && tmp[open[len(open)-1]].Bound < pre {
-		open = open[:len(open)-1]
+// appendOuterjoin appends the outerjoin of lA with lD (Section 6.4, function
+// outerjoin): copies of all entries from lA; ancestors without a descendant
+// in lD cost cDel+cEdge, the others min(cDel, cheapest match)+cEdge. The
+// LeafCost tracks the cheapest genuine match only — deleting the leaf never
+// contributes a query-leaf match. Entries whose cost is infinite (no match
+// and cDel=∞) are dropped. Appends at most len(lA).
+func appendOuterjoin(dst, lA, lD []Entry, cEdge, cDel cost.Cost, sc *joinScratch) []Entry {
+	if len(lA) == 0 {
+		return dst
 	}
-	return open
-}
-
-// outerjoin returns copies of all entries from lA (Section 6.4, function
-// outerjoin): ancestors without a descendant in lD cost cDel+cEdge; the
-// others cost min(cDel, cheapest match)+cEdge. The LeafCost tracks the
-// cheapest genuine match only — deleting the leaf never contributes a
-// query-leaf match. Entries whose cost is infinite (no match and cDel=∞)
-// are dropped.
-func outerjoin(lA, lD *List, cEdge, cDel cost.Cost) *List {
-	joined := join(lA, lD, 0)
-	out := make([]Entry, 0, lA.Len())
-	j := 0
-	for _, a := range lA.entries {
-		var match *Entry
-		if j < joined.Len() && joined.entries[j].Pre == a.Pre {
-			match = &joined.entries[j]
-			j++
-		}
+	joinCore(lA, lD, sc)
+	for ai, a := range lA {
 		e := a
-		if match != nil {
-			e.EmbCost = cost.Add(cost.Min(cDel, match.EmbCost), cEdge)
-			e.LeafCost = cost.Add(match.LeafCost, cEdge)
+		if sc.matched[ai] {
+			m := &sc.tmp[ai]
+			e.EmbCost = cost.Add(cost.Min(cDel, m.EmbCost), cEdge)
+			e.LeafCost = cost.Add(m.LeafCost, cEdge)
 		} else {
 			e.EmbCost = cost.Add(cDel, cEdge)
 			e.LeafCost = cost.Inf
@@ -211,19 +247,19 @@ func outerjoin(lA, lD *List, cEdge, cDel cost.Cost) *List {
 		if cost.IsInf(e.EmbCost) {
 			continue
 		}
-		out = append(out, e)
+		dst = append(dst, e)
 	}
-	return &List{entries: out}
+	return dst
 }
 
-// intersect returns the entries present in both lists (Section 6.4, function
-// intersect): matching Pre pairs with summed costs plus cEdge. The LeafCost
-// needs one leaf on either side: min(leafL+embR, embL+leafR).
-func intersect(lL, lR *List, cEdge cost.Cost) *List {
-	out := make([]Entry, 0, min(lL.Len(), lR.Len()))
+// appendIntersect appends the entries present in both lists (Section 6.4,
+// function intersect): matching Pre pairs with summed costs plus cEdge. The
+// LeafCost needs one leaf on either side: min(leafL+embR, embL+leafR).
+// Appends at most min(len(lL), len(lR)).
+func appendIntersect(dst, lL, lR []Entry, cEdge cost.Cost) []Entry {
 	i, j := 0, 0
-	for i < lL.Len() && j < lR.Len() {
-		a, b := lL.entries[i], lR.entries[j]
+	for i < len(lL) && j < len(lR) {
+		a, b := lL[i], lR[j]
 		switch {
 		case a.Pre < b.Pre:
 			i++
@@ -236,52 +272,91 @@ func intersect(lL, lR *List, cEdge cost.Cost) *List {
 				cost.Min(cost.Add(a.LeafCost, b.EmbCost), cost.Add(a.EmbCost, b.LeafCost)),
 				cEdge)
 			if !cost.IsInf(e.EmbCost) {
-				out = append(out, e)
+				dst = append(dst, e)
 			}
 			i++
 			j++
 		}
 	}
+	return dst
+}
+
+// appendUnion appends all entries from both lists (Section 6.4, function
+// union) with cL added to lL's costs and cR to lR's; nodes present in both
+// keep the cheaper adjusted costs. The per-side charge subsumes the bump of
+// an or-branch's edge cost (RepOr evaluates union(l, bump(r, cEdge))) in one
+// pass. Appends at most len(lL)+len(lR).
+func appendUnion(dst, lL, lR []Entry, cL, cR cost.Cost) []Entry {
+	return appendMinUnion(dst, lL, lR, cL, cR, false, false)
+}
+
+// closeExpired removes ancestors from the open stack whose bound lies before
+// pre. Ancestors nest, so expired ones form a suffix of the stack.
+func closeExpired(open []int, tmp []Entry, pre xmltree.NodeID) []int {
+	for len(open) > 0 && tmp[open[len(open)-1]].Bound < pre {
+		open = open[:len(open)-1]
+	}
+	return open
+}
+
+// --- allocating wrappers ---------------------------------------------------
+//
+// The original list operations, kept for the reference paths, the adapted
+// schema algebra, and the tests that pin the algebra's semantics. Each
+// allocates a fresh exactly-bounded slice and delegates to its core.
+
+// bump returns a copy of l with c added to every entry's costs. A zero bump
+// returns l itself.
+func bump(l *List, c cost.Cost) *List {
+	if c == 0 || l.Len() == 0 {
+		return l
+	}
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	for i := range out {
+		out[i].EmbCost = cost.Add(out[i].EmbCost, c)
+		out[i].LeafCost = cost.Add(out[i].LeafCost, c)
+	}
 	return &List{entries: out}
 }
 
-// union returns all entries from both lists (Section 6.4, function union):
-// nodes present in both keep the cheaper costs; all costs grow by cEdge.
+// merge returns all entries from lL and lR, with cRen added to the costs of
+// the entries from lR; see appendMerge.
+func merge(lL, lR *List, cRen cost.Cost) *List {
+	if lR.Len() == 0 {
+		return lL
+	}
+	dst := make([]Entry, 0, lL.Len()+lR.Len())
+	return &List{entries: appendMerge(dst, lL.entries, lR.entries, cRen, false)}
+}
+
+// join returns copies of the entries from lA that have descendants in lD;
+// see appendJoin.
+func join(lA, lD *List, cEdge cost.Cost) *List {
+	if lA.Len() == 0 || lD.Len() == 0 {
+		return emptyList
+	}
+	var sc joinScratch
+	dst := make([]Entry, 0, lA.Len())
+	return &List{entries: appendJoin(dst, lA.entries, lD.entries, cEdge, &sc)}
+}
+
+// outerjoin returns copies of all entries from lA with the deletion rule
+// applied; see appendOuterjoin.
+func outerjoin(lA, lD *List, cEdge, cDel cost.Cost) *List {
+	var sc joinScratch
+	dst := make([]Entry, 0, lA.Len())
+	return &List{entries: appendOuterjoin(dst, lA.entries, lD.entries, cEdge, cDel, &sc)}
+}
+
+// intersect returns the entries present in both lists; see appendIntersect.
+func intersect(lL, lR *List, cEdge cost.Cost) *List {
+	dst := make([]Entry, 0, min(lL.Len(), lR.Len()))
+	return &List{entries: appendIntersect(dst, lL.entries, lR.entries, cEdge)}
+}
+
+// union returns all entries from both lists; see appendUnion.
 func union(lL, lR *List, cEdge cost.Cost) *List {
-	out := make([]Entry, 0, lL.Len()+lR.Len())
-	i, j := 0, 0
-	for i < lL.Len() && j < lR.Len() {
-		a, b := lL.entries[i], lR.entries[j]
-		switch {
-		case a.Pre < b.Pre:
-			out = append(out, a)
-			i++
-		case a.Pre > b.Pre:
-			out = append(out, b)
-			j++
-		default:
-			e := a
-			e.EmbCost = cost.Min(a.EmbCost, b.EmbCost)
-			e.LeafCost = cost.Min(a.LeafCost, b.LeafCost)
-			out = append(out, e)
-			i++
-			j++
-		}
-	}
-	out = append(out, lL.entries[i:]...)
-	out = append(out, lR.entries[j:]...)
-	if cEdge != 0 {
-		for k := range out {
-			out[k].EmbCost = cost.Add(out[k].EmbCost, cEdge)
-			out[k].LeafCost = cost.Add(out[k].LeafCost, cEdge)
-		}
-	}
-	return &List{entries: out}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	dst := make([]Entry, 0, lL.Len()+lR.Len())
+	return &List{entries: appendUnion(dst, lL.entries, lR.entries, cEdge, cEdge)}
 }

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"approxql/internal/index"
+	"approxql/internal/lang"
+)
+
+// TestParallelMatchesSerial pins the determinism claim of the parallel
+// primary: with any worker count, results are bit-identical to the serial
+// evaluation (same roots, costs, and order), because the combine order is
+// fixed and the pointwise-minimum algebra is associative. ForceParallelism
+// bypasses the GOMAXPROCS clamp and forkMinEntries is lowered to 1 so the
+// fork paths actually run even on single-CPU hosts over tiny trees. Run
+// with -race to make this a scheduling soundness test too.
+func TestParallelMatchesSerial(t *testing.T) {
+	old := forkMinEntries
+	forkMinEntries = 1
+	defer func() { forkMinEntries = old }()
+
+	rng := rand.New(rand.NewSource(811))
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		model := randomModel(rng)
+		tree := randomTree(rng, model, 60)
+		q := randomQuery(rng, 3)
+		x := lang.Expand(q, model)
+		ix := index.Build(tree)
+
+		serial := New(tree, ix)
+		want, err := serial.BestN(x, 0)
+		if err != nil {
+			t.Fatalf("trial %d: serial BestN: %v", trial, err)
+		}
+		serial.Release()
+
+		ref, err := Reference(tree, q, model)
+		if err != nil {
+			t.Fatalf("trial %d: Reference: %v", trial, err)
+		}
+		SortResults(ref)
+		if !resultsEqual(want, ref) {
+			t.Fatalf("trial %d: query %s: serial primary disagrees with reference\nprimary:   %v\nreference: %v",
+				trial, q, want, ref)
+		}
+
+		for _, workers := range []int{2, 4, 8} {
+			ev := New(tree, ix)
+			ev.Parallelism = workers
+			ev.ForceParallelism = true
+			got, err := ev.BestN(x, 0)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: BestN: %v", trial, workers, err)
+			}
+			if ev.Stats().ParallelForks == 0 && workers > 1 && trial == 0 {
+				t.Logf("trial %d workers=%d: no forks occurred", trial, workers)
+			}
+			ev.Release()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers=%d: query %s: parallel result differs from serial\nparallel: %v\nserial:   %v",
+					trial, workers, q, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelForksHappen guards the previous test against silently testing
+// nothing: across the trial set, with the fork threshold at 1, at least one
+// evaluation must actually fork.
+func TestParallelForksHappen(t *testing.T) {
+	old := forkMinEntries
+	forkMinEntries = 1
+	defer func() { forkMinEntries = old }()
+
+	rng := rand.New(rand.NewSource(97))
+	forks := 0
+	for trial := 0; trial < 40 && forks == 0; trial++ {
+		model := randomModel(rng)
+		tree := randomTree(rng, model, 80)
+		q := randomQuery(rng, 3)
+		ev := New(tree, index.Build(tree))
+		ev.Parallelism = 4
+		ev.ForceParallelism = true
+		if _, err := ev.BestN(lang.Expand(q, model), 0); err != nil {
+			t.Fatal(err)
+		}
+		forks += ev.Stats().ParallelForks
+		ev.Release()
+	}
+	if forks == 0 {
+		t.Fatal("no evaluation forked; the parallel equivalence test is vacuous")
+	}
+}

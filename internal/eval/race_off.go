@@ -1,0 +1,7 @@
+//go:build !race
+
+package eval
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// budgets are skipped under -race because instrumentation inflates counts.
+const raceEnabled = false

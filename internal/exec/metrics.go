@@ -69,6 +69,19 @@ type Metrics struct {
 	// BackendBytesDecoded counts raw posting bytes decoded from storage.
 	BackendBytesDecoded int64
 
+	// The Eval* counters are the allocation-discipline view of the direct
+	// strategy (algorithm primary); they stay zero for schema-driven runs.
+	// EvalArenaChunks and EvalArenaEntries count entry-arena chunks
+	// allocated and entries carved from them; EvalScratchHits and
+	// EvalScratchMisses count pooled scratch and chunk acquisitions served
+	// from a pool versus freshly allocated; EvalParallelForks counts
+	// subtree evaluations forked onto extra goroutines.
+	EvalArenaChunks   int
+	EvalArenaEntries  int
+	EvalScratchHits   int
+	EvalScratchMisses int
+	EvalParallelForks int
+
 	// ResultsEmitted counts distinct result roots delivered.
 	ResultsEmitted int
 	// Truncated reports that the search hit MaxK before finding N
@@ -106,6 +119,11 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.BackendFetches += o.BackendFetches
 	m.BackendHits += o.BackendHits
 	m.BackendBytesDecoded += o.BackendBytesDecoded
+	m.EvalArenaChunks += o.EvalArenaChunks
+	m.EvalArenaEntries += o.EvalArenaEntries
+	m.EvalScratchHits += o.EvalScratchHits
+	m.EvalScratchMisses += o.EvalScratchMisses
+	m.EvalParallelForks += o.EvalParallelForks
 	m.ResultsEmitted += o.ResultsEmitted
 	m.Truncated = m.Truncated || o.Truncated
 	if o.Parallelism > m.Parallelism {
@@ -144,6 +162,13 @@ func (m *Metrics) String() string {
 	if m.BackendFetches > 0 {
 		w("backend fetches   %d  (cache hits %d, %d bytes decoded)",
 			m.BackendFetches, m.BackendHits, m.BackendBytesDecoded)
+	}
+	if m.EvalArenaEntries > 0 {
+		w("eval arena        %d entries in %d chunks", m.EvalArenaEntries, m.EvalArenaChunks)
+		w("eval scratch      %d pool hits, %d misses", m.EvalScratchHits, m.EvalScratchMisses)
+		if m.EvalParallelForks > 0 {
+			w("eval forks        %d", m.EvalParallelForks)
+		}
 	}
 	w("results emitted   %d", m.ResultsEmitted)
 	w("parallelism       %d", m.Parallelism)

@@ -3,31 +3,135 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"approxql/internal/xmltree"
 )
 
-// EncodePosting serializes a sorted posting as delta-encoded uvarints
-// prefixed with the entry count. The schema's secondary index shares this
+// Posting wire formats. The v1 format is a bare delta-varint stream:
+//
+//	uvarint(count) | count × uvarint(delta)
+//
+// The v2 format groups entries into blocks with a skip table:
+//
+//	0x00 | 0x02 | uvarint(count) | uvarint(blockSize)
+//	| per block: uvarint(firstDelta) uvarint(bodyLen)   (the skip table)
+//	| per block: (len-1) × uvarint(delta)               (the bodies)
+//
+// firstDelta is the difference between this block's first entry and the
+// previous block's first entry (the first block's against zero), so the skip
+// table alone reconstructs every block's first value: a bounded decode skips
+// whole blocks — table scan only, bodies untouched — once a block's first
+// entry exceeds the bound. Body deltas run from the block's own first entry,
+// which lives in the skip table and is not repeated in the body.
+//
+// The leading 0x00 cannot begin a non-empty v1 posting (its first byte is
+// uvarint(count) with count ≥ 1), and a v1 empty posting is the single byte
+// 0x00 with nothing following — so the two formats are self-describing and
+// every reader accepts both.
+const (
+	formatMarker = 0x00
+	formatV2     = 0x02
+
+	// BlockSize is the number of entries per v2 block. 128 four-byte IDs
+	// keep a block body near cache-line-friendly sizes after delta
+	// compression while making the skip table ~1% of the posting.
+	BlockSize = 128
+)
+
+// noBound disables the bound of a bounded decode. NodeID is signed, so this
+// is the maximum preorder number, not an all-ones pattern.
+const noBound = xmltree.NodeID(math.MaxInt32)
+
+// uvarintLen returns the encoded size of v, for exact buffer sizing.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodePosting serializes a sorted posting in the blocked v2 format. The
+// buffer is sized exactly by a first measuring pass, so encoding performs a
+// single allocation with no slack. The schema's secondary index shares this
 // codec.
 func EncodePosting(post []xmltree.NodeID) []byte {
-	buf := make([]byte, 0, 2+len(post))
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(post)))
-	buf = append(buf, tmp[:n]...)
+	if len(post) == 0 {
+		return []byte{formatMarker} // the (v1) empty posting
+	}
+	nBlocks := (len(post) + BlockSize - 1) / BlockSize
+
+	// Pass 1: exact output size and per-block body lengths.
+	size := 2 + uvarintLen(uint64(len(post))) + uvarintLen(BlockSize)
+	bodyLens := make([]int, nBlocks)
+	prevFirst := xmltree.NodeID(0)
+	for b := range bodyLens {
+		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
+		bodyLen := 0
+		prev := blk[0]
+		for _, u := range blk[1:] {
+			bodyLen += uvarintLen(uint64(u - prev))
+			prev = u
+		}
+		bodyLens[b] = bodyLen
+		size += uvarintLen(uint64(blk[0]-prevFirst)) + uvarintLen(uint64(bodyLen)) + bodyLen
+		prevFirst = blk[0]
+	}
+
+	// Pass 2: fill.
+	buf := make([]byte, 0, size)
+	buf = append(buf, formatMarker, formatV2)
+	buf = binary.AppendUvarint(buf, uint64(len(post)))
+	buf = binary.AppendUvarint(buf, BlockSize)
+	prevFirst = 0
+	for b := range bodyLens {
+		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
+		buf = binary.AppendUvarint(buf, uint64(blk[0]-prevFirst))
+		buf = binary.AppendUvarint(buf, uint64(bodyLens[b]))
+		prevFirst = blk[0]
+	}
+	for b := range bodyLens {
+		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
+		prev := blk[0]
+		for _, u := range blk[1:] {
+			buf = binary.AppendUvarint(buf, uint64(u-prev))
+			prev = u
+		}
+	}
+	return buf
+}
+
+// EncodePostingV1 serializes a posting in the legacy unblocked format, for
+// compatibility fixtures and tooling that must produce old bundles.
+func EncodePostingV1(post []xmltree.NodeID) []byte {
+	size := uvarintLen(uint64(len(post)))
 	prev := xmltree.NodeID(0)
 	for _, u := range post {
-		n := binary.PutUvarint(tmp[:], uint64(u-prev))
-		buf = append(buf, tmp[:n]...)
+		size += uvarintLen(uint64(u - prev))
+		prev = u
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(post)))
+	prev = 0
+	for _, u := range post {
+		buf = binary.AppendUvarint(buf, uint64(u-prev))
 		prev = u
 	}
 	return buf
 }
 
-// PostingCount reads the entry count of an encoded posting from its header
+// PostingCount reads the entry count of an encoded posting (either format)
 // without decoding the entries — the count-only fast path used when only a
 // posting's size is wanted.
 func PostingCount(data []byte) (int, error) {
+	if len(data) >= 2 && data[0] == formatMarker {
+		if data[1] != formatV2 {
+			return 0, fmt.Errorf("index: unknown posting format %#x", data[1])
+		}
+		data = data[2:]
+	}
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return 0, fmt.Errorf("index: bad posting header")
@@ -35,26 +139,150 @@ func PostingCount(data []byte) (int, error) {
 	return int(count), nil
 }
 
-// DecodePosting reverses EncodePosting.
+// DecodePosting reverses EncodePosting (accepting either format) into a
+// freshly allocated slice.
 func DecodePosting(data []byte) ([]xmltree.NodeID, error) {
+	return DecodePostingInto(nil, data)
+}
+
+// DecodePostingInto appends the decoded posting (either format) to dst and
+// returns the extended slice, like append. Callers that decode repeatedly
+// pass a reused buffer truncated to zero length; decoding then allocates only
+// when the posting outgrows the buffer's capacity.
+func DecodePostingInto(dst []xmltree.NodeID, data []byte) ([]xmltree.NodeID, error) {
+	return decodePosting(dst, data, noBound)
+}
+
+// DecodePostingUpTo is DecodePostingInto restricted to entries ≤ bound.
+// Postings are sorted, so the decode stops at the first larger entry; in the
+// blocked format, blocks whose first entry exceeds the bound are skipped from
+// the skip table without reading their bodies.
+func DecodePostingUpTo(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return decodePosting(dst, data, bound)
+}
+
+func decodePosting(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	if len(data) >= 2 && data[0] == formatMarker {
+		if data[1] != formatV2 {
+			return dst, fmt.Errorf("index: unknown posting format %#x", data[1])
+		}
+		return decodeV2(dst, data[2:], bound)
+	}
+	return decodeV1(dst, data, bound)
+}
+
+func decodeV1(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
-		return nil, fmt.Errorf("index: bad posting header")
+		return dst, fmt.Errorf("index: bad posting header")
 	}
 	data = data[n:]
-	post := make([]xmltree.NodeID, 0, count)
+	// Each entry takes at least one byte; a count beyond that is corrupt,
+	// and catching it here keeps the pre-sizing below honest.
+	if count > uint64(len(data)) {
+		return dst, fmt.Errorf("index: posting count %d exceeds payload", count)
+	}
+	if need := len(dst) + int(count); cap(dst) < need {
+		dst = append(make([]xmltree.NodeID, 0, need), dst...)
+	}
 	prev := xmltree.NodeID(0)
 	for i := uint64(0); i < count; i++ {
 		d, n := binary.Uvarint(data)
 		if n <= 0 {
-			return nil, fmt.Errorf("index: truncated posting at entry %d", i)
+			return dst, fmt.Errorf("index: truncated posting at entry %d", i)
 		}
 		data = data[n:]
 		prev += xmltree.NodeID(d)
-		post = append(post, prev)
+		if prev > bound {
+			return dst, nil
+		}
+		dst = append(dst, prev)
 	}
 	if len(data) != 0 {
-		return nil, fmt.Errorf("index: %d trailing bytes after posting", len(data))
+		return dst, fmt.Errorf("index: %d trailing bytes after posting", len(data))
 	}
-	return post, nil
+	return dst, nil
+}
+
+func decodeV2(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return dst, fmt.Errorf("index: bad posting header")
+	}
+	data = data[n:]
+	bs, n := binary.Uvarint(data)
+	if n <= 0 || bs == 0 {
+		return dst, fmt.Errorf("index: bad posting block size")
+	}
+	data = data[n:]
+	nBlocks := int((count + bs - 1) / bs)
+	// Every entry costs at least one byte (in the skip table or a body),
+	// so a count beyond the payload is corrupt; checking before pre-sizing
+	// keeps corrupt headers from forcing huge allocations.
+	if count > uint64(len(data)) {
+		return dst, fmt.Errorf("index: posting count %d exceeds payload", count)
+	}
+	if need := len(dst) + int(count); cap(dst) < need {
+		dst = append(make([]xmltree.NodeID, 0, need), dst...)
+	}
+
+	// First walk the skip table to find where the bodies start; then walk
+	// table and bodies with two cursors.
+	p := 0
+	for b := 0; b < nBlocks; b++ {
+		for f := 0; f < 2; f++ {
+			_, n := binary.Uvarint(data[p:])
+			if n <= 0 {
+				return dst, fmt.Errorf("index: truncated skip table at block %d", b)
+			}
+			p += n
+		}
+	}
+	table, bodies := data[:p], data[p:]
+
+	decoded := uint64(0)
+	first := xmltree.NodeID(0)
+	for b := 0; b < nBlocks; b++ {
+		firstDelta, n := binary.Uvarint(table)
+		table = table[n:]
+		bodyLen, n := binary.Uvarint(table)
+		table = table[n:]
+		first += xmltree.NodeID(firstDelta)
+		if first > bound {
+			return dst, nil // later blocks start higher still
+		}
+		if bodyLen > uint64(len(bodies)) {
+			return dst, fmt.Errorf("index: truncated body at block %d", b)
+		}
+		body := bodies[:bodyLen]
+		bodies = bodies[bodyLen:]
+
+		dst = append(dst, first)
+		decoded++
+		blockLen := min(bs, count-decoded+1) // entries in this block
+		prev := first
+		for i := uint64(1); i < blockLen; i++ {
+			d, n := binary.Uvarint(body)
+			if n <= 0 {
+				return dst, fmt.Errorf("index: truncated posting in block %d", b)
+			}
+			body = body[n:]
+			prev += xmltree.NodeID(d)
+			if prev > bound {
+				return dst, nil
+			}
+			dst = append(dst, prev)
+			decoded++
+		}
+		if len(body) != 0 {
+			return dst, fmt.Errorf("index: %d trailing bytes in block %d", len(body), b)
+		}
+	}
+	if decoded != count {
+		return dst, fmt.Errorf("index: decoded %d entries, header said %d", decoded, count)
+	}
+	if len(bodies) != 0 {
+		return dst, fmt.Errorf("index: %d trailing bytes after posting", len(bodies))
+	}
+	return dst, nil
 }

@@ -1,0 +1,278 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"approxql/internal/xmltree"
+)
+
+func randomPosting(rng *rand.Rand, n, maxGap int) []xmltree.NodeID {
+	post := make([]xmltree.NodeID, n)
+	cur := xmltree.NodeID(0)
+	for i := range post {
+		cur += xmltree.NodeID(1 + rng.Intn(maxGap))
+		post[i] = cur
+	}
+	return post
+}
+
+// TestCodecFormats pins the wire-format discrimination: v2 postings carry the
+// 0x00 marker, v1 postings never start with 0x00 unless empty, and both
+// decode through the same entry points.
+func TestCodecFormats(t *testing.T) {
+	post := []xmltree.NodeID{3, 7, 1000, 1001}
+
+	v2 := EncodePosting(post)
+	if v2[0] != 0x00 || v2[1] != 0x02 {
+		t.Fatalf("v2 header = %#x %#x, want 0x00 0x02", v2[0], v2[1])
+	}
+	v1 := EncodePostingV1(post)
+	if v1[0] == 0x00 {
+		t.Fatalf("non-empty v1 posting starts with 0x00")
+	}
+	if empty := EncodePosting(nil); len(empty) != 1 || empty[0] != 0x00 {
+		t.Fatalf("encoded empty posting = %v, want [0x00]", empty)
+	}
+
+	for name, data := range map[string][]byte{"v1": v1, "v2": v2} {
+		got, err := DecodePosting(data)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, post) {
+			t.Fatalf("%s decode = %v, want %v", name, got, post)
+		}
+		n, err := PostingCount(data)
+		if err != nil || n != len(post) {
+			t.Fatalf("%s PostingCount = %d, %v, want %d", name, n, err, len(post))
+		}
+	}
+}
+
+// TestEncodePostingExactSize pins the two-pass sizing: the encoder's single
+// allocation is exactly the output length, with no slack capacity.
+func TestEncodePostingExactSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		post := randomPosting(rng, rng.Intn(5*BlockSize), 1<<uint(rng.Intn(20)))
+		for name, enc := range map[string]func([]xmltree.NodeID) []byte{
+			"v2": EncodePosting, "v1": EncodePostingV1,
+		} {
+			buf := enc(post)
+			if len(buf) != cap(buf) {
+				t.Fatalf("%s: encoded %d entries into len %d cap %d, want exact",
+					name, len(post), len(buf), cap(buf))
+			}
+		}
+	}
+}
+
+// TestCodecRoundTripBothFormats drives both encoders through sizes around
+// the block boundaries, where the v2 skip table changes shape.
+func TestCodecRoundTripBothFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{0, 1, 2, BlockSize - 1, BlockSize, BlockSize + 1,
+		2*BlockSize - 1, 2 * BlockSize, 3*BlockSize + 17, 1000}
+	for _, n := range sizes {
+		post := randomPosting(rng, n, 2000)
+		for name, data := range map[string][]byte{
+			"v1": EncodePostingV1(post), "v2": EncodePosting(post),
+		} {
+			got, err := DecodePosting(data)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if len(got) != len(post) {
+				t.Fatalf("%s n=%d: got %d entries", name, n, len(got))
+			}
+			for i := range post {
+				if got[i] != post[i] {
+					t.Fatalf("%s n=%d: entry %d = %d, want %d", name, n, i, got[i], post[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodePostingInto pins the append contract: dst contents are kept, and
+// a buffer with enough capacity is reused without allocating.
+func TestDecodePostingInto(t *testing.T) {
+	post := []xmltree.NodeID{10, 20, 30}
+	data := EncodePosting(post)
+
+	got, err := DecodePostingInto([]xmltree.NodeID{99}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []xmltree.NodeID{99, 10, 20, 30}) {
+		t.Fatalf("DecodePostingInto = %v", got)
+	}
+
+	buf := make([]xmltree.NodeID, 0, 16)
+	got, err = DecodePostingInto(buf, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("DecodePostingInto reallocated despite sufficient capacity")
+	}
+}
+
+// TestDecodePostingUpTo checks the bounded decode against a filtered full
+// decode over both formats and bounds landing inside, between, and past
+// blocks.
+func TestDecodePostingUpTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		post := randomPosting(rng, rng.Intn(4*BlockSize), 50)
+		for name, data := range map[string][]byte{
+			"v1": EncodePostingV1(post), "v2": EncodePosting(post),
+		} {
+			bounds := []xmltree.NodeID{0, 1, 25, 1000, 1 << 30}
+			if len(post) > 0 {
+				mid := post[len(post)/2]
+				bounds = append(bounds, mid-1, mid, mid+1, post[len(post)-1])
+			}
+			for _, bound := range bounds {
+				var want []xmltree.NodeID
+				for _, u := range post {
+					if u <= bound {
+						want = append(want, u)
+					}
+				}
+				got, err := DecodePostingUpTo(nil, data, bound)
+				if err != nil {
+					t.Fatalf("%s bound=%d: %v", name, bound, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s bound=%d: got %d entries, want %d", name, bound, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s bound=%d: entry %d = %d, want %d", name, bound, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzDecodePosting throws arbitrary bytes at the decoder: it must never
+// panic or over-allocate, and whatever it accepts must re-encode and decode
+// to the same entries.
+func FuzzDecodePosting(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(EncodePosting([]xmltree.NodeID{1, 2, 3}))
+	f.Add(EncodePostingV1([]xmltree.NodeID{1, 2, 3}))
+	rng := rand.New(rand.NewSource(17))
+	f.Add(EncodePosting(randomPosting(rng, 3*BlockSize, 100)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		post, err := DecodePosting(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(post); i++ {
+			if post[i] < post[i-1] {
+				// Overflowing deltas can wrap NodeID; such postings
+				// are out of the encoder's domain.
+				return
+			}
+		}
+		again, err := DecodePosting(EncodePosting(post))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again) != len(post) {
+			t.Fatalf("re-decode got %d entries, want %d", len(again), len(post))
+		}
+		for i := range post {
+			if again[i] != post[i] {
+				t.Fatalf("re-decode entry %d = %d, want %d", i, again[i], post[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodePostingUpTo checks the bounded decode agrees with filtering the
+// full decode, for arbitrary accepted inputs.
+func FuzzDecodePostingUpTo(f *testing.F) {
+	f.Add(EncodePosting([]xmltree.NodeID{1, 200, 300}), int32(250))
+	f.Add(EncodePostingV1([]xmltree.NodeID{1, 200, 300}), int32(0))
+	f.Fuzz(func(t *testing.T, data []byte, bound int32) {
+		if bound < 0 {
+			bound = -bound
+		}
+		full, err := DecodePosting(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(full); i++ {
+			if full[i] < full[i-1] {
+				return
+			}
+		}
+		got, err := DecodePostingUpTo(nil, data, bound)
+		if err != nil {
+			t.Fatalf("bounded decode rejected accepted input: %v", err)
+		}
+		var want []xmltree.NodeID
+		for _, u := range full {
+			if u <= bound {
+				want = append(want, u)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bound %d: got %d entries, want %d", bound, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bound %d: entry %d = %d, want %d", bound, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func BenchmarkEncodePosting(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	post := randomPosting(rng, 10_000, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodePosting(post)
+	}
+}
+
+func BenchmarkDecodePostingInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	data := EncodePosting(randomPosting(rng, 10_000, 40))
+	var buf []xmltree.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = DecodePostingInto(buf[:0], data)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePostingUpTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	post := randomPosting(rng, 10_000, 40)
+	data := EncodePosting(post)
+	bound := post[len(post)/10] // decode ~10%, skip ~90% of blocks
+	var buf []xmltree.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = DecodePostingUpTo(buf[:0], data, bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package schema
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"approxql/internal/index"
 	"approxql/internal/storage"
@@ -27,6 +28,37 @@ func (s *Schema) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
 // SecTermInstances implements SecSource over the in-memory postings.
 func (s *Schema) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
 	return s.TermInstances(c, term), nil
+}
+
+// SecSourceUpTo is the optional bounded extension of SecSource: only the
+// posting entries with preorder ≤ bound. Second-level executors semijoin
+// leaf postings against an already-fetched ancestor list, so entries past
+// the last relevant subtree bound cannot affect the result; stored sources
+// answer from the blocked posting codec's skip table without reading the
+// bodies of out-of-range blocks. Bounded results are truncated views and
+// must never be cached as full postings.
+type SecSourceUpTo interface {
+	SecInstancesUpTo(c NodeID, bound xmltree.NodeID) ([]xmltree.NodeID, error)
+	SecTermInstancesUpTo(c NodeID, term string, bound xmltree.NodeID) ([]xmltree.NodeID, error)
+}
+
+// prefixUpTo returns the prefix of a sorted posting with entries ≤ bound,
+// sharing the backing array.
+func prefixUpTo(post []xmltree.NodeID, bound xmltree.NodeID) []xmltree.NodeID {
+	i := sort.Search(len(post), func(i int) bool { return post[i] > bound })
+	return post[:i]
+}
+
+// SecInstancesUpTo implements SecSourceUpTo as a zero-copy prefix of the
+// in-memory posting.
+func (s *Schema) SecInstancesUpTo(c NodeID, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return prefixUpTo(s.Instances(c), bound), nil
+}
+
+// SecTermInstancesUpTo implements SecSourceUpTo as a zero-copy prefix of the
+// in-memory posting.
+func (s *Schema) SecTermInstancesUpTo(c NodeID, term string, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return prefixUpTo(s.TermInstances(c, term), bound), nil
 }
 
 // SecCounter is the optional count-only extension of SecSource: posting
@@ -131,6 +163,30 @@ func (ss *StoredSec) fetch(key []byte) ([]xmltree.NodeID, error) {
 	return post, nil
 }
 
+// fetchUpTo reads only the posting entries ≤ bound. A fully cached posting
+// answers with a zero-copy prefix; otherwise the bounded decode skips blocks
+// past the bound, and the truncated result is deliberately not cached.
+func (ss *StoredSec) fetchUpTo(key []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	k := string(key)
+	if ss.cache != nil {
+		if post, ok := ss.cache.Get(k); ok {
+			return prefixUpTo(post, bound), nil
+		}
+	}
+	raw, ok, err := ss.db.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	post, err := index.DecodePostingUpTo(nil, raw, bound)
+	if err != nil {
+		return nil, fmt.Errorf("schema: posting %q: %w", k, err)
+	}
+	return post, nil
+}
+
 // SecInstances implements SecSource.
 func (ss *StoredSec) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
 	return ss.fetch(secStructKey(c))
@@ -139,6 +195,16 @@ func (ss *StoredSec) SecInstances(c NodeID) ([]xmltree.NodeID, error) {
 // SecTermInstances implements SecSource.
 func (ss *StoredSec) SecTermInstances(c NodeID, term string) ([]xmltree.NodeID, error) {
 	return ss.fetch(secTermKey(c, term))
+}
+
+// SecInstancesUpTo implements SecSourceUpTo.
+func (ss *StoredSec) SecInstancesUpTo(c NodeID, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return ss.fetchUpTo(secStructKey(c), bound)
+}
+
+// SecTermInstancesUpTo implements SecSourceUpTo.
+func (ss *StoredSec) SecTermInstancesUpTo(c NodeID, term string, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	return ss.fetchUpTo(secTermKey(c, term), bound)
 }
 
 // count reads a posting's size from its encoded header, without decoding —

@@ -3,6 +3,7 @@ package approxql
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -102,10 +103,12 @@ func WithMaxK(k int) QueryOption {
 	return func(c *queryConfig) { c.maxK = k }
 }
 
-// WithParallelism sets the worker-pool size for executing second-level
-// queries against the secondary index. The default (0) uses GOMAXPROCS;
-// 1 executes sequentially. Results are identical at any setting: the
-// engine releases each query's results in plan order.
+// WithParallelism sets the worker-pool size for query evaluation: the
+// schema-driven strategy fans second-level queries out over the pool, and
+// the direct strategy evaluates independent expanded-query subtrees
+// concurrently. The default (0) uses GOMAXPROCS; 1 executes sequentially.
+// Results are identical at any setting: the engine releases each query's
+// results in plan order, and the direct evaluator's combine order is fixed.
 func WithParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallel = n }
 }
@@ -198,7 +201,29 @@ func (db *Database) SearchContext(ctx context.Context, query string, n int, opts
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return eval.New(db.be.Tree(), db.be).BestN(x, n)
+		ev := eval.New(db.be.Tree(), db.be)
+		if c.parallel > 0 {
+			ev.Parallelism = c.parallel
+		} else {
+			ev.Parallelism = runtime.GOMAXPROCS(0)
+		}
+		res, err := ev.BestN(x, n)
+		if c.metrics != nil {
+			st := ev.Stats()
+			c.metrics.EvalArenaChunks += st.ArenaChunks
+			c.metrics.EvalArenaEntries += st.ArenaEntries
+			c.metrics.EvalScratchHits += st.ScratchHits
+			c.metrics.EvalScratchMisses += st.ScratchMisses
+			c.metrics.EvalParallelForks += st.ParallelForks
+			c.metrics.ResultsEmitted += len(res)
+			// Report the effective worker count (Primary clamps to
+			// GOMAXPROCS), mirroring the schema-driven engine.
+			if par := min(ev.Parallelism, runtime.GOMAXPROCS(0)); par > c.metrics.Parallelism {
+				c.metrics.Parallelism = par
+			}
+		}
+		ev.Release()
+		return res, err
 	case SchemaDriven:
 		var results []Result
 		err := db.engine(c, n).Run(ctx, x, func(it exec.Item) bool {
