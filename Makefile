@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-smoke
+.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-smoke fuzz-smoke
 
 all: check
 
@@ -53,8 +53,19 @@ bench-backends:
 bench-eval:
 	$(GO) run ./cmd/axqlbench -suite eval -scale 0.1 -json BENCH_eval.json
 
+# Sharded-corpus scatter-gather suite (docs/CORPUS.md): shard-count and
+# fan-out parallelism sweep; each run appends an entry to BENCH_corpus.json.
+bench-corpus:
+	$(GO) run ./cmd/axqlbench -suite corpus -scale 0.05 -json BENCH_corpus.json
+
+# Short fuzz pass over the corpus-bundle manifest reader; longer local
+# runs: go test -fuzz FuzzCorpusManifest ./internal/backend/.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzCorpusManifest -fuzztime 30s ./internal/backend/
+
 # Fast benchmark pass for CI: a fixed small iteration count just proves the
 # benchmarks still compile and run; timings are not meaningful.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./internal/eval/ ./internal/index/
 	$(GO) run ./cmd/axqlbench -suite eval -scale 0.002
+	$(GO) run ./cmd/axqlbench -suite corpus -scale 0.005

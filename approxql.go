@@ -3,6 +3,7 @@ package approxql
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -249,6 +250,10 @@ func ReadDatabase(r io.Reader, model *CostModel) (*Database, error) {
 // manifest (written by axqlindex or WriteBundle) it opens the stored
 // backend instead — the persisted B+tree indexes are queried directly and
 // nothing is rebuilt beyond the schema structure.
+//
+// OpenDatabaseFile is the single-database special case of Open, which
+// additionally accepts multi-shard corpus bundles; new code should prefer
+// Open.
 func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
 	if backend.IsBundle(path) {
 		return OpenBundle(path, model)
@@ -292,9 +297,10 @@ func OpenStored(collection, postings, secondary string, model *CostModel) (*Data
 	return &Database{be: be}, nil
 }
 
-// OpenBundle opens the stored database described by a bundle manifest, the
-// one-path form of OpenStored. Bundles are written by WriteBundle and by
-// axqlindex when it persists both index files.
+// OpenBundle opens the stored database described by a single-shard bundle
+// manifest, the one-path form of OpenStored. Bundles are written by
+// WriteBundle and by axqlindex when it persists both index files. It is a
+// special case of Open, which also accepts multi-shard corpus bundles.
 func OpenBundle(path string, model *CostModel) (*Database, error) {
 	b, err := backend.ReadBundle(path)
 	if err != nil {
@@ -362,11 +368,21 @@ func Fingerprint(query string) (string, error) {
 	return hex.EncodeToString(sum[:16]), nil
 }
 
+// ErrNotStored reports that a cache-administration call targeted a
+// database or corpus whose postings are served from memory: there is no
+// posting cache to size, so the requested capacity would silently not
+// apply.
+var ErrNotStored = errors.New("approxql: postings are in memory, not stored; no cache to size")
+
 // SetStoredCacheSize resizes the shared posting cache of a stored database
-// to n entries (n <= 0 disables caching). It is a no-op for in-memory
-// databases. See docs/BACKENDS.md for sizing guidance.
-func (db *Database) SetStoredCacheSize(n int) {
-	if s, ok := db.be.(*backend.Stored); ok {
-		s.SetCacheCapacity(n)
+// to n entries (n <= 0 disables caching). It returns ErrNotStored for
+// in-memory databases, whose postings bypass the cache layer entirely.
+// See docs/BACKENDS.md for sizing guidance.
+func (db *Database) SetStoredCacheSize(n int) error {
+	s, ok := db.be.(*backend.Stored)
+	if !ok {
+		return ErrNotStored
 	}
+	s.SetCacheCapacity(n)
+	return nil
 }

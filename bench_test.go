@@ -1,4 +1,4 @@
-package approxql
+package approxql_test
 
 // The benchmarks regenerate the paper's evaluation (Section 8, Figure 7)
 // as testing.B benches:

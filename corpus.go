@@ -1,0 +1,582 @@
+package approxql
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"approxql/internal/backend"
+	"approxql/internal/corpus"
+	"approxql/internal/index"
+	"approxql/internal/storage"
+	"approxql/internal/xmltree"
+)
+
+// DocID identifies one document of a Corpus in global ingestion order: the
+// first document added is 0, the second 1, and so on. DocIDs are stable
+// across saving and reopening a corpus bundle.
+type DocID = corpus.DocID
+
+// Hit is one ranked corpus answer: the document holding the match plus the
+// usual Result (subtree root and embedding cost). Root is relative to the
+// document's shard tree; resolve it through Corpus.Doc:
+//
+//	hits, _ := c.Search("cd[title[concerto]]", 10)
+//	for _, h := range hits {
+//	    fmt.Println(c.Doc(h.Doc).Name(), h.Cost)
+//	    fmt.Println(c.Doc(h.Doc).RenderNode(h.Root))
+//	}
+//
+// Hits are ranked by ascending (Cost, Doc, Root) — a strict total order,
+// so a ranking is bit-identical regardless of shard count, evaluation
+// strategy, or parallelism.
+type Hit struct {
+	// Doc is the document containing the match.
+	Doc DocID
+	Result
+}
+
+// DefaultShardDocs is the CorpusBuilder's default shard capacity.
+const DefaultShardDocs = 64
+
+// CorpusBuilder ingests XML documents into a new sharded Corpus. Documents
+// fill the current shard until it reaches the configured capacity, then a
+// fresh shard begins: every shard is a self-contained indexed collection,
+// and queries scatter over the shards and gather through one global top-n
+// merge.
+type CorpusBuilder struct {
+	model     *CostModel
+	tok       func(string) []string
+	shardDocs int
+
+	cur     *xmltree.Builder
+	curDocs int
+	shards  []*corpus.Shard
+	docs    []backend.CorpusDoc
+	err     error
+}
+
+// NewCorpusBuilder returns a CorpusBuilder. The optional model fixes the
+// node-insertion costs baked into the index encoding, as in NewBuilder.
+func NewCorpusBuilder(model *CostModel) *CorpusBuilder {
+	return &CorpusBuilder{model: model, shardDocs: DefaultShardDocs}
+}
+
+// SetShardSize bounds the number of documents per shard (default
+// DefaultShardDocs). Call it before adding documents; n < 1 is clamped
+// to 1. Smaller shards parallelize and prune better, larger shards
+// amortize per-shard schema and index overhead.
+func (cb *CorpusBuilder) SetShardSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	cb.shardDocs = n
+}
+
+// SetTokenizer replaces the word splitter applied to element text and
+// attribute values, as in Builder.SetTokenizer. Call it before adding
+// documents.
+func (cb *CorpusBuilder) SetTokenizer(tok func(string) []string) { cb.tok = tok }
+
+// AddDocument parses one XML document and adds it to the corpus under the
+// given external name (usually the source file path; it may be empty). It
+// returns the document's DocID. After an error the builder is poisoned:
+// every later call returns the same error.
+func (cb *CorpusBuilder) AddDocument(name string, r io.Reader) (DocID, error) {
+	if cb.err != nil {
+		return 0, cb.err
+	}
+	if cb.cur == nil {
+		cb.cur = xmltree.NewBuilder(cb.model)
+		if cb.tok != nil {
+			cb.cur.SetTokenizer(cb.tok)
+		}
+		cb.curDocs = 0
+	}
+	if err := cb.cur.AddDocument(r); err != nil {
+		cb.err = err
+		return 0, err
+	}
+	id := DocID(len(cb.docs))
+	cb.docs = append(cb.docs, backend.CorpusDoc{Shard: len(cb.shards), Name: name})
+	cb.curDocs++
+	if cb.curDocs >= cb.shardDocs {
+		if err := cb.flushShard(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// AddDocumentString is AddDocument over a string.
+func (cb *CorpusBuilder) AddDocumentString(name, doc string) (DocID, error) {
+	return cb.AddDocument(name, strings.NewReader(doc))
+}
+
+// AddDocumentFile parses the XML file at path and adds it under its path
+// as the document name.
+func (cb *CorpusBuilder) AddDocumentFile(path string) (DocID, error) {
+	if cb.err != nil {
+		return 0, cb.err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		cb.err = err
+		return 0, err
+	}
+	defer f.Close()
+	return cb.AddDocument(path, f)
+}
+
+// flushShard freezes the current shard builder into an indexed in-memory
+// shard.
+func (cb *CorpusBuilder) flushShard() error {
+	tree, err := cb.cur.Finish()
+	if err != nil {
+		cb.err = err
+		return err
+	}
+	cb.shards = append(cb.shards, corpus.NewShard(backend.NewMemory(tree), nil))
+	cb.cur = nil
+	cb.curDocs = 0
+	return nil
+}
+
+// Corpus finishes ingestion: it freezes the open shard and assembles the
+// corpus. The builder must not be used afterwards.
+func (cb *CorpusBuilder) Corpus() (*Corpus, error) {
+	if cb.err != nil {
+		return nil, cb.err
+	}
+	if cb.cur != nil {
+		if err := cb.flushShard(); err != nil {
+			return nil, err
+		}
+	}
+	c, err := corpus.New(cb.shards, cb.docs)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// Corpus is an immutable sharded XML collection supporting approximate
+// tree-pattern search over many documents. It generalizes Database: a
+// Database is the one-shard special case (Database.Corpus converts), and
+// every Corpus query method mirrors the corresponding Database method's
+// context and option API, returning Hits (document plus Result) instead
+// of bare Results.
+//
+// A Corpus is safe for concurrent use.
+type Corpus struct {
+	c *corpus.Corpus
+}
+
+// NumDocs returns the number of documents in the corpus.
+func (c *Corpus) NumDocs() int { return c.c.NumDocs() }
+
+// NumShards returns the number of shards.
+func (c *Corpus) NumShards() int { return c.c.NumShards() }
+
+// Close closes every shard's backend (a no-op for in-memory corpora).
+func (c *Corpus) Close() error { return c.c.Close() }
+
+// Corpus converts a Database into the equivalent one-shard Corpus. The
+// corpus shares the database's backend; DocIDs follow the order the
+// documents were added to the database's builder, with empty names.
+func (db *Database) Corpus() (*Corpus, error) {
+	return corpusFromBackend(db.be)
+}
+
+// corpusFromBackend wraps a single backend — holding one or many documents
+// — as a one-shard corpus with an unnamed document table.
+func corpusFromBackend(be backend.Backend) (*Corpus, error) {
+	sh := corpus.NewShard(be, nil)
+	docs := make([]backend.CorpusDoc, sh.NumDocs())
+	c, err := corpus.New([]*corpus.Shard{sh}, docs)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// corpusConfig translates the shared query options into the corpus
+// engine's configuration.
+func (c *Corpus) corpusConfig(qc queryConfig, strategy Strategy) corpus.Config {
+	return corpus.Config{
+		Direct:      strategy == Direct,
+		InitialK:    qc.initialK,
+		Delta:       qc.delta,
+		Growth:      qc.growth,
+		MaxK:        qc.maxK,
+		Parallelism: qc.parallel,
+		Metrics:     qc.metrics,
+	}
+}
+
+func corpusOptions(opts []QueryOption) queryConfig {
+	qc := queryConfig{model: NewCostModel()}
+	for _, o := range opts {
+		o(&qc)
+	}
+	return qc
+}
+
+// Search returns the best n hits for an approXQL query across the whole
+// corpus, ranked by ascending (cost, doc, root). n <= 0 returns all
+// approximate hits. It accepts the same options as Database.Search;
+// WithParallelism bounds the shard-level worker pool.
+func (c *Corpus) Search(query string, n int, opts ...QueryOption) ([]Hit, error) {
+	return c.SearchContext(context.Background(), query, n, opts...)
+}
+
+// SearchContext is Search with cancellation.
+func (c *Corpus) SearchContext(ctx context.Context, query string, n int, opts ...QueryOption) ([]Hit, error) {
+	qc := corpusOptions(opts)
+	x, err := parseExpand(query, &qc)
+	if err != nil {
+		return nil, err
+	}
+	strategy := qc.strategy
+	if strategy == Auto {
+		if n > 0 {
+			strategy = SchemaDriven
+		} else {
+			strategy = Direct
+		}
+	}
+	if strategy != Direct && strategy != SchemaDriven {
+		return nil, fmt.Errorf("approxql: unknown strategy %d", strategy)
+	}
+	hits, err := c.c.Search(ctx, x, n, c.corpusConfig(qc, strategy))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Doc: h.Doc, Result: Result{Root: h.Root, Cost: h.Cost}}
+	}
+	return out, nil
+}
+
+// Stream retrieves hits incrementally in ascending (cost, doc, root)
+// order, calling fn for each; fn returns false to stop. Shards stream
+// concurrently and are merged into one globally ordered sequence.
+func (c *Corpus) Stream(query string, fn func(Hit) bool, opts ...QueryOption) error {
+	return c.StreamContext(context.Background(), query, fn, opts...)
+}
+
+// StreamContext is Stream with cancellation. When fn stops the stream the
+// return is nil; when the context fires first it is ctx.Err().
+func (c *Corpus) StreamContext(ctx context.Context, query string, fn func(Hit) bool, opts ...QueryOption) error {
+	qc := corpusOptions(opts)
+	x, err := parseExpand(query, &qc)
+	if err != nil {
+		return err
+	}
+	return c.c.Stream(ctx, x, c.corpusConfig(qc, SchemaDriven), func(h corpus.Hit) bool {
+		return fn(Hit{Doc: h.Doc, Result: Result{Root: h.Root, Cost: h.Cost}})
+	})
+}
+
+// CorpusPlan is one transformed query of a corpus Explain, aggregated
+// across shards by its label structure (shard schemas are independent, so
+// schema-class identifiers cannot be compared across shards).
+type CorpusPlan struct {
+	// Rendered is the label-structure form, e.g. "cd[title[concerto]]".
+	Rendered string
+	// Cost is the embedding cost every result of this plan receives.
+	Cost Cost
+	// Results is the retrieved-subtree count summed over shards.
+	Results int
+	// Shards counts the shards whose schema generates this plan.
+	Shards int
+}
+
+// Explain returns the best k second-level queries across the corpus with
+// their costs and total result counts, merged over shards. It is the
+// corpus analog of Database.Explain; counts come from the count-only
+// execution path.
+func (c *Corpus) Explain(query string, k int, opts ...QueryOption) ([]CorpusPlan, error) {
+	return c.ExplainContext(context.Background(), query, k, opts...)
+}
+
+// ExplainContext is Explain with cancellation.
+func (c *Corpus) ExplainContext(ctx context.Context, query string, k int, opts ...QueryOption) ([]CorpusPlan, error) {
+	qc := corpusOptions(opts)
+	x, err := parseExpand(query, &qc)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 10
+	}
+	plans, err := c.c.Explain(ctx, x, k, c.corpusConfig(qc, SchemaDriven))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CorpusPlan, len(plans))
+	for i, p := range plans {
+		out[i] = CorpusPlan{Rendered: p.Rendered, Cost: p.Cost, Results: p.Results, Shards: p.Shards}
+	}
+	return out, nil
+}
+
+// DocView addresses one corpus document: its name, root, and rendering
+// helpers resolving shard-local NodeIDs (as carried by Hits of that
+// document).
+type DocView struct {
+	c  *corpus.Corpus
+	id DocID
+}
+
+// Doc returns a view of the document. id must be in [0, NumDocs); an
+// out-of-range id panics, like an out-of-range slice index.
+func (c *Corpus) Doc(id DocID) DocView {
+	if id < 0 || int(id) >= c.c.NumDocs() {
+		panic(fmt.Sprintf("approxql: DocID %d out of range [0, %d)", id, c.c.NumDocs()))
+	}
+	return DocView{c: c.c, id: id}
+}
+
+// DocOf returns the document containing the shard-local node of a hit.
+// It is the identity on h.Doc, provided for symmetry.
+func (c *Corpus) DocOf(h Hit) DocView { return c.Doc(h.Doc) }
+
+// ID returns the document's DocID.
+func (d DocView) ID() DocID { return d.id }
+
+// Name returns the document's external name (empty when the corpus was
+// built without names).
+func (d DocView) Name() string { return d.c.DocName(d.id) }
+
+// Root returns the document's root node in its shard tree.
+func (d DocView) Root() NodeID { return d.c.DocRoot(d.id) }
+
+// Render pretty-prints the whole document.
+func (d DocView) Render() string { return d.RenderNode(d.Root()) }
+
+// RenderNode pretty-prints the subtree rooted at a node of this
+// document's shard tree — typically a Hit.Root.
+func (d DocView) RenderNode(u NodeID) string {
+	return d.c.ShardOf(d.id).Backend().Tree().RenderString(u)
+}
+
+// Label returns the label of a node of this document's shard tree.
+func (d DocView) Label(u NodeID) string {
+	return d.c.ShardOf(d.id).Backend().Tree().Label(u)
+}
+
+// Path returns the label-type path of a node of this document's shard
+// tree, e.g. "<root>/catalog/cd".
+func (d DocView) Path(u NodeID) string {
+	return d.c.ShardOf(d.id).Backend().Tree().LabelTypePath(u)
+}
+
+// CorpusStats summarizes a corpus.
+type CorpusStats struct {
+	// Docs and Shards count documents and shards.
+	Docs   int
+	Shards int
+	// Nodes totals the shard trees' nodes (each shard's super-root
+	// included).
+	Nodes int
+	// MaxDepth is the deepest root-to-leaf path over all shards.
+	MaxDepth int
+}
+
+// Stats aggregates the per-shard summaries.
+func (c *Corpus) Stats() CorpusStats {
+	st := CorpusStats{Docs: c.c.NumDocs(), Shards: c.c.NumShards()}
+	for _, sh := range c.c.Shards() {
+		sum := sh.Summary()
+		st.Nodes += sum.Nodes
+		if sum.MaxDepth > st.MaxDepth {
+			st.MaxDepth = sum.MaxDepth
+		}
+	}
+	return st
+}
+
+// SetStoredCacheSize divides a total posting-cache budget of n entries
+// across the corpus's stored shards (n <= 0 disables caching). It returns
+// ErrNotStored when no shard reads from stored indexes — in-memory shards
+// have no posting cache to size.
+func (c *Corpus) SetStoredCacheSize(n int) error {
+	var stored []*backend.Stored
+	for _, sh := range c.c.Shards() {
+		if s, ok := sh.Backend().(*backend.Stored); ok {
+			stored = append(stored, s)
+		}
+	}
+	if len(stored) == 0 {
+		return ErrNotStored
+	}
+	per := n / len(stored)
+	if n > 0 && per < 1 {
+		per = 1
+	}
+	for _, s := range stored {
+		s.SetCacheCapacity(per)
+	}
+	return nil
+}
+
+// SaveBundle persists the corpus as a multi-shard (v3) bundle at path:
+// each shard's collection, postings, and secondary files are written next
+// to the manifest, named after the manifest's base name ("c.bundle" yields
+// "c.s0.axql", "c.s0.post", "c.s0.sec", ...). Open the result with Open.
+// The corpus must be in-memory (built with CorpusBuilder); a corpus opened
+// from stored indexes is already persisted.
+func (c *Corpus) SaveBundle(path string) error {
+	base := strings.TrimSuffix(path, ".bundle")
+	m := backend.CorpusManifest{Docs: c.c.DocTable()}
+	for i, sh := range c.c.Shards() {
+		mem, ok := sh.Backend().(*backend.Memory)
+		if !ok {
+			return fmt.Errorf("approxql: corpus already reads from stored indexes")
+		}
+		cs := backend.CorpusShard{
+			Collection: fmt.Sprintf("%s.s%d.axql", base, i),
+			Postings:   fmt.Sprintf("%s.s%d.post", base, i),
+			Secondary:  fmt.Sprintf("%s.s%d.sec", base, i),
+			Summary:    sh.Summary(),
+		}
+		f, err := os.Create(cs.Collection)
+		if err != nil {
+			return err
+		}
+		if _, err := mem.Tree().WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := persistInto(cs.Postings, func(s *storage.DB) error {
+			return index.Save(mem.Index(), s)
+		}); err != nil {
+			return err
+		}
+		if err := persistInto(cs.Secondary, func(s *storage.DB) error {
+			return mem.Schema().SaveSec(s)
+		}); err != nil {
+			return err
+		}
+		m.Shards = append(m.Shards, cs)
+	}
+	return backend.WriteCorpusBundle(path, m)
+}
+
+// IsCorpusBundle reports whether path holds a multi-shard (v3) corpus
+// bundle manifest. Open handles every artifact kind without this check; it
+// exists for callers that branch before opening, for example to reject
+// single-database-only flags.
+func IsCorpusBundle(path string) bool { return backend.IsCorpusBundle(path) }
+
+// OpenOptions tune Open. The zero value (or a nil pointer) uses default
+// insertion costs and the default per-shard posting cache.
+type OpenOptions struct {
+	// Model fixes the node-insertion costs, as in NewBuilder; it must
+	// match the model used at indexing time.
+	Model *CostModel
+	// CacheEntries is the total posting-cache budget divided across
+	// stored shards; 0 keeps the per-shard default
+	// (backend.DefaultCacheEntries each), < 0 disables caching.
+	CacheEntries int
+}
+
+// Open opens any persisted approXQL artifact at path as a Corpus — the
+// single entry point subsuming OpenDatabaseFile, OpenBundle, and
+// OpenStored:
+//
+//   - a multi-shard corpus bundle (v3 manifest, written by SaveBundle or
+//     axqlindex -shard-docs) opens with all its shards;
+//   - a single-shard bundle (v1/v2 manifest) opens as a one-shard corpus
+//     over its stored indexes;
+//   - a plain collection file (written by Database.WriteTo) loads into a
+//     one-shard in-memory corpus, rebuilding indexes and schema.
+//
+// Close the corpus to release stored shards' index files.
+func Open(path string, opts *OpenOptions) (*Corpus, error) {
+	var o OpenOptions
+	if opts != nil {
+		o = *opts
+	}
+	switch {
+	case backend.IsCorpusBundle(path):
+		return openCorpusBundle(path, o)
+	case backend.IsBundle(path):
+		db, err := OpenBundle(path, o.Model)
+		if err != nil {
+			return nil, err
+		}
+		c, err := db.Corpus()
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		if o.CacheEntries != 0 {
+			if err := c.SetStoredCacheSize(o.CacheEntries); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		return c, nil
+	default:
+		db, err := OpenDatabaseFile(path, o.Model)
+		if err != nil {
+			return nil, err
+		}
+		return db.Corpus()
+	}
+}
+
+// openCorpusBundle opens a v3 manifest: every shard over its stored
+// indexes, with the manifest's pruning summaries.
+func openCorpusBundle(path string, o OpenOptions) (*Corpus, error) {
+	m, err := backend.ReadCorpusBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	perShard := backend.DefaultCacheEntries
+	if o.CacheEntries != 0 {
+		perShard = o.CacheEntries / len(m.Shards)
+		if o.CacheEntries > 0 && perShard < 1 {
+			perShard = 1
+		}
+	}
+	shards := make([]*corpus.Shard, 0, len(m.Shards))
+	closeAll := func() {
+		for _, sh := range shards {
+			sh.Backend().Close()
+		}
+	}
+	for _, cs := range m.Shards {
+		f, err := os.Open(cs.Collection)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		tree, err := xmltree.ReadTree(f, o.Model)
+		f.Close()
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("%s: %w", cs.Collection, err)
+		}
+		be, err := backend.OpenStored(tree, cs.Postings, cs.Secondary, perShard)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		shards = append(shards, corpus.NewShard(be, cs.Summary))
+	}
+	c, err := corpus.New(shards, m.Docs)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}

@@ -9,14 +9,17 @@ import (
 )
 
 // bundleMagic is the first line of a bundle manifest; axql sniffs its prefix
-// to distinguish bundles from collection files. New bundles are written as
-// v2 (their postings use the blocked codec), but v1 bundles stay readable:
-// the posting codec is self-describing, so the manifest version only records
-// which encoder produced the files.
+// to distinguish bundles from collection files. New single-shard bundles are
+// written as v2 (their postings use the blocked codec), but v1 bundles stay
+// readable: the posting codec is self-describing, so the manifest version
+// only records which encoder produced the files. v3 is the multi-shard
+// corpus manifest (see CorpusManifest); every earlier version opens as a
+// one-shard corpus.
 const (
 	bundleMagicPrefix = "axql-bundle v"
 	bundleMagic       = "axql-bundle v2"
 	bundleMagicV1     = "axql-bundle v1"
+	bundleMagicV3     = "axql-bundle v3"
 )
 
 // Bundle names the three files of a persisted collection: the collection
@@ -85,6 +88,9 @@ func ReadBundle(path string) (Bundle, error) {
 	dir := filepath.Dir(path)
 	sc := bufio.NewScanner(f)
 	if !sc.Scan() || (sc.Text() != bundleMagic && sc.Text() != bundleMagicV1) {
+		if sc.Text() == bundleMagicV3 {
+			return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
+		}
 		return Bundle{}, fmt.Errorf("backend: %s is not an axql bundle", path)
 	}
 	var b Bundle

@@ -1,0 +1,67 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCorpusManifest hammers the v3 manifest parser with malformed input:
+// whatever it accepts must be a structurally sound manifest (non-empty
+// shard table, complete file triples, in-range doc shard indices,
+// non-negative summary counters), and it must never panic.
+func FuzzCorpusManifest(f *testing.F) {
+	f.Add([]byte("axql-bundle v3\n" +
+		`{"shards":[{"collection":"c.axql","postings":"c.post","secondary":"c.sec"}],` +
+		`"docs":[{"shard":0,"name":"a.xml"}]}`))
+	f.Add([]byte("axql-bundle v3\n" +
+		`{"shards":[{"collection":"a","postings":"b","secondary":"c",` +
+		`"summary":{"docs":1,"nodes":4,"max_depth":2,"struct":{"x":2},"text":{"t":1}}}],` +
+		`"docs":[{"shard":0}]}`))
+	f.Add([]byte("axql-bundle v3\n{}"))
+	f.Add([]byte("axql-bundle v3\n{\"shards\":[]}"))
+	f.Add([]byte("axql-bundle v3\n{\"shards\":[{\"collection\":\"c\"}]}"))
+	f.Add([]byte("axql-bundle v3\n{\"shards\":[{\"collection\":\"a\",\"postings\":\"b\",\"secondary\":\"c\"}],\"docs\":[{\"shard\":7}]}"))
+	f.Add([]byte("axql-bundle v3\n{\"shards\":[{\"collection\":\"a\",\"postings\":\"b\",\"secondary\":\"c\",\"summary\":{\"docs\":-1}}]}"))
+	f.Add([]byte("axql-bundle v2\ncollection c.axql\npostings c.post\nsecondary c.sec\n"))
+	f.Add([]byte("axql-bundle v3"))
+	f.Add([]byte(""))
+	f.Add([]byte("axql-bundle v3\n{\"shards\":[{\"collection\":\"a\",\"postings\":\"b\",\"secondary\":\"c\"}]}{}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseCorpusManifest(data, t.TempDir())
+		if err != nil {
+			return
+		}
+		if len(m.Shards) == 0 {
+			t.Fatal("accepted manifest with no shards")
+		}
+		for i, s := range m.Shards {
+			if s.Collection == "" || s.Postings == "" || s.Secondary == "" {
+				t.Fatalf("accepted shard %d with missing files: %+v", i, s)
+			}
+			if sum := s.Summary; sum != nil {
+				if sum.Docs < 0 || sum.Nodes < 0 || sum.MaxDepth < 0 {
+					t.Fatalf("accepted shard %d with negative summary counter: %+v", i, *sum)
+				}
+				for label, n := range sum.Struct {
+					if n < 0 {
+						t.Fatalf("accepted negative struct count %d for %q", n, label)
+					}
+				}
+				for term, n := range sum.Text {
+					if n < 0 {
+						t.Fatalf("accepted negative text count %d for %q", n, term)
+					}
+				}
+			}
+		}
+		for id, d := range m.Docs {
+			if d.Shard < 0 || d.Shard >= len(m.Shards) {
+				t.Fatalf("accepted doc %d pointing at shard %d of %d", id, d.Shard, len(m.Shards))
+			}
+		}
+		if !strings.HasPrefix(string(data), bundleMagicV3+"\n") {
+			t.Fatalf("accepted manifest without v3 magic line: %q", truncate(string(data), 64))
+		}
+	})
+}

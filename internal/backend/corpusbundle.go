@@ -1,0 +1,227 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// maxManifestSize bounds a v3 manifest file: the JSON body holds shard file
+// names, document names, and label summaries — megabytes at most for any
+// realistic corpus. The cap keeps a corrupted or hostile manifest from
+// ballooning memory before validation.
+const maxManifestSize = 64 << 20
+
+// CorpusManifest is the v3 bundle format: one magic line followed by a JSON
+// body describing every shard of a sharded corpus and the global document
+// table. Paths are relative to the manifest's directory (absolute paths are
+// kept verbatim), so a corpus directory moves as a unit:
+//
+//	axql-bundle v3
+//	{
+//	  "shards": [
+//	    {"collection": "c.s0.axql", "postings": "c.s0.post",
+//	     "secondary": "c.s0.sec", "summary": {...}},
+//	    ...
+//	  ],
+//	  "docs": [{"shard": 0, "name": "a.xml"}, {"shard": 0, "name": "b.xml"}, ...]
+//	}
+//
+// Docs lists every document of the corpus in global DocID order; each
+// document names the shard holding it. Shard summaries are optional — a
+// manifest without them still opens, the corpus just recomputes them from
+// the shard trees.
+type CorpusManifest struct {
+	Shards []CorpusShard `json:"shards"`
+	Docs   []CorpusDoc   `json:"docs"`
+}
+
+// CorpusShard names one shard's three files, plus its pruning summary.
+type CorpusShard struct {
+	Collection string   `json:"collection"`
+	Postings   string   `json:"postings"`
+	Secondary  string   `json:"secondary"`
+	Summary    *Summary `json:"summary,omitempty"`
+}
+
+// CorpusDoc is one entry of the global document table.
+type CorpusDoc struct {
+	// Shard indexes CorpusManifest.Shards.
+	Shard int `json:"shard"`
+	// Name is the document's external name (the source file, usually).
+	Name string `json:"name,omitempty"`
+}
+
+// IsCorpusBundle reports whether the file at path is a v3 multi-shard
+// bundle manifest.
+func IsCorpusBundle(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf := make([]byte, len(bundleMagicV3)+1)
+	n, _ := f.Read(buf)
+	return strings.HasPrefix(string(buf[:n]), bundleMagicV3+"\n")
+}
+
+// WriteCorpusBundle writes a v3 manifest at path, relativizing the shard
+// file paths to the manifest's directory where possible. The manifest must
+// validate (at least one shard, complete file triples, in-range document
+// shard indices).
+func WriteCorpusBundle(path string, m CorpusManifest) error {
+	if err := validateCorpusManifest(&m); err != nil {
+		return fmt.Errorf("backend: %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	rel := func(p string) string {
+		if r, err := filepath.Rel(dir, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return p
+	}
+	out := m
+	out.Shards = make([]CorpusShard, len(m.Shards))
+	for i, s := range m.Shards {
+		s.Collection = rel(s.Collection)
+		s.Postings = rel(s.Postings)
+		s.Secondary = rel(s.Secondary)
+		out.Shards[i] = s
+	}
+	body, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	var b bytes.Buffer
+	b.WriteString(bundleMagicV3 + "\n")
+	b.Write(body)
+	b.WriteByte('\n')
+	return os.WriteFile(path, b.Bytes(), 0o644)
+}
+
+// ReadCorpusBundle parses and validates the v3 manifest at path, resolving
+// shard file paths against the manifest's directory.
+func ReadCorpusBundle(path string) (CorpusManifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CorpusManifest{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return CorpusManifest{}, err
+	}
+	if st.Size() > maxManifestSize {
+		return CorpusManifest{}, fmt.Errorf("backend: %s: manifest exceeds %d bytes", path, maxManifestSize)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CorpusManifest{}, err
+	}
+	m, err := ParseCorpusManifest(data, filepath.Dir(path))
+	if err != nil {
+		return CorpusManifest{}, fmt.Errorf("backend: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ParseCorpusManifest parses a v3 manifest from its raw bytes, resolving
+// relative shard paths against dir. It is the validation core of
+// ReadCorpusBundle, exposed for the manifest fuzzer: every manifest it
+// accepts has a complete, in-range shard table.
+func ParseCorpusManifest(data []byte, dir string) (CorpusManifest, error) {
+	magic, body, ok := bytes.Cut(data, []byte("\n"))
+	if !ok || string(magic) != bundleMagicV3 {
+		return CorpusManifest{}, fmt.Errorf("not an axql corpus bundle (magic %q)", truncate(string(magic), 32))
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var m CorpusManifest
+	if err := dec.Decode(&m); err != nil {
+		return CorpusManifest{}, fmt.Errorf("malformed manifest body: %w", err)
+	}
+	// A second document after the manifest object is corruption, not data.
+	if dec.More() {
+		return CorpusManifest{}, fmt.Errorf("malformed manifest body: trailing data after manifest object")
+	}
+	if err := validateCorpusManifest(&m); err != nil {
+		return CorpusManifest{}, err
+	}
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		s.Collection = resolvePath(dir, s.Collection)
+		s.Postings = resolvePath(dir, s.Postings)
+		s.Secondary = resolvePath(dir, s.Secondary)
+	}
+	return m, nil
+}
+
+func resolvePath(dir, p string) string {
+	if filepath.IsAbs(p) {
+		return p
+	}
+	return filepath.Join(dir, p)
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+// validateCorpusManifest checks the structural invariants shared by the
+// reader and the writer.
+func validateCorpusManifest(m *CorpusManifest) error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("manifest has no shards")
+	}
+	for i, s := range m.Shards {
+		for _, e := range []struct{ key, file string }{
+			{"collection", s.Collection},
+			{"postings", s.Postings},
+			{"secondary", s.Secondary},
+		} {
+			if e.file == "" {
+				return fmt.Errorf("shard %d is missing the %s file", i, e.key)
+			}
+		}
+		if sum := s.Summary; sum != nil {
+			if sum.Docs < 0 || sum.Nodes < 0 || sum.MaxDepth < 0 {
+				return fmt.Errorf("shard %d has a negative summary counter", i)
+			}
+			for label, n := range sum.Struct {
+				if n < 0 {
+					return fmt.Errorf("shard %d summary: negative count for label %q", i, label)
+				}
+			}
+			for term, n := range sum.Text {
+				if n < 0 {
+					return fmt.Errorf("shard %d summary: negative count for term %q", i, term)
+				}
+			}
+		}
+	}
+	for id, d := range m.Docs {
+		if d.Shard < 0 || d.Shard >= len(m.Shards) {
+			return fmt.Errorf("doc %d names shard %d of %d", id, d.Shard, len(m.Shards))
+		}
+	}
+	// Shard-declared document counts must cover the document table: a
+	// summary claiming fewer documents than the table assigns to the shard
+	// means the manifest and its shard files disagree.
+	perShard := make([]int, len(m.Shards))
+	for _, d := range m.Docs {
+		perShard[d.Shard]++
+	}
+	for i, s := range m.Shards {
+		if s.Summary != nil && len(m.Docs) > 0 && s.Summary.Docs != perShard[i] {
+			return fmt.Errorf("shard %d summary declares %d docs, document table assigns %d",
+				i, s.Summary.Docs, perShard[i])
+		}
+	}
+	return nil
+}

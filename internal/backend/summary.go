@@ -1,0 +1,73 @@
+package backend
+
+import (
+	"approxql/internal/cost"
+	"approxql/internal/xmltree"
+)
+
+// Summary condenses one shard's data tree into the statistics the corpus
+// layer prunes with at query time: which labels the shard contains at all
+// (a query whose root label — and every renaming of it — is absent cannot
+// produce a single result root in the shard), how many nodes carry each
+// label (the candidate-count signal for future planner work), and the
+// shard's size and depth. It is the approXQL analog of the per-shard
+// min/max column summaries bounded-shard table stores keep for scan
+// pruning.
+//
+// Summaries are cheap (one tree walk at build time), serialize into the
+// multi-shard bundle manifest, and must be treated as read-only once a
+// Corpus holds them.
+type Summary struct {
+	// Docs counts the shard's documents (children of its super-root).
+	Docs int `json:"docs"`
+	// Nodes counts all shard nodes including the super-root.
+	Nodes int `json:"nodes"`
+	// MaxDepth is the longest root-to-leaf path in edges.
+	MaxDepth int `json:"max_depth"`
+	// Struct maps each element/attribute name to its node count.
+	Struct map[string]int `json:"struct,omitempty"`
+	// Text maps each term to its node count.
+	Text map[string]int `json:"text,omitempty"`
+}
+
+// Summarize walks tree once and builds its Summary.
+func Summarize(tree *xmltree.Tree) Summary {
+	n := xmltree.NodeID(tree.Len())
+	s := Summary{
+		Nodes:  tree.Len(),
+		Docs:   len(tree.Documents()),
+		Struct: make(map[string]int),
+		Text:   make(map[string]int),
+	}
+	depth := make([]int32, n)
+	for u := xmltree.NodeID(1); u < n; u++ {
+		depth[u] = depth[tree.Parent(u)] + 1
+		if int(depth[u]) > s.MaxDepth {
+			s.MaxDepth = int(depth[u])
+		}
+		if tree.Kind(u) == cost.Text {
+			s.Text[tree.Label(u)]++
+		} else {
+			s.Struct[tree.Label(u)]++
+		}
+	}
+	return s
+}
+
+// ContainsStruct reports whether the shard holds at least one struct node
+// with the given label. A nil map (a manifest written without summaries)
+// conservatively reports true.
+func (s *Summary) ContainsStruct(label string) bool {
+	if s.Struct == nil {
+		return true
+	}
+	return s.Struct[label] > 0
+}
+
+// ContainsText is ContainsStruct for term labels.
+func (s *Summary) ContainsText(term string) bool {
+	if s.Text == nil {
+		return true
+	}
+	return s.Text[term] > 0
+}

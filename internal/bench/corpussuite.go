@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"approxql"
+	"approxql/internal/datagen"
+	"approxql/internal/querygen"
+)
+
+// CorpusMeasurement is one point of the corpus suite (`axqlbench -suite
+// corpus`): the public Corpus.Search path timed over a pre-generated query
+// set at one (shard count, parallelism) layout, the harness behind
+// BENCH_corpus.json.
+type CorpusMeasurement struct {
+	Pattern   string
+	Renamings int
+	N         int
+	// Docs and Shards describe the corpus layout under test.
+	Docs   int
+	Shards int
+	// Parallelism is the shard worker-pool size (1 = sequential fan-out).
+	Parallelism int
+	// Queries is the query-set size; Iterations how many times the whole
+	// set was evaluated inside the timed region.
+	Queries    int
+	Iterations int
+
+	// NsPerQuery is the mean wall-clock time of one Search call.
+	NsPerQuery float64
+	// MeanResults is the average result count, a sanity check that runs
+	// being compared evaluated the same workload.
+	MeanResults float64
+	// MeanShardsPruned is the mean number of shards skipped per query by
+	// the schema-summary pruning check.
+	MeanShardsPruned float64
+}
+
+// CorpusRunner holds the per-document XML of a synthetic multi-document
+// collection and its pre-generated query sets, and assembles corpora at
+// requested shard layouts. Unlike Runner it exercises the public facade —
+// CorpusBuilder and Corpus.Search — so measurements cover the whole
+// scatter-gather path users hit.
+type CorpusRunner struct {
+	cfg     Config
+	docsXML []string
+	sets    map[string]map[int][]*querygen.Generated
+}
+
+// corpusData derives a multi-document collection from the paper's scale
+// factor: small templates with little repetition, so the element budget
+// spreads over many documents instead of one deep tree (Runner's Paper
+// config packs everything into a single document, useless for sharding).
+func corpusData(f float64) datagen.Config {
+	scale := func(n int) int {
+		v := int(float64(n) * f)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	return datagen.Config{
+		Seed:            7,
+		NumElementNames: 100,
+		VocabularySize:  10_000,
+		TargetElements:  scale(1_000_000),
+		TargetWords:     scale(10_000_000),
+		TemplateNodes:   40,
+		MaxDepth:        6,
+		MaxRepeat:       2,
+		ZipfSkew:        1.3,
+	}
+}
+
+// maxCorpusDocs bounds the fixture: enough documents for meaningful shard
+// sweeps without letting large scales explode generation time.
+const maxCorpusDocs = 256
+
+// NewCorpusRunner generates the documents and pre-generates every query
+// set, so that measurements only time query evaluation.
+func NewCorpusRunner(cfg Config, scale float64) (*CorpusRunner, error) {
+	if cfg.QueriesPerPoint <= 0 {
+		cfg.QueriesPerPoint = 10
+	}
+	g, err := datagen.New(corpusData(scale))
+	if err != nil {
+		return nil, err
+	}
+	var docs []string
+	for !g.Done() && len(docs) < maxCorpusDocs {
+		var buf bytes.Buffer
+		if err := g.WriteDocumentXML(&buf); err != nil {
+			return nil, err
+		}
+		docs = append(docs, buf.String())
+	}
+	if len(docs) < 2 {
+		return nil, fmt.Errorf("bench: corpus data yielded only %d document(s); raise -scale", len(docs))
+	}
+
+	// The query generator draws labels from the combined collection, so
+	// generated queries have matches spread over many documents.
+	b := approxql.NewBuilder(nil)
+	for _, d := range docs {
+		if err := b.AddXMLString(d); err != nil {
+			return nil, err
+		}
+	}
+	db, err := b.Database()
+	if err != nil {
+		return nil, err
+	}
+	qg, err := querygen.New(db.Tree(), cfg.QuerySeed)
+	if err != nil {
+		return nil, err
+	}
+	r := &CorpusRunner{
+		cfg:     cfg,
+		docsXML: docs,
+		sets:    make(map[string]map[int][]*querygen.Generated),
+	}
+	for _, p := range querygen.PaperPatterns {
+		r.sets[p.Name] = make(map[int][]*querygen.Generated)
+		for _, ren := range cfg.Renamings {
+			set, err := qg.GenerateSet(p, ren, cfg.QueriesPerPoint)
+			if err != nil {
+				return nil, err
+			}
+			r.sets[p.Name][ren] = set
+		}
+	}
+	return r, nil
+}
+
+// NumDocs returns the number of generated documents.
+func (r *CorpusRunner) NumDocs() int { return len(r.docsXML) }
+
+// BuildCorpus assembles the fixture documents into a corpus of the given
+// shard count (the per-shard document capacity is derived from it).
+func (r *CorpusRunner) BuildCorpus(shards int) (*approxql.Corpus, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	cb := approxql.NewCorpusBuilder(nil)
+	cb.SetShardSize((len(r.docsXML) + shards - 1) / shards)
+	for i, d := range r.docsXML {
+		if _, err := cb.AddDocumentString(fmt.Sprintf("doc%03d.xml", i), d); err != nil {
+			return nil, err
+		}
+	}
+	return cb.Corpus()
+}
+
+// MeasureCorpus times Corpus.Search over the pre-generated (pattern,
+// renamings) query set. The set is evaluated repeatedly until minTime of
+// wall clock has accumulated, after one untimed warm-up pass.
+func (r *CorpusRunner) MeasureCorpus(c *approxql.Corpus, pattern string, renamings, n, parallelism int, minTime time.Duration) (CorpusMeasurement, error) {
+	set, ok := r.sets[pattern][renamings]
+	if !ok || len(set) == 0 {
+		return CorpusMeasurement{}, fmt.Errorf("bench: no query set for %s/%d", pattern, renamings)
+	}
+	runSet := func(collect *approxql.QueryMetrics) (int, error) {
+		results := 0
+		for _, g := range set {
+			opts := []approxql.QueryOption{approxql.WithCostModel(g.Model)}
+			if parallelism != 0 {
+				opts = append(opts, approxql.WithParallelism(parallelism))
+			}
+			var m approxql.QueryMetrics
+			if collect != nil {
+				opts = append(opts, approxql.WithMetrics(&m))
+			}
+			hits, err := c.Search(g.Query.String(), n, opts...)
+			if err != nil {
+				return 0, err
+			}
+			results += len(hits)
+			if collect != nil {
+				collect.Merge(&m)
+			}
+		}
+		return results, nil
+	}
+	// Warm-up, untimed; it also collects the pruning counters, which are
+	// deterministic per set and need no averaging over iterations.
+	var pruning approxql.QueryMetrics
+	results, err := runSet(&pruning)
+	if err != nil {
+		return CorpusMeasurement{}, err
+	}
+
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minTime || iters < 2 {
+		if _, err := runSet(nil); err != nil {
+			return CorpusMeasurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+
+	return CorpusMeasurement{
+		Pattern:          pattern,
+		Renamings:        renamings,
+		N:                n,
+		Docs:             c.NumDocs(),
+		Shards:           c.NumShards(),
+		Parallelism:      parallelism,
+		Queries:          len(set),
+		Iterations:       iters,
+		NsPerQuery:       float64(elapsed.Nanoseconds()) / float64(iters*len(set)),
+		MeanResults:      float64(results) / float64(len(set)),
+		MeanShardsPruned: float64(pruning.ShardsPruned) / float64(len(set)),
+	}, nil
+}
+
+// CorpusSuite sweeps shard counts and fan-out parallelism over every
+// (pattern, renamings) query set at the given result count: one corpus is
+// built per shard count and reused across its points.
+func (r *CorpusRunner) CorpusSuite(shardCounts, parallelismList []int, n int, minTime time.Duration) ([]CorpusMeasurement, error) {
+	var out []CorpusMeasurement
+	for _, shards := range shardCounts {
+		if shards > len(r.docsXML) {
+			continue
+		}
+		c, err := r.BuildCorpus(shards)
+		if err != nil {
+			return nil, err
+		}
+		for _, pattern := range []string{"pattern1", "pattern2", "pattern3"} {
+			if _, ok := r.sets[pattern]; !ok {
+				continue
+			}
+			for _, ren := range r.cfg.Renamings {
+				for _, par := range parallelismList {
+					m, err := r.MeasureCorpus(c, pattern, ren, n, par, minTime)
+					if err != nil {
+						c.Close()
+						return nil, err
+					}
+					out = append(out, m)
+				}
+			}
+		}
+		c.Close()
+	}
+	return out, nil
+}

@@ -24,8 +24,8 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		queries  = fs.Int("queries", 10, "queries averaged per point")
 		seed     = fs.Int64("seed", 2002, "query-generation seed")
 		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
-		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json)")
-		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series) or eval (direct-evaluation time/allocation suite)")
+		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json, BENCH_corpus.json)")
+		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series), eval (direct-evaluation time/allocation suite), or corpus (sharded scatter-gather sweep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,11 +39,14 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 	cfg.QuerySeed = *seed
 	cfg.Backend = *backendF
 
-	if *suite == "eval" {
+	switch *suite {
+	case "eval":
 		return benchEvalSuite(cfg, *scale, *jsonOut, stdout, stderr)
-	}
-	if *suite != "figure7" {
-		return fmt.Errorf("axqlbench: unknown suite %q (want figure7 or eval)", *suite)
+	case "corpus":
+		return benchCorpusSuite(cfg, *scale, *jsonOut, stdout, stderr)
+	case "figure7":
+	default:
+		return fmt.Errorf("axqlbench: unknown suite %q (want figure7, eval, or corpus)", *suite)
 	}
 
 	fmt.Fprintf(stderr, "generating collection (%d elements, %d words), backend=%s...\n",
@@ -137,6 +140,108 @@ func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, stdout, std
 		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(ms), jsonOut)
 	}
 	return nil
+}
+
+// benchCorpusSuite runs the sharded-corpus suite: the public Corpus.Search
+// path over every (pattern, renamings) query set, swept across shard counts
+// and fan-out parallelism at n=10, optionally appended to BENCH_corpus.json.
+func benchCorpusSuite(cfg bench.Config, scale float64, jsonOut string, stdout, stderr io.Writer) error {
+	cfg.Renamings = []int{0, 5}
+	const (
+		corpusN     = 10
+		pointBudget = 200 * time.Millisecond
+	)
+	shardCounts := []int{1, 2, 4, 8}
+	parallelism := []int{1, 8}
+
+	fmt.Fprintf(stderr, "generating multi-document collection (scale %g)...\n", scale)
+	start := time.Now()
+	runner, err := bench.NewCorpusRunner(cfg, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "ready in %v: %d documents\n\n",
+		time.Since(start).Round(time.Millisecond), runner.NumDocs())
+
+	ms, err := runner.CorpusSuite(shardCounts, parallelism, corpusN, pointBudget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "=== corpus scatter-gather suite (n=%d, %d docs) ===\n", corpusN, runner.NumDocs())
+	fmt.Fprintf(stdout, "%-10s %-10s %-7s %-9s %14s %12s %13s\n",
+		"pattern", "renamings", "shards", "parallel", "ns/query", "mean_results", "pruned/query")
+	for _, m := range ms {
+		fmt.Fprintf(stdout, "%-10s %-10d %-7d %-9d %14.0f %12.1f %13.2f\n",
+			m.Pattern, m.Renamings, m.Shards, m.Parallelism,
+			m.NsPerQuery, m.MeanResults, m.MeanShardsPruned)
+	}
+
+	if jsonOut != "" {
+		if err := appendCorpusJSON(jsonOut, scale, ms); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(ms), jsonOut)
+	}
+	return nil
+}
+
+// corpusEntry is one recorded `-suite corpus` run.
+type corpusEntry struct {
+	Date   string        `json:"date"`
+	Scale  float64       `json:"scale"`
+	Docs   int           `json:"docs"`
+	Points []corpusPoint `json:"points"`
+}
+
+type corpusPoint struct {
+	Pattern          string  `json:"pattern"`
+	Renamings        int     `json:"renamings"`
+	N                int     `json:"n"`
+	Shards           int     `json:"shards"`
+	Parallelism      int     `json:"parallelism"`
+	Queries          int     `json:"queries"`
+	Iterations       int     `json:"iterations"`
+	NsPerQuery       float64 `json:"ns_per_query"`
+	MeanResults      float64 `json:"mean_results"`
+	MeanShardsPruned float64 `json:"mean_shards_pruned"`
+}
+
+// appendCorpusJSON appends one corpus-suite run to a JSON array file,
+// creating the file on first use.
+func appendCorpusJSON(path string, scale float64, ms []bench.CorpusMeasurement) error {
+	var entries []corpusEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("%s: existing file is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	e := corpusEntry{
+		Date:  time.Now().UTC().Format(time.RFC3339),
+		Scale: scale,
+	}
+	for _, m := range ms {
+		e.Docs = m.Docs
+		e.Points = append(e.Points, corpusPoint{
+			Pattern:          m.Pattern,
+			Renamings:        m.Renamings,
+			N:                m.N,
+			Shards:           m.Shards,
+			Parallelism:      m.Parallelism,
+			Queries:          m.Queries,
+			Iterations:       m.Iterations,
+			NsPerQuery:       m.NsPerQuery,
+			MeanResults:      m.MeanResults,
+			MeanShardsPruned: m.MeanShardsPruned,
+		})
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // evalEntry is one recorded `-suite eval` run.

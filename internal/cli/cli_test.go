@@ -427,3 +427,99 @@ func TestBundleQueryWithoutXML(t *testing.T) {
 		t.Error("-bundle without -postings/-secondary accepted")
 	}
 }
+
+func TestCorpusIndexAndQueryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	doc1 := writeFile(t, dir, "doc1.xml",
+		`<catalog><cd><title>Piano Concerto</title><composer>Rachmaninov</composer></cd></catalog>`)
+	doc2 := writeFile(t, dir, "doc2.xml",
+		`<catalog><cd><title>Piano Sonata</title><composer>Beethoven</composer></cd></catalog>`)
+	doc3 := writeFile(t, dir, "doc3.xml",
+		`<library><book><name>Harmony</name></book></library>`)
+	bundle := filepath.Join(dir, "corpus.axql")
+
+	var stderr bytes.Buffer
+	err := Index([]string{"-out", bundle, "-shard-docs", "1", doc1, doc2, doc3},
+		io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("Index -shard-docs: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "3 documents into 3 shards") {
+		t.Errorf("summary = %q", stderr.String())
+	}
+
+	// The source XML is gone before the bundle is queried: corpus queries
+	// run against the persisted shards alone.
+	for _, f := range []string{doc1, doc2, doc3} {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both strategies agree, and every hit names its document.
+	var direct, viaSchema bytes.Buffer
+	for _, tc := range []struct {
+		strategy string
+		out      *bytes.Buffer
+	}{{"direct", &direct}, {"schema", &viaSchema}} {
+		if err := Query([]string{"-db", bundle, "-papercosts", "-strategy", tc.strategy,
+			"-n", "0", `cd[title["concerto"]]`}, tc.out, io.Discard); err != nil {
+			t.Fatalf("corpus query (%s): %v", tc.strategy, err)
+		}
+	}
+	if direct.String() != viaSchema.String() {
+		t.Errorf("strategies disagree over the corpus:\n%s\nvs\n%s",
+			direct.String(), viaSchema.String())
+	}
+	if !strings.Contains(direct.String(), "doc1.xml") {
+		t.Errorf("ranking does not name the matching document:\n%s", direct.String())
+	}
+
+	// -stream and -render work over the corpus.
+	var out bytes.Buffer
+	if err := Query([]string{"-db", bundle, "-papercosts", "-stream", "-render", "-n", "1",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<title>") {
+		t.Errorf("corpus stream -render output:\n%s", out.String())
+	}
+
+	// -explain prints merged second-level plans with their shard counts.
+	out.Reset()
+	if err := Query([]string{"-db", bundle, "-papercosts", "-explain", "-n", "5",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shards") {
+		t.Errorf("corpus explain output:\n%s", out.String())
+	}
+
+	// -stats without a query reports corpus statistics.
+	out.Reset()
+	if err := Query([]string{"-db", bundle, "-stats"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shards         3") {
+		t.Errorf("corpus stats output:\n%s", out.String())
+	}
+
+	// Database-only flags are rejected against a corpus bundle.
+	if err := Query([]string{"-db", bundle, "-highlight", "x"}, io.Discard, io.Discard); err == nil {
+		t.Error("-highlight accepted against a corpus bundle")
+	}
+	if err := Query([]string{"-db", bundle, "-autocosts", "x"}, io.Discard, io.Discard); err == nil {
+		t.Error("-autocosts accepted against a corpus bundle")
+	}
+}
+
+func TestCorpusIndexRejectsStoreFlags(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+	out := filepath.Join(dir, "corpus.axql")
+	err := Index([]string{"-out", out, "-shard-docs", "2",
+		"-postings", filepath.Join(dir, "p.idx"), xml}, io.Discard, io.Discard)
+	if err == nil {
+		t.Error("-shard-docs with -postings accepted")
+	}
+}

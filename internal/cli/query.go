@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"approxql"
 )
@@ -34,6 +35,24 @@ func Query(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dbPath != "" && approxql.IsCorpusBundle(*dbPath) {
+		return queryCorpus(corpusQueryFlags{
+			dbPath:    *dbPath,
+			cache:     *cache,
+			costs:     *costs,
+			paper:     *paper,
+			auto:      *auto,
+			n:         *n,
+			strategy:  *strategy,
+			render:    *render,
+			highlight: *highlight,
+			explain:   *explain,
+			stream:    *stream,
+			stats:     *stats,
+			parallel:  *parallel,
+			timeout:   *timeout,
+		}, fs.Args(), stdout)
 	}
 	if *stats && fs.NArg() == 0 {
 		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel(), *cache)
@@ -135,6 +154,139 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "--- execution metrics ---\n%s", metrics.String())
 	}
 	return nil
+}
+
+// corpusQueryFlags carries the axql flag values into the corpus query path.
+type corpusQueryFlags struct {
+	dbPath    string
+	cache     int
+	costs     string
+	paper     bool
+	auto      bool
+	n         int
+	strategy  string
+	render    bool
+	highlight bool
+	explain   bool
+	stream    bool
+	stats     bool
+	parallel  int
+	timeout   time.Duration
+}
+
+// queryCorpus evaluates one query against a multi-shard corpus bundle. It
+// mirrors the database path but prints each hit's document, and rejects the
+// flags that only make sense against a single database.
+func queryCorpus(f corpusQueryFlags, args []string, stdout io.Writer) error {
+	if f.auto {
+		return fmt.Errorf("axql: -autocosts is not supported on a corpus bundle")
+	}
+	if f.highlight {
+		return fmt.Errorf("axql: -highlight is not supported on a corpus bundle")
+	}
+
+	fallback := approxql.NewCostModel()
+	if f.paper {
+		fallback = approxql.PaperCostModel()
+	}
+	model, err := loadCosts(f.costs, fallback)
+	if err != nil {
+		return err
+	}
+
+	c, err := approxql.Open(f.dbPath, &approxql.OpenOptions{Model: model, CacheEntries: f.cache})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	if f.stats && len(args) == 0 {
+		st := c.Stats()
+		fmt.Fprintf(stdout, "documents      %d\n", st.Docs)
+		fmt.Fprintf(stdout, "shards         %d\n", st.Shards)
+		fmt.Fprintf(stdout, "nodes          %d\n", st.Nodes)
+		fmt.Fprintf(stdout, "max depth      %d\n", st.MaxDepth)
+		return nil
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("usage: axql [flags] 'query'")
+	}
+	query := args[0]
+
+	ctx := context.Background()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+
+	opts := []approxql.QueryOption{approxql.WithCostModel(model)}
+	switch f.strategy {
+	case "auto":
+	case "direct":
+		opts = append(opts, approxql.WithStrategy(approxql.Direct))
+	case "schema":
+		opts = append(opts, approxql.WithStrategy(approxql.SchemaDriven))
+	default:
+		return fmt.Errorf("unknown strategy %q", f.strategy)
+	}
+	if f.parallel != 0 {
+		opts = append(opts, approxql.WithParallelism(f.parallel))
+	}
+	var metrics *approxql.QueryMetrics
+	if f.stats {
+		metrics = &approxql.QueryMetrics{}
+		opts = append(opts, approxql.WithMetrics(metrics))
+	}
+
+	switch {
+	case f.explain:
+		plans, err := c.ExplainContext(ctx, query, f.n, opts...)
+		if err != nil {
+			return err
+		}
+		for i, p := range plans {
+			fmt.Fprintf(stdout, "%2d. cost %-4d results %-5d shards %-3d %s\n",
+				i+1, p.Cost, p.Results, p.Shards, p.Rendered)
+		}
+	case f.stream:
+		i := 0
+		err := c.StreamContext(ctx, query, func(h approxql.Hit) bool {
+			i++
+			printHit(stdout, c, i, h, f.render)
+			return f.n <= 0 || i < f.n
+		}, opts...)
+		if err != nil {
+			return err
+		}
+	default:
+		hits, err := c.SearchContext(ctx, query, f.n, opts...)
+		if err != nil {
+			return err
+		}
+		for i, h := range hits {
+			printHit(stdout, c, i+1, h, f.render)
+		}
+	}
+	if metrics != nil {
+		fmt.Fprintf(stdout, "--- execution metrics ---\n%s", metrics.String())
+	}
+	return nil
+}
+
+// printHit prints one ranked corpus hit, naming the document it came from.
+func printHit(w io.Writer, c *approxql.Corpus, rank int, h approxql.Hit, render bool) {
+	doc := c.Doc(h.Doc)
+	name := doc.Name()
+	if name == "" {
+		name = fmt.Sprintf("doc %d", h.Doc)
+	}
+	fmt.Fprintf(w, "%2d. cost %-4d [%s] %s\n", rank, h.Cost, name, doc.Path(h.Root))
+	if render {
+		for _, line := range strings.Split(strings.TrimRight(doc.RenderNode(h.Root), "\n"), "\n") {
+			fmt.Fprintf(w, "      %s\n", line)
+		}
+	}
 }
 
 // printHighlight annotates one result with the fate of every query selector.

@@ -16,9 +16,10 @@ import (
 )
 
 // Serve is the axqlserve entry point: it opens a database (in-memory from
-// XML, a collection file, or a bundle over stored indexes) and serves
-// approXQL queries over HTTP until SIGINT/SIGTERM, then drains in-flight
-// queries and exits.
+// XML, a collection file, or a bundle over stored indexes) or a multi-shard
+// corpus bundle (built by axqlindex -shard-docs) and serves approXQL
+// queries over HTTP until SIGINT/SIGTERM, then drains in-flight queries and
+// exits. Corpus responses carry each hit's document id and name.
 func Serve(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -67,14 +68,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		return err
 	}
 
-	db, err := openDatabase(*dbPath, *xml, model, *cache)
-	if err != nil {
-		return err
-	}
-	defer db.Close()
-
-	srv, err := server.New(server.Config{
-		DB:             db,
+	srvCfg := server.Config{
 		Model:          model,
 		MaxInflight:    *maxInflight,
 		DefaultTimeout: *timeout,
@@ -83,7 +77,28 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		CacheEntries:   *resultCache,
 		SlowQuery:      *slow,
 		Logger:         logger,
-	})
+	}
+	var serving string
+	if *dbPath != "" && approxql.IsCorpusBundle(*dbPath) {
+		c, err := approxql.Open(*dbPath, &approxql.OpenOptions{Model: model, CacheEntries: *cache})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		srvCfg.Corpus = c
+		st := c.Stats()
+		serving = fmt.Sprintf("%d nodes, %d docs, %d shards", st.Nodes, st.Docs, st.Shards)
+	} else {
+		db, err := openDatabase(*dbPath, *xml, model, *cache)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		srvCfg.DB = db
+		serving = fmt.Sprintf("%d nodes", db.Len())
+	}
+
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		return err
 	}
@@ -94,7 +109,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	}
 	// The resolved address line is the readiness signal scripts wait for
 	// (and with -addr :0 the only way to learn the port).
-	fmt.Fprintf(stderr, "axqlserve: listening on %s (%d nodes)\n", l.Addr(), db.Len())
+	fmt.Fprintf(stderr, "axqlserve: listening on %s (%s)\n", l.Addr(), serving)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()

@@ -123,3 +123,88 @@ func TestServeRejectsBadFlags(t *testing.T) {
 		t.Error("positional argument accepted")
 	}
 }
+
+func TestServeCorpusBundle(t *testing.T) {
+	dir := t.TempDir()
+	doc1 := writeFile(t, dir, "doc1.xml",
+		`<catalog><cd><title>Piano Concerto</title></cd></catalog>`)
+	doc2 := writeFile(t, dir, "doc2.xml",
+		`<catalog><cd><title>Cello Sonata</title></cd></catalog>`)
+	bundle := filepath.Join(dir, "corpus.axql")
+	err := Index([]string{"-out", bundle, "-shard-docs", "1", "-q", doc1, doc2},
+		io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("Index -shard-docs: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stderr := &syncBuffer{}
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- ServeContext(ctx, []string{
+			"-db", bundle, "-addr", "127.0.0.1:0", "-log", "off",
+		}, io.Discard, stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "2 docs, 2 shards") {
+		t.Errorf("readiness line lacks corpus shape: %s", stderr.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hr struct {
+		Docs   int `json:"docs"`
+		Shards int `json:"shards"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hr)
+	resp.Body.Close()
+	if err != nil || hr.Docs != 2 || hr.Shards != 2 {
+		t.Fatalf("healthz docs/shards = %+v, %v", hr, err)
+	}
+
+	resp, err = http.Post(base+"/query", "application/json",
+		strings.NewReader(`{"query":"cd[title[\"concerto\"]]","n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Results []struct {
+			Doc     int    `json:"doc"`
+			DocName string `json:"doc_name"`
+			Path    string `json:"path"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d, %v", resp.StatusCode, err)
+	}
+	if len(qr.Results) == 0 || !strings.Contains(qr.Results[0].DocName, "doc1.xml") {
+		t.Fatalf("corpus ranking lacks document names: %+v", qr.Results)
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("ServeContext after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain within 5s")
+	}
+}

@@ -60,6 +60,17 @@ type Config struct {
 	Parallelism int
 	// Metrics, when non-nil, receives per-stage counters and timings.
 	Metrics *Metrics
+	// Bound, when non-nil, supplies an external upper bound on useful
+	// result costs — the scatter-gather cutoff of a sharded corpus: the
+	// current global n-th cost published by the merging top-n heap. The
+	// engine skips every second-level query whose cost strictly exceeds
+	// the bound and, because planning emits queries in ascending cost
+	// order, terminates the k-growing loop at the first such query. The
+	// function must be safe for concurrent use and monotone non-increasing
+	// over the run (a shrinking top-n threshold); under that contract a
+	// skip can never discard a query that a later, tighter bound would
+	// have wanted. Return cost.Inf while no bound is known.
+	Bound func() cost.Cost
 }
 
 // Item is one emitted result: a distinct root, the cost of the cheapest
@@ -223,17 +234,37 @@ func (g *Engine) Run(ctx context.Context, x *lang.Expanded, emit func(Item) bool
 			pending = append(pending, e)
 		}
 		m.Deduped += len(lp) - len(pending)
+
+		// External cost-bound cutoff: pending is sorted by ascending cost,
+		// so everything from the first over-bound query on is useless now —
+		// and, the bound being monotone non-increasing, useless forever.
+		// Later rounds only plan queries at least as expensive as the ones
+		// cut here (the k-best list for a larger k extends this list), so
+		// the whole k-growing loop can stop after this round's survivors.
+		boundStopped := false
+		if g.cfg.Bound != nil {
+			if cut := cutAtBound(pending, g.cfg.Bound()); cut < len(pending) {
+				m.BoundSkipped += len(pending) - cut
+				pending = pending[:cut]
+				boundStopped = true
+			}
+		}
 		m.Executed += len(pending)
 
 		t0 = time.Now()
-		err = g.runSecondary(ctx, en, pending, m, deliver)
+		midStop, err := g.runSecondary(ctx, en, pending, m, deliver)
 		m.ExecTime += time.Since(t0)
+		boundStopped = boundStopped || midStop
 
 		s := en.Stats()
 		m.SchemaFetches += s.Fetches
 		m.ListOps += s.ListOps
 		if err != nil {
 			return err
+		}
+		if boundStopped {
+			m.BoundStops++
+			return nil
 		}
 		if stopped || len(lp) < k {
 			return nil
@@ -260,15 +291,32 @@ func (g *Engine) parallelism() int {
 	return p
 }
 
+// cutAtBound returns the number of leading entries of the cost-sorted list
+// whose cost does not strictly exceed bound. Equal-cost entries survive:
+// under the (cost, doc, root) total order of a merging heap they can still
+// displace the current n-th result.
+func cutAtBound(pending []*kbest.Entry, bound cost.Cost) int {
+	for i, e := range pending {
+		if e.Cost > bound {
+			return i
+		}
+	}
+	return len(pending)
+}
+
 // runSecondary executes the pending second-level queries of one round in
 // order, delivering each query's roots through deliver (which returns false
 // to stop). With parallelism > 1 the queries run concurrently on a worker
 // pool and are released through an ordered fan-in, so delivery order — and
 // therefore every emitted sequence — is identical to sequential execution.
-func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*kbest.Entry, m *Metrics, deliver func(*kbest.Entry, []xmltree.NodeID) bool) error {
+// The external cost bound is re-read during the round (it tightens while
+// other shards report results); runSecondary reports true when it stopped
+// the round because the bound was crossed mid-way.
+func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*kbest.Entry, m *Metrics, deliver func(*kbest.Entry, []xmltree.NodeID) bool) (bool, error) {
 	if len(pending) == 0 {
-		return nil
+		return false, nil
 	}
+	bound := g.cfg.Bound
 	p := g.parallelism()
 	if p > len(pending) {
 		p = len(pending)
@@ -280,16 +328,20 @@ func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*
 			m.SecondaryFetches += s.Runs
 			m.PostingsScanned += s.PostingsScanned
 		}()
-		for _, e := range pending {
+		for i, e := range pending {
+			if bound != nil && e.Cost > bound() {
+				m.BoundSkipped += len(pending) - i
+				return true, nil
+			}
 			roots, err := ex.Secondary(ctx, e)
 			if err != nil {
-				return err
+				return false, err
 			}
 			if !deliver(e, roots) {
-				return nil
+				return false, nil
 			}
 		}
-		return nil
+		return false, nil
 	}
 
 	// The queries are grouped into contiguous batches: one channel round
@@ -326,6 +378,7 @@ func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*
 			// per-goroutine, the schema and secondary source are shared
 			// (and safe for concurrent reads).
 			ex := en.NewExecutor()
+			skipped := 0
 			for bi := range jobs {
 				lo := bi * batchSize
 				hi := lo + batchSize
@@ -334,6 +387,15 @@ func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*
 				}
 				res := make([][]xmltree.NodeID, 0, hi-lo)
 				for _, e := range pending[lo:hi] {
+					// The bound can tighten while the batch runs; a nil
+					// slot keeps delivery indexing aligned and delivers
+					// nothing. The ordered fan-in re-checks the bound and
+					// stops the round at the first over-bound query.
+					if bound != nil && e.Cost > bound() {
+						skipped++
+						res = append(res, nil)
+						continue
+					}
 					roots, err := ex.Secondary(ctx2, e)
 					if err != nil {
 						slots[bi].err = err
@@ -348,6 +410,7 @@ func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*
 			mu.Lock()
 			m.SecondaryFetches += s.Runs
 			m.PostingsScanned += s.PostingsScanned
+			m.BoundSkipped += skipped
 			mu.Unlock()
 		}()
 	}
@@ -369,21 +432,25 @@ func (g *Engine) runSecondary(ctx context.Context, en *kbest.Engine, pending []*
 		select {
 		case <-slots[bi].done:
 		case <-ctx2.Done():
-			return ctx2.Err()
+			return false, ctx2.Err()
 		}
 		lo := bi * batchSize
 		for j, roots := range slots[bi].roots {
+			if bound != nil && pending[lo+j].Cost > bound() {
+				cancel()
+				return true, nil
+			}
 			if !deliver(pending[lo+j], roots) {
 				cancel()
-				return nil
+				return false, nil
 			}
 		}
 		if slots[bi].err != nil {
 			cancel()
-			return slots[bi].err
+			return false, slots[bi].err
 		}
 	}
-	return nil
+	return false, nil
 }
 
 // rootResultBound bounds the achievable result count: the instances of the

@@ -353,3 +353,51 @@ func TestExplainCountOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestExternalBound: with an external cost bound installed, the engine
+// emits exactly the prefix of the unbounded emission whose cost does not
+// exceed the bound (equal costs survive — a merging heap can still accept
+// them), reports skipped queries, and stops the k-growing loop early.
+func TestExternalBound(t *testing.T) {
+	w := getWorld(t)
+	for pi, pattern := range querygen.PaperPatterns {
+		g, err := w.gen.Generate(pattern, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := lang.Expand(g.Query, g.Model)
+		all := collect(t, exec.New(w.sch, w.sch, exec.Config{Parallelism: 1}), x)
+		if len(all) < 2 || all[0].Cost == all[len(all)-1].Cost {
+			continue // needs at least two cost tiers to cut between
+		}
+		bound := all[0].Cost // keep only the cheapest tier
+		for _, par := range []int{1, 4} {
+			var m exec.Metrics
+			got := collect(t, exec.New(w.sch, w.sch, exec.Config{
+				Parallelism: par,
+				Metrics:     &m,
+				Bound:       func() cost.Cost { return bound },
+			}), x)
+			name := fmt.Sprintf("pattern%d/parallel=%d", pi+1, par)
+			want := 0
+			for want < len(all) && all[want].Cost <= bound {
+				want++
+			}
+			if len(got) != want {
+				t.Fatalf("%s: bounded run emitted %d items, want %d", name, len(got), want)
+			}
+			for i := range got {
+				if got[i].Root != all[i].Root || got[i].Cost != all[i].Cost {
+					t.Fatalf("%s: item %d: bounded (%d, %d), unbounded (%d, %d)",
+						name, i, got[i].Root, got[i].Cost, all[i].Root, all[i].Cost)
+				}
+			}
+			if m.BoundSkipped == 0 {
+				t.Errorf("%s: no queries reported skipped by the bound", name)
+			}
+			if m.BoundStops != 1 {
+				t.Errorf("%s: BoundStops = %d, want 1", name, m.BoundStops)
+			}
+		}
+	}
+}

@@ -82,6 +82,20 @@ type Metrics struct {
 	EvalScratchMisses int
 	EvalParallelForks int
 
+	// The corpus counters describe a sharded scatter-gather evaluation
+	// (internal/corpus); they stay zero for single-database queries.
+	// Shards counts the shards the query fanned out to; ShardsPruned the
+	// shards skipped up front because their schema summary proved they
+	// cannot contain any result root.
+	Shards       int
+	ShardsPruned int
+	// BoundSkipped counts second-level queries skipped because their cost
+	// exceeded the externally published top-n bound; BoundStops counts
+	// shard runs the bound terminated early. Together they measure how
+	// much per-shard work the scatter-gather cutoff saved.
+	BoundSkipped int
+	BoundStops   int
+
 	// ResultsEmitted counts distinct result roots delivered.
 	ResultsEmitted int
 	// Truncated reports that the search hit MaxK before finding N
@@ -124,6 +138,10 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.EvalScratchHits += o.EvalScratchHits
 	m.EvalScratchMisses += o.EvalScratchMisses
 	m.EvalParallelForks += o.EvalParallelForks
+	m.Shards += o.Shards
+	m.ShardsPruned += o.ShardsPruned
+	m.BoundSkipped += o.BoundSkipped
+	m.BoundStops += o.BoundStops
 	m.ResultsEmitted += o.ResultsEmitted
 	m.Truncated = m.Truncated || o.Truncated
 	if o.Parallelism > m.Parallelism {
@@ -169,6 +187,12 @@ func (m *Metrics) String() string {
 		if m.EvalParallelForks > 0 {
 			w("eval forks        %d", m.EvalParallelForks)
 		}
+	}
+	if m.Shards > 0 {
+		w("shards            %d searched, %d pruned", m.Shards, m.ShardsPruned)
+	}
+	if m.BoundSkipped > 0 || m.BoundStops > 0 {
+		w("bound cutoff      %d queries skipped, %d shard stops", m.BoundSkipped, m.BoundStops)
 	}
 	w("results emitted   %d", m.ResultsEmitted)
 	w("parallelism       %d", m.Parallelism)

@@ -33,7 +33,7 @@ type resultCache struct {
 type cacheEntry struct {
 	key     string
 	gen     uint64
-	results []approxql.Result // never mutated after insertion
+	results []approxql.Hit // never mutated after insertion
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -50,7 +50,7 @@ func cacheKey(fingerprint string, n int, strategy approxql.Strategy) string {
 }
 
 // get returns the cached ranking for key, if present.
-func (c *resultCache) get(key string) ([]approxql.Result, bool) {
+func (c *resultCache) get(key string) ([]approxql.Hit, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
@@ -69,7 +69,7 @@ func (c *resultCache) get(key string) ([]approxql.Result, bool) {
 
 // put stores a complete ranking. The caller must not modify results
 // afterwards.
-func (c *resultCache) put(key string, results []approxql.Result) {
+func (c *resultCache) put(key string, results []approxql.Hit) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {

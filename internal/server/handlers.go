@@ -37,7 +37,12 @@ type QueryRequest struct {
 type QueryResult struct {
 	// Rank is the 1-based position in the ranking.
 	Rank int `json:"rank"`
-	// Root identifies the matching subtree's root node.
+	// Doc identifies the corpus document containing the match.
+	Doc approxql.DocID `json:"doc"`
+	// DocName is the document's external name, when the corpus has one.
+	DocName string `json:"doc_name,omitempty"`
+	// Root identifies the matching subtree's root node within the
+	// document's shard.
 	Root approxql.NodeID `json:"root"`
 	// Cost is the transformation cost; 0 is an exact match.
 	Cost int64 `json:"cost"`
@@ -148,7 +153,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var qm approxql.QueryMetrics
 	opts = append(opts, approxql.WithMetrics(&qm))
 
-	results, err := s.cfg.DB.SearchContext(ctx, req.Query, n, opts...)
+	results, err := s.corpus.SearchContext(ctx, req.Query, n, opts...)
 	s.metrics.mergeExec(&qm)
 	if err != nil {
 		switch {
@@ -171,7 +176,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryRequest,
 	canonical, fingerprint string, n int, strategy approxql.Strategy,
-	results []approxql.Result, cached bool, start time.Time) {
+	results []approxql.Hit, cached bool, start time.Time) {
 
 	resp := QueryResponse{
 		Query:       canonical,
@@ -183,14 +188,17 @@ func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryR
 		Results:     make([]QueryResult, len(results)),
 	}
 	for i, res := range results {
+		doc := s.corpus.Doc(res.Doc)
 		qr := QueryResult{
-			Rank: i + 1,
-			Root: res.Root,
-			Cost: int64(res.Cost),
-			Path: s.cfg.DB.Path(res.Root),
+			Rank:    i + 1,
+			Doc:     res.Doc,
+			DocName: doc.Name(),
+			Root:    res.Root,
+			Cost:    int64(res.Cost),
+			Path:    doc.Path(res.Root),
 		}
 		if req.Render {
-			qr.Subtree = s.cfg.DB.Render(res.Root)
+			qr.Subtree = doc.RenderNode(res.Root)
 		}
 		resp.Results[i] = qr
 	}
@@ -199,15 +207,22 @@ func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryR
 
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Nodes    int    `json:"nodes"`
-	Inflight int64  `json:"inflight"`
+	Status string `json:"status"`
+	Nodes  int    `json:"nodes"`
+	// Docs and Shards describe the served corpus (a plain database is one
+	// shard).
+	Docs     int   `json:"docs"`
+	Shards   int   `json:"shards"`
+	Inflight int64 `json:"inflight"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.corpus.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
-		Nodes:    s.cfg.DB.Len(),
+		Nodes:    st.Nodes,
+		Docs:     st.Docs,
+		Shards:   st.Shards,
 		Inflight: s.admission.inflight.Load(),
 	})
 }

@@ -38,8 +38,14 @@ import (
 // Config tunes a Server. The zero value of every field selects a
 // production-safe default.
 type Config struct {
-	// DB is the shared database queries run against (required).
+	// DB is the shared database queries run against. Exactly one of DB
+	// and Corpus must be set; a DB is served as the one-shard corpus
+	// special case (identical rankings — document order coincides with
+	// node order in a single shard).
 	DB *approxql.Database
+	// Corpus is the shared sharded corpus queries run against. Responses
+	// carry each hit's document id and name.
+	Corpus *approxql.Corpus
 	// Model supplies the delete/rename costs applied to every query; nil
 	// allows insertions only (exact containment with context ranking).
 	Model *approxql.CostModel
@@ -98,7 +104,10 @@ func (c Config) withDefaults() Config {
 // Handler (or Serve), and stop it with Shutdown. All methods are safe for
 // concurrent use.
 type Server struct {
-	cfg       Config
+	cfg Config
+	// corpus is the resolved evaluation target: Config.Corpus, or
+	// Config.DB wrapped as a one-shard corpus.
+	corpus    *approxql.Corpus
 	admission *admission
 	cache     *resultCache
 	metrics   *metrics
@@ -112,14 +121,25 @@ type Server struct {
 	testHookSearch func()
 }
 
-// New returns a Server for cfg. It fails when no database is configured.
+// New returns a Server for cfg. It fails when no evaluation target is
+// configured, or both are.
 func New(cfg Config) (*Server, error) {
-	if cfg.DB == nil {
-		return nil, errors.New("server: Config.DB is required")
+	corpus := cfg.Corpus
+	switch {
+	case cfg.DB == nil && corpus == nil:
+		return nil, errors.New("server: one of Config.DB and Config.Corpus is required")
+	case cfg.DB != nil && corpus != nil:
+		return nil, errors.New("server: Config.DB and Config.Corpus are mutually exclusive")
+	case corpus == nil:
+		var err error
+		if corpus, err = cfg.DB.Corpus(); err != nil {
+			return nil, err
+		}
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
+		corpus:    corpus,
 		admission: newAdmission(cfg.MaxInflight),
 		cache:     newResultCache(cfg.CacheEntries),
 		metrics:   newMetrics(),

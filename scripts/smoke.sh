@@ -23,7 +23,7 @@ fail() {
 }
 
 echo "smoke: building binaries"
-go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve
+go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve ./cmd/axql
 
 echo "smoke: generating a small collection"
 "$workdir/axqlgen" -seed 7 -elements 2000 -words 8000 -names 20 -vocab 200 \
@@ -97,5 +97,66 @@ fi
 wait "$server_pid" || fail "server exited non-zero"
 server_pid=""
 grep -q 'shutting down' "$workdir/server.log" || fail "no drain message logged"
+
+# --- multi-document corpus: index with -shard-docs, query, serve -----------
+
+echo "smoke: corpus: generating three documents"
+for i in 1 2 3; do
+    "$workdir/axqlgen" -seed $((i + 20)) -elements 800 -words 3000 -names 20 \
+        -vocab 200 -out "$workdir/doc$i.xml" -q
+done
+
+echo "smoke: corpus: indexing with -shard-docs"
+"$workdir/axqlindex" -out "$workdir/corpus.axql" -shard-docs 1 -q \
+    "$workdir/doc1.xml" "$workdir/doc2.xml" "$workdir/doc3.xml"
+[ -f "$workdir/corpus.axql" ] || fail "corpus bundle not written"
+head -1 "$workdir/corpus.axql" | grep -q 'axql-bundle v3' ||
+    fail "corpus bundle is not a v3 manifest"
+
+cname=$(grep -o '<n[0-9]*' "$workdir/doc1.xml" | sort | uniq -c | sort -rn |
+    head -1 | tr -d ' <' | sed 's/^[0-9]*//')
+[ -n "$cname" ] || fail "no element names found in corpus data"
+
+echo "smoke: corpus: querying <$cname> via axql"
+"$workdir/axql" -db "$workdir/corpus.axql" -n 3 "$cname" >"$workdir/corpus.out" ||
+    fail "axql over corpus bundle failed"
+grep -q 'doc1.xml' "$workdir/corpus.out" ||
+    fail "corpus ranking lacks document names: $(cat "$workdir/corpus.out")"
+
+echo "smoke: corpus: starting axqlserve over the corpus bundle"
+: >"$workdir/server.log"
+"$workdir/axqlserve" -db "$workdir/corpus.axql" -addr 127.0.0.1:0 -log text \
+    >/dev/null 2>"$workdir/server.log" &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    if addr=$(grep -o 'listening on [^ ]*' "$workdir/server.log" 2>/dev/null | head -1); then
+        base="http://${addr#listening on }"
+        break
+    fi
+    kill -0 "$server_pid" 2>/dev/null || fail "corpus server exited during startup"
+    sleep 0.1
+done
+[ -n "$base" ] || fail "corpus server never reported its address"
+
+echo "smoke: corpus: checking /healthz shape"
+health=$(curl -sSf "$base/healthz")
+echo "$health" | grep -q '"docs":3' || fail "healthz docs wrong: $health"
+echo "$health" | grep -q '"shards":3' || fail "healthz shards wrong: $health"
+
+echo "smoke: corpus: querying /query for document fields"
+body="{\"query\":\"$cname\",\"n\":5}"
+response=$(curl -sSf -X POST -H 'Content-Type: application/json' -d "$body" "$base/query")
+echo "$response" | grep -q '"rank":1' || fail "no ranked corpus results in: $response"
+echo "$response" | grep -q '"doc_name":' || fail "no document names in: $response"
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+wait "$server_pid" || fail "corpus server exited non-zero"
+server_pid=""
 
 echo "smoke: OK"
