@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-smoke fuzz-smoke
+.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke fuzz-smoke
 
 all: check
 
@@ -57,6 +57,23 @@ bench-eval:
 # fan-out parallelism sweep; each run appends an entry to BENCH_corpus.json.
 bench-corpus:
 	$(GO) run ./cmd/axqlbench -suite corpus -scale 0.05 -json BENCH_corpus.json
+
+# Serving load harness (docs/LOADTEST.md): a 3×3 open-loop (arrival rate ×
+# admission bound) sweep at 0.1 scale, then a single full-scale cell; each
+# run appends an entry to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/axqlbench -suite serve -scale 0.1 -queries 5 \
+	    -rates 50,200,800 -inflight 2,8,-1 -duration 2s -mix all \
+	    -json BENCH_serve.json
+	$(GO) run ./cmd/axqlbench -suite serve -scale 1 -queries 5 \
+	    -rates 100 -inflight 0 -duration 3s -mix paper \
+	    -json BENCH_serve.json
+
+# CI gate for the load harness: one tiny open-loop and one closed-loop cell
+# must produce non-zero throughput with no 5xx or transport errors.
+bench-serve-smoke:
+	$(GO) run ./cmd/axqlbench -suite serve -scale 0.01 -queries 3 \
+	    -rates 40,0 -inflight 0 -duration 1s -check
 
 # Short fuzz pass over the corpus-bundle manifest reader; longer local
 # runs: go test -fuzz FuzzCorpusManifest ./internal/backend/.

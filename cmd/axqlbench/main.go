@@ -7,6 +7,14 @@
 //	axqlbench                      # all three panels at 5% of the paper's scale
 //	axqlbench -figure 7a           # one panel
 //	axqlbench -scale 1             # the paper's full 1M-element collection
+//
+// Beyond the paper's tables, -suite selects further harnesses: eval
+// (time/allocation suite), corpus (sharded scatter-gather sweep), and serve
+// — the HTTP serving load harness (docs/LOADTEST.md) with open-loop arrival
+// rates, closed-loop concurrency sweeps, and query-log record/replay:
+//
+//	axqlbench -suite serve -rates 50,200,800 -inflight 2,8,-1   # scenario matrix
+//	axqlbench -suite serve -target http://host:8080 -replay q.jsonl
 package main
 
 import (

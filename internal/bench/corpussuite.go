@@ -8,6 +8,7 @@ import (
 	"approxql"
 	"approxql/internal/datagen"
 	"approxql/internal/querygen"
+	"approxql/internal/xmltree"
 )
 
 // CorpusMeasurement is one point of the corpus suite (`axqlbench -suite
@@ -47,6 +48,10 @@ type CorpusRunner struct {
 	cfg     Config
 	docsXML []string
 	sets    map[string]map[int][]*querygen.Generated
+	// tree is the combined collection the query generator drew labels
+	// from; the serve suite builds further generators over it for the
+	// extended pattern mixes.
+	tree *xmltree.Tree
 }
 
 // corpusData derives a multi-document collection from the paper's scale
@@ -120,6 +125,7 @@ func NewCorpusRunner(cfg Config, scale float64) (*CorpusRunner, error) {
 		cfg:     cfg,
 		docsXML: docs,
 		sets:    make(map[string]map[int][]*querygen.Generated),
+		tree:    db.Tree(),
 	}
 	for _, p := range querygen.PaperPatterns {
 		r.sets[p.Name] = make(map[int][]*querygen.Generated)

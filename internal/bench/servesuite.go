@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"approxql"
+	"approxql/internal/load"
+	"approxql/internal/querygen"
+	"approxql/internal/server"
+)
+
+// ServeMixes names the query mixes the serve suite can generate. "paper" is
+// the Section 8.1 pattern set; the others stress shapes the paper's set
+// leaves out: deeper paths, wider branching, or-heavy Boolean structure,
+// and text-heavy conjunctions. "all" is the union.
+var ServeMixes = []string{"paper", "extended", "orheavy", "textheavy", "deep", "all"}
+
+// mixPatterns resolves a mix name to its pattern set.
+func mixPatterns(mix string) ([]querygen.Pattern, error) {
+	switch mix {
+	case "paper":
+		return querygen.PaperPatterns, nil
+	case "extended":
+		return querygen.ExtendedPatterns, nil
+	case "all":
+		return append(append([]querygen.Pattern{}, querygen.PaperPatterns...), querygen.ExtendedPatterns...), nil
+	}
+	if p, ok := querygen.FindPattern(mix); ok {
+		return []querygen.Pattern{p}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown serve mix %q (want paper, extended, all, or a pattern name)", mix)
+}
+
+// BuildServePool generates the distinct-query pool a serve-suite stream
+// samples from: perPattern queries for each pattern of the mix, each paired
+// with a result bound cycling through nValues. The pool is deterministic in
+// (mix, perPattern, nValues, seed); GenStream then owns arrival times and
+// popularity skew.
+func (r *CorpusRunner) BuildServePool(mix string, perPattern int, nValues []int, seed int64) ([]load.Item, error) {
+	pats, err := mixPatterns(mix)
+	if err != nil {
+		return nil, err
+	}
+	if perPattern <= 0 {
+		perPattern = 10
+	}
+	if len(nValues) == 0 {
+		nValues = []int{10}
+	}
+	// A fresh generator per pool keeps the pool independent of which other
+	// suites ran first: same seed, same pool, always.
+	qg, err := querygen.New(r.tree, seed)
+	if err != nil {
+		return nil, err
+	}
+	var pool []load.Item
+	for _, p := range pats {
+		// Renamings stay at 0: the serve suite stresses the service layer,
+		// and per-query cost tables cannot ride along an HTTP request.
+		set, err := qg.GenerateSet(p, 0, perPattern)
+		if err != nil {
+			return nil, err
+		}
+		for i, g := range set {
+			q := g.Query.String()
+			fp, err := approxql.Fingerprint(q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: generated query %q: %w", q, err)
+			}
+			pool = append(pool, load.Item{
+				Query:       q,
+				N:           nValues[i%len(nValues)],
+				Strategy:    "auto",
+				Fingerprint: fp,
+			})
+		}
+	}
+	return pool, nil
+}
+
+// ServeCell is one point of the serve-suite scenario matrix: an offered
+// load (open loop) or a concurrency level (closed loop) against one server
+// configuration.
+type ServeCell struct {
+	// RateQPS is the open-loop Poisson arrival rate; 0 selects closed-loop
+	// mode driven by Concurrency workers.
+	RateQPS float64
+	// Concurrency is the closed-loop worker count (closed loop), or the
+	// in-flight cap on the generator side (open loop, 0 = unbounded).
+	Concurrency int
+	// MaxInflight is the server's admission bound (server.Config semantics:
+	// 0 = default, -1 = unlimited).
+	MaxInflight int
+	// CacheEntries is the server's result-cache size (0 = server default,
+	// -1 = disabled).
+	CacheEntries int
+}
+
+// ServeResult is a ServeCell plus its measured Report.
+type ServeResult struct {
+	Cell   ServeCell
+	Report load.Report
+}
+
+// ServeOptions fixes the workload shared by every cell of a RunServeMatrix
+// call.
+type ServeOptions struct {
+	// Mix, PerPattern, NValues, Seed parameterize BuildServePool.
+	Mix        string
+	PerPattern int
+	NValues    []int
+	Seed       int64
+	// ZipfSkew skews query popularity (> 1); 0 or 1 keeps it uniform.
+	ZipfSkew float64
+	// Duration bounds each cell's run.
+	Duration time.Duration
+	// Timeout is the per-request client timeout.
+	Timeout time.Duration
+	// Replay, when non-nil, bypasses pool generation entirely: each cell
+	// fires exactly this recorded stream (open loop honors its at_ms
+	// offsets; closed loop uses only its query sequence).
+	Replay []load.Item
+}
+
+// RunServeCell starts an in-process server over the corpus, drives one
+// cell's load against it, and tears it down. The stream is regenerated from
+// the same seed for every cell, so cells differ only in the knob under
+// test.
+func (r *CorpusRunner) RunServeCell(ctx context.Context, corpus *approxql.Corpus, cell ServeCell, opts ServeOptions) (ServeResult, error) {
+	stream, err := r.ServeStream(cell, opts)
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	srv, err := server.New(server.Config{
+		Corpus:       corpus,
+		MaxInflight:  cell.MaxInflight,
+		CacheEntries: cell.CacheEntries,
+	})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := load.NewClient(ts.URL, cell.Concurrency)
+	rep := load.Run(ctx, client, stream, load.Options{
+		OpenLoop:    cell.RateQPS > 0,
+		Concurrency: cell.Concurrency,
+		Duration:    opts.Duration,
+		Timeout:     opts.Timeout,
+	})
+	return ServeResult{Cell: cell, Report: rep}, nil
+}
+
+// ServeStream builds the request stream for one cell: a replay passes
+// through unchanged, otherwise a Poisson (open loop) or unpaced (closed
+// loop) stream is sampled from the deterministic pool.
+func (r *CorpusRunner) ServeStream(cell ServeCell, opts ServeOptions) ([]load.Item, error) {
+	if opts.Replay != nil {
+		return opts.Replay, nil
+	}
+	pool, err := r.BuildServePool(opts.Mix, opts.PerPattern, opts.NValues, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	scfg := load.StreamConfig{
+		Rate:     cell.RateQPS,
+		Duration: opts.Duration,
+		ZipfSkew: opts.ZipfSkew,
+		Seed:     opts.Seed,
+	}
+	if cell.RateQPS <= 0 {
+		// Closed loop ignores arrival times; generate enough distinct
+		// draws that the duration-bounded run cycles a realistic sequence.
+		scfg.Rate = 0
+		scfg.Count = 4 * len(pool)
+	}
+	return load.GenStream(pool, scfg), nil
+}
+
+// RunServeMatrix runs the full scenario matrix: the cross product of rates
+// × max-inflight × cache sizes (one cell per combination), each against a
+// freshly configured server over the shared corpus. Rate 0 cells run closed
+// loop at the given concurrency.
+func (r *CorpusRunner) RunServeMatrix(ctx context.Context, corpus *approxql.Corpus,
+	rates []float64, concurrency int, maxInflights, cacheSizes []int, opts ServeOptions) ([]ServeResult, error) {
+
+	if len(maxInflights) == 0 {
+		maxInflights = []int{0}
+	}
+	if len(cacheSizes) == 0 {
+		cacheSizes = []int{0}
+	}
+	var out []ServeResult
+	for _, rate := range rates {
+		for _, mi := range maxInflights {
+			for _, cs := range cacheSizes {
+				cell := ServeCell{
+					RateQPS:      rate,
+					Concurrency:  concurrency,
+					MaxInflight:  mi,
+					CacheEntries: cs,
+				}
+				res, err := r.RunServeCell(ctx, corpus, cell, opts)
+				if err != nil {
+					return out, err
+				}
+				out = append(out, res)
+				if ctx.Err() != nil {
+					return out, ctx.Err()
+				}
+			}
+		}
+	}
+	return out, nil
+}

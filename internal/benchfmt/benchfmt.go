@@ -1,0 +1,200 @@
+// Package benchfmt validates the recorded benchmark files (BENCH_*.json)
+// against checked-in schemas, so the append-an-entry contract every suite
+// relies on cannot drift silently: a field rename, a unit change, or a
+// type regression in one appender fails the schema tests instead of
+// corrupting the history the plots are built from.
+//
+// The validator implements the small JSON-Schema subset the schemas under
+// schemas/ actually use — type, properties, required, items,
+// additionalProperties, enum, minimum, minItems, and format: "date-time" —
+// rather than pulling in a full JSON-Schema dependency.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// Schema is one node of a parsed schema document.
+type Schema struct {
+	// Type is one of "object", "array", "string", "number", "integer",
+	// "boolean"; empty accepts any type.
+	Type string `json:"type"`
+	// Properties/Required/AdditionalProperties apply to objects. A nil
+	// AdditionalProperties permits unknown keys (JSON-Schema default);
+	// explicit false rejects them.
+	Properties           map[string]*Schema `json:"properties"`
+	Required             []string           `json:"required"`
+	AdditionalProperties *bool              `json:"additionalProperties"`
+	// Items and MinItems apply to arrays.
+	Items    *Schema `json:"items"`
+	MinItems *int    `json:"minItems"`
+	// Format supports "date-time" (RFC 3339) on strings.
+	Format string `json:"format"`
+	// Minimum applies to numbers and integers.
+	Minimum *float64 `json:"minimum"`
+	// Enum restricts the value to one of the listed constants.
+	Enum []any `json:"enum"`
+}
+
+// ParseSchema parses a schema document.
+func ParseSchema(raw []byte) (*Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("benchfmt: bad schema: %w", err)
+	}
+	return &s, nil
+}
+
+// LoadSchema reads and parses a schema file.
+func LoadSchema(path string) (*Schema, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSchema(raw)
+}
+
+// Validate checks a decoded JSON value (the encoding/json any mapping:
+// map[string]any, []any, float64, string, bool, nil) against the schema.
+func (s *Schema) Validate(v any) error {
+	return s.validate(v, "$")
+}
+
+func (s *Schema) validate(v any, path string) error {
+	if len(s.Enum) > 0 {
+		ok := false
+		for _, e := range s.Enum {
+			if e == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s: value %v not in enum %v", path, v, s.Enum)
+		}
+	}
+	switch s.Type {
+	case "":
+		return nil
+	case "object":
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want object", path, v)
+		}
+		for _, req := range s.Required {
+			if _, ok := obj[req]; !ok {
+				return fmt.Errorf("%s: missing required field %q", path, req)
+			}
+		}
+		for k, val := range obj {
+			sub, ok := s.Properties[k]
+			if !ok {
+				if s.AdditionalProperties != nil && !*s.AdditionalProperties {
+					return fmt.Errorf("%s: unknown field %q", path, k)
+				}
+				continue
+			}
+			if err := sub.validate(val, path+"."+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "array":
+		arr, ok := v.([]any)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want array", path, v)
+		}
+		if s.MinItems != nil && len(arr) < *s.MinItems {
+			return fmt.Errorf("%s: %d items, want at least %d", path, len(arr), *s.MinItems)
+		}
+		if s.Items != nil {
+			for i, el := range arr {
+				if err := s.Items.validate(el, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case "string":
+		str, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want string", path, v)
+		}
+		if s.Format == "date-time" {
+			if _, err := time.Parse(time.RFC3339, str); err != nil {
+				return fmt.Errorf("%s: %q is not an RFC 3339 date-time", path, str)
+			}
+		}
+		return nil
+	case "number", "integer":
+		num, ok := v.(float64)
+		if !ok {
+			return fmt.Errorf("%s: got %T, want %s", path, v, s.Type)
+		}
+		if s.Type == "integer" && num != math.Trunc(num) {
+			return fmt.Errorf("%s: %v is not an integer", path, num)
+		}
+		if s.Minimum != nil && num < *s.Minimum {
+			return fmt.Errorf("%s: %v is below minimum %v", path, num, *s.Minimum)
+		}
+		return nil
+	case "boolean":
+		if _, ok := v.(bool); !ok {
+			return fmt.Errorf("%s: got %T, want boolean", path, v)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: schema has unsupported type %q", path, s.Type)
+}
+
+// ValidateBenchFile validates a recorded benchmark file against its schema
+// and additionally enforces the append-only contract the BENCH_*.json files
+// share: the top level is a run array whose "date" stamps never decrease —
+// an out-of-order date means an entry was edited or spliced, not appended.
+func ValidateBenchFile(schemaPath, dataPath string) error {
+	schema, err := LoadSchema(schemaPath)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		return err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("%s: %w", dataPath, err)
+	}
+	if err := schema.Validate(v); err != nil {
+		return fmt.Errorf("%s: %w", dataPath, err)
+	}
+
+	entries, ok := v.([]any)
+	if !ok {
+		return fmt.Errorf("%s: top level is not a run array", dataPath)
+	}
+	var prev time.Time
+	for i, e := range entries {
+		obj, ok := e.(map[string]any)
+		if !ok {
+			continue
+		}
+		ds, ok := obj["date"].(string)
+		if !ok {
+			continue
+		}
+		d, err := time.Parse(time.RFC3339, ds)
+		if err != nil {
+			return fmt.Errorf("%s: entry %d: bad date %q", dataPath, i, ds)
+		}
+		if d.Before(prev) {
+			return fmt.Errorf("%s: entry %d: date %s precedes entry %d's %s (runs must be appended in order)",
+				dataPath, i, ds, i-1, prev.Format(time.RFC3339))
+		}
+		prev = d
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustSchema(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := ParseSchema([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func decode(t *testing.T, src string) any {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(src), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestValidateTypes(t *testing.T) {
+	s := mustSchema(t, `{
+		"type": "object",
+		"additionalProperties": false,
+		"required": ["name", "count"],
+		"properties": {
+			"name":  {"type": "string"},
+			"count": {"type": "integer", "minimum": 0},
+			"ratio": {"type": "number"},
+			"on":    {"type": "boolean"},
+			"tags":  {"type": "array", "items": {"type": "string"}, "minItems": 1},
+			"when":  {"type": "string", "format": "date-time"},
+			"mode":  {"enum": ["a", "b"]}
+		}
+	}`)
+
+	valid := `{"name":"x","count":3,"ratio":0.5,"on":true,"tags":["t"],"when":"2026-08-09T10:00:00Z","mode":"a"}`
+	if err := s.Validate(decode(t, valid)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+
+	for _, tc := range []struct{ name, doc, wantErr string }{
+		{"missing required", `{"name":"x"}`, `missing required field "count"`},
+		{"wrong type", `{"name":1,"count":3}`, "want string"},
+		{"non-integer", `{"name":"x","count":3.5}`, "not an integer"},
+		{"below minimum", `{"name":"x","count":-1}`, "below minimum"},
+		{"unknown field", `{"name":"x","count":1,"zzz":1}`, `unknown field "zzz"`},
+		{"bad array item", `{"name":"x","count":1,"tags":[1]}`, "want string"},
+		{"empty array", `{"name":"x","count":1,"tags":[]}`, "at least 1"},
+		{"bad date", `{"name":"x","count":1,"when":"yesterday"}`, "RFC 3339"},
+		{"bad enum", `{"name":"x","count":1,"mode":"c"}`, "not in enum"},
+		{"bad bool", `{"name":"x","count":1,"on":"yes"}`, "want boolean"},
+	} {
+		err := s.Validate(decode(t, tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateErrorPathsName(t *testing.T) {
+	s := mustSchema(t, `{"type":"array","items":{"type":"object","properties":{"points":{"type":"array","items":{"type":"object","properties":{"n":{"type":"integer"}}}}}}}`)
+	err := s.Validate(decode(t, `[{"points":[{"n":1},{"n":"x"}]}]`))
+	if err == nil || !strings.Contains(err.Error(), "$[0].points[1].n") {
+		t.Errorf("err = %v, want a $[0].points[1].n path", err)
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateBenchFileMonotoneDates(t *testing.T) {
+	schema := writeTemp(t, "s.json", `{"type":"array","items":{"type":"object","properties":{"date":{"type":"string","format":"date-time"}}}}`)
+
+	ok := writeTemp(t, "ok.json", `[{"date":"2026-01-01T00:00:00Z"},{"date":"2026-01-02T00:00:00Z"}]`)
+	if err := ValidateBenchFile(schema, ok); err != nil {
+		t.Errorf("monotone file rejected: %v", err)
+	}
+
+	bad := writeTemp(t, "bad.json", `[{"date":"2026-01-02T00:00:00Z"},{"date":"2026-01-01T00:00:00Z"}]`)
+	err := ValidateBenchFile(schema, bad)
+	if err == nil || !strings.Contains(err.Error(), "precedes") {
+		t.Errorf("out-of-order dates: err = %v", err)
+	}
+}
+
+// TestRepoBenchFilesValidate is the retrofit gate: every recorded benchmark
+// file checked into the repository must validate against its schema. A file
+// that does not exist yet is skipped, not failed — suites are added over
+// time.
+func TestRepoBenchFilesValidate(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for data, schema := range map[string]string{
+		"BENCH_backends.json": "bench_backends.schema.json",
+		"BENCH_eval.json":     "bench_eval.schema.json",
+		"BENCH_corpus.json":   "bench_corpus.schema.json",
+		"BENCH_serve.json":    "bench_serve.schema.json",
+	} {
+		dataPath := filepath.Join(root, data)
+		if _, err := os.Stat(dataPath); os.IsNotExist(err) {
+			t.Logf("%s: not recorded yet, skipping", data)
+			continue
+		}
+		if err := ValidateBenchFile(filepath.Join(root, "schemas", schema), dataPath); err != nil {
+			t.Errorf("%s: %v", data, err)
+		}
+	}
+}

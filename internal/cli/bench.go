@@ -24,9 +24,10 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		queries  = fs.Int("queries", 10, "queries averaged per point")
 		seed     = fs.Int64("seed", 2002, "query-generation seed")
 		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
-		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json, BENCH_corpus.json)")
-		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series), eval (direct-evaluation time/allocation suite), or corpus (sharded scatter-gather sweep)")
+		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json, BENCH_corpus.json, BENCH_serve.json)")
+		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series), eval (direct-evaluation time/allocation suite), corpus (sharded scatter-gather sweep), or serve (HTTP serving load harness)")
 	)
+	sf := registerServeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,9 +45,11 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		return benchEvalSuite(cfg, *scale, *jsonOut, stdout, stderr)
 	case "corpus":
 		return benchCorpusSuite(cfg, *scale, *jsonOut, stdout, stderr)
+	case "serve":
+		return benchServeSuite(cfg, *scale, *jsonOut, sf, stdout, stderr)
 	case "figure7":
 	default:
-		return fmt.Errorf("axqlbench: unknown suite %q (want figure7, eval, or corpus)", *suite)
+		return fmt.Errorf("axqlbench: unknown suite %q (want figure7, eval, corpus, or serve)", *suite)
 	}
 
 	fmt.Fprintf(stderr, "generating collection (%d elements, %d words), backend=%s...\n",

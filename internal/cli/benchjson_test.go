@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"approxql/internal/benchfmt"
+)
+
+// TestBenchAppendersMatchSchemas runs each suite's appender on a tiny
+// workload and validates the produced file against the checked-in schema —
+// the same contract TestRepoBenchFilesValidate enforces on the recorded
+// files, applied at the point of production so a drifting appender fails
+// before it pollutes the history.
+func TestBenchAppendersMatchSchemas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	schemas := filepath.Join("..", "..", "schemas")
+	dir := t.TempDir()
+	run := func(schema string, args ...string) {
+		t.Helper()
+		var out, errBuf bytes.Buffer
+		if err := Bench(args, &out, &errBuf); err != nil {
+			t.Fatalf("Bench %v: %v\n%s", args, err, errBuf.String())
+		}
+		// args[len-1] is always the -json path by construction below.
+		if err := benchfmt.ValidateBenchFile(filepath.Join(schemas, schema), args[len(args)-1]); err != nil {
+			t.Errorf("%s: %v", schema, err)
+		}
+	}
+
+	run("bench_backends.schema.json",
+		"-scale", "0.0004", "-queries", "1", "-figure", "7a",
+		"-json", filepath.Join(dir, "BENCH_backends.json"))
+	run("bench_eval.schema.json",
+		"-suite", "eval", "-scale", "0.0004", "-queries", "1",
+		"-json", filepath.Join(dir, "BENCH_eval.json"))
+	run("bench_corpus.schema.json",
+		"-suite", "corpus", "-scale", "0.005", "-queries", "1",
+		"-json", filepath.Join(dir, "BENCH_corpus.json"))
+	run("bench_serve.schema.json",
+		"-suite", "serve", "-scale", "0.005", "-queries", "2", "-duration", "300ms",
+		"-rates", "20", "-shards", "2", "-concurrency", "8",
+		"-json", filepath.Join(dir, "BENCH_serve.json"))
+}

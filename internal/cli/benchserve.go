@@ -1,0 +1,360 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"approxql/internal/bench"
+	"approxql/internal/load"
+)
+
+// serveFlags holds the `-suite serve` knobs of the axqlbench flag set.
+type serveFlags struct {
+	rates       *string
+	inflight    *string
+	caches      *string
+	duration    *time.Duration
+	mix         *string
+	zipf        *float64
+	nvalues     *string
+	concurrency *int
+	shards      *int
+	record      *string
+	replay      *string
+	target      *string
+	check       *bool
+}
+
+// registerServeFlags adds the serve-suite flags to the axqlbench flag set.
+func registerServeFlags(fs *flag.FlagSet) serveFlags {
+	return serveFlags{
+		rates:       fs.String("rates", "10,40,160", "serve: comma-separated open-loop arrival rates in queries/s (0 = closed loop at -concurrency)"),
+		inflight:    fs.String("inflight", "0", "serve: comma-separated server -max-inflight values (0 = server default, -1 = unlimited)"),
+		caches:      fs.String("result-caches", "0", "serve: comma-separated server result-cache sizes (0 = server default, -1 = disabled)"),
+		duration:    fs.Duration("duration", 2*time.Second, "serve: wall-clock budget per matrix cell"),
+		mix:         fs.String("mix", "paper", "serve: query mix: paper, extended, all, or a pattern name (deep, wide, orheavy, textheavy, pattern1..3)"),
+		zipf:        fs.Float64("zipf", 1.3, "serve: zipf skew of query popularity (<=1 = uniform)"),
+		nvalues:     fs.String("nvalues", "1,10,100", "serve: comma-separated result bounds cycled over the query pool"),
+		concurrency: fs.Int("concurrency", 32, "serve: closed-loop workers (rate 0 cells)"),
+		shards:      fs.Int("shards", 4, "serve: corpus shard count for the in-process server"),
+		record:      fs.String("record", "", "serve: write the generated stream to this JSONL file (single-cell matrix only)"),
+		replay:      fs.String("replay", "", "serve: fire this recorded JSONL stream instead of generating one"),
+		target:      fs.String("target", "", "serve: base URL of a live axqlserve to load instead of an in-process server (requires -replay)"),
+		check:       fs.Bool("check", false, "serve: exit non-zero unless every cell has non-zero throughput and no 5xx or transport errors"),
+	}
+}
+
+// benchServeSuite runs the serving load harness: a scenario matrix of
+// (arrival rate × -max-inflight × result-cache size) cells against an
+// in-process server over a sharded corpus, or a recorded stream replayed
+// against a live server (-target).
+func benchServeSuite(cfg bench.Config, scale float64, jsonOut string, sf serveFlags, stdout, stderr io.Writer) error {
+	rates, err := parseFloatList(*sf.rates)
+	if err != nil {
+		return fmt.Errorf("axqlbench: -rates: %w", err)
+	}
+	inflights, err := parseSignedIntList(*sf.inflight)
+	if err != nil {
+		return fmt.Errorf("axqlbench: -inflight: %w", err)
+	}
+	caches, err := parseSignedIntList(*sf.caches)
+	if err != nil {
+		return fmt.Errorf("axqlbench: -result-caches: %w", err)
+	}
+	nvals, err := parseIntList(*sf.nvalues)
+	if err != nil {
+		return fmt.Errorf("axqlbench: -nvalues: %w", err)
+	}
+
+	opts := bench.ServeOptions{
+		Mix:        *sf.mix,
+		PerPattern: cfg.QueriesPerPoint,
+		NValues:    nvals,
+		Seed:       cfg.QuerySeed,
+		ZipfSkew:   *sf.zipf,
+		Duration:   *sf.duration,
+	}
+	mixLabel := opts.Mix
+	if *sf.replay != "" {
+		f, err := os.Open(*sf.replay)
+		if err != nil {
+			return err
+		}
+		items, err := load.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("axqlbench: -replay %s: %w", *sf.replay, err)
+		}
+		opts.Replay = items
+		mixLabel = "replay"
+	}
+
+	if *sf.target != "" {
+		return benchServeTarget(scale, jsonOut, sf, opts, mixLabel, stdout, stderr)
+	}
+
+	fmt.Fprintf(stderr, "generating multi-document collection (scale %g)...\n", scale)
+	start := time.Now()
+	runner, err := bench.NewCorpusRunner(cfg, scale)
+	if err != nil {
+		return err
+	}
+	corpus, err := runner.BuildCorpus(*sf.shards)
+	if err != nil {
+		return err
+	}
+	defer corpus.Close()
+	fmt.Fprintf(stderr, "ready in %v: %d documents, %d shards\n\n",
+		time.Since(start).Round(time.Millisecond), runner.NumDocs(), corpus.NumShards())
+
+	if *sf.record != "" {
+		if len(rates) != 1 || len(inflights) != 1 || len(caches) != 1 {
+			return fmt.Errorf("axqlbench: -record needs a single-cell matrix (one rate, one -inflight, one -result-caches value)")
+		}
+		cell := bench.ServeCell{RateQPS: rates[0], Concurrency: *sf.concurrency,
+			MaxInflight: inflights[0], CacheEntries: caches[0]}
+		stream, err := runner.ServeStream(cell, opts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*sf.record)
+		if err != nil {
+			return err
+		}
+		if err := load.WriteLog(f, stream); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d-request stream to %s\n", len(stream), *sf.record)
+		// Fire exactly what was recorded, so the run and its log agree.
+		opts.Replay = stream
+	}
+
+	results, err := runner.RunServeMatrix(context.Background(), corpus,
+		rates, *sf.concurrency, inflights, caches, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "=== serve suite (mix=%s, zipf=%g, %v/cell, %d docs, %d shards) ===\n",
+		mixLabel, *sf.zipf, *sf.duration, runner.NumDocs(), corpus.NumShards())
+	printServeResults(stdout, results)
+
+	if jsonOut != "" {
+		if err := appendServeJSON(jsonOut, scale, mixLabel, opts, runner.NumDocs(), corpus.NumShards(), results); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d cells to %s\n", len(results), jsonOut)
+	}
+	if *sf.check {
+		return checkServeResults(results)
+	}
+	return nil
+}
+
+// benchServeTarget replays a recorded stream against a live server instead
+// of an in-process one. Only replay mode is offered: without a corpus there
+// is no tree to generate queries from.
+func benchServeTarget(scale float64, jsonOut string, sf serveFlags, opts bench.ServeOptions, mixLabel string, stdout, stderr io.Writer) error {
+	if opts.Replay == nil {
+		return fmt.Errorf("axqlbench: -target needs -replay (a recorded stream; a live server offers no query pool to generate from)")
+	}
+	openLoop := false
+	for _, it := range opts.Replay {
+		if it.AtMS > 0 {
+			openLoop = true
+			break
+		}
+	}
+	client := load.NewClient(strings.TrimRight(*sf.target, "/"), *sf.concurrency)
+	fmt.Fprintf(stderr, "replaying %d requests against %s (%s loop)...\n",
+		len(opts.Replay), *sf.target, map[bool]string{true: "open", false: "closed"}[openLoop])
+	rep := load.Run(context.Background(), client, opts.Replay, load.Options{
+		OpenLoop:    openLoop,
+		Concurrency: *sf.concurrency,
+		Timeout:     opts.Timeout,
+	})
+	results := []bench.ServeResult{{
+		Cell:   bench.ServeCell{Concurrency: *sf.concurrency},
+		Report: rep,
+	}}
+	fmt.Fprintf(stdout, "=== serve suite (replay of %d requests against %s) ===\n", len(opts.Replay), *sf.target)
+	printServeResults(stdout, results)
+	if jsonOut != "" {
+		if err := appendServeJSON(jsonOut, scale, mixLabel, opts, 0, 0, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded 1 cell to %s\n", jsonOut)
+	}
+	if *sf.check {
+		return checkServeResults(results)
+	}
+	return nil
+}
+
+// printServeResults renders the matrix table.
+func printServeResults(w io.Writer, results []bench.ServeResult) {
+	fmt.Fprintf(w, "%8s %5s %9s %6s %6s %6s %5s %5s %4s %9s %9s %9s %9s %10s %6s\n",
+		"rate", "conc", "inflight", "cache", "sent", "200", "429", "504", "err",
+		"p50_ms", "p90_ms", "p99_ms", "max_ms", "qps", "hit%")
+	for _, r := range results {
+		rate := "closed"
+		if r.Cell.RateQPS > 0 {
+			rate = fmt.Sprintf("%g", r.Cell.RateQPS)
+		}
+		fmt.Fprintf(w, "%8s %5d %9d %6d %6d %6d %5d %5d %4d %9.2f %9.2f %9.2f %9.2f %10.1f %6.1f\n",
+			rate, r.Cell.Concurrency, r.Cell.MaxInflight, r.Cell.CacheEntries,
+			r.Report.Sent, r.Report.OK, r.Report.Rejected, r.Report.Timeouts,
+			r.Report.Errors+r.Report.Other,
+			r.Report.Percentile(0.50), r.Report.Percentile(0.90), r.Report.Percentile(0.99),
+			r.Report.MaxLatency(), r.Report.Throughput(), 100*r.Report.CacheHitRate())
+	}
+}
+
+// checkServeResults enforces the smoke gate: every cell produced successful
+// responses and nothing failed outside the modeled 429/504 modes.
+func checkServeResults(results []bench.ServeResult) error {
+	for _, r := range results {
+		if r.Report.OK == 0 {
+			return fmt.Errorf("axqlbench: check failed: cell rate=%g inflight=%d cache=%d had zero successful responses",
+				r.Cell.RateQPS, r.Cell.MaxInflight, r.Cell.CacheEntries)
+		}
+		if bad := r.Report.Errors + r.Report.Other + r.Report.Timeouts; bad > 0 {
+			return fmt.Errorf("axqlbench: check failed: cell rate=%g inflight=%d cache=%d had %d unexpected failures (transport/5xx/504)",
+				r.Cell.RateQPS, r.Cell.MaxInflight, r.Cell.CacheEntries, bad)
+		}
+	}
+	return nil
+}
+
+// serveEntry is one recorded `-suite serve` run.
+type serveEntry struct {
+	Date     string      `json:"date"`
+	Scale    float64     `json:"scale"`
+	Mix      string      `json:"mix"`
+	Seed     int64       `json:"seed"`
+	Zipf     float64     `json:"zipf"`
+	Docs     int         `json:"docs"`
+	Shards   int         `json:"shards"`
+	Cells    []serveCell `json:"cells"`
+	Duration float64     `json:"duration_s"`
+}
+
+type serveCell struct {
+	RateQPS       float64 `json:"rate_qps"`
+	Concurrency   int     `json:"concurrency"`
+	MaxInflight   int     `json:"max_inflight"`
+	CacheEntries  int     `json:"cache_entries"`
+	Sent          int     `json:"sent"`
+	Completed     int     `json:"completed"`
+	HTTP200       int     `json:"http_200"`
+	HTTP429       int     `json:"http_429"`
+	HTTP504       int     `json:"http_504"`
+	HTTPOther     int     `json:"http_other"`
+	Errors        int     `json:"errors"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	Rate429       float64 `json:"rate_429"`
+	Rate504       float64 `json:"rate_504"`
+	CacheHits     int     `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// appendServeJSON appends one serve-suite run to a JSON array file, creating
+// the file on first use.
+func appendServeJSON(path string, scale float64, mix string, opts bench.ServeOptions, docs, shards int, results []bench.ServeResult) error {
+	var entries []serveEntry
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("%s: existing file is not a run array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	e := serveEntry{
+		Date:     time.Now().UTC().Format(time.RFC3339),
+		Scale:    scale,
+		Mix:      mix,
+		Seed:     opts.Seed,
+		Zipf:     opts.ZipfSkew,
+		Docs:     docs,
+		Shards:   shards,
+		Duration: opts.Duration.Seconds(),
+	}
+	for _, r := range results {
+		e.Cells = append(e.Cells, serveCell{
+			RateQPS:       r.Cell.RateQPS,
+			Concurrency:   r.Cell.Concurrency,
+			MaxInflight:   r.Cell.MaxInflight,
+			CacheEntries:  r.Cell.CacheEntries,
+			Sent:          r.Report.Sent,
+			Completed:     r.Report.Completed,
+			HTTP200:       r.Report.OK,
+			HTTP429:       r.Report.Rejected,
+			HTTP504:       r.Report.Timeouts,
+			HTTPOther:     r.Report.Other,
+			Errors:        r.Report.Errors,
+			P50MS:         r.Report.Percentile(0.50),
+			P90MS:         r.Report.Percentile(0.90),
+			P99MS:         r.Report.Percentile(0.99),
+			MaxMS:         r.Report.MaxLatency(),
+			ThroughputQPS: r.Report.Throughput(),
+			Rate429:       r.Report.RejectRate(),
+			Rate504:       r.Report.TimeoutRate(),
+			CacheHits:     r.Report.CacheHits,
+			CacheHitRate:  r.Report.CacheHitRate(),
+		})
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// parseFloatList parses a comma-separated list of non-negative floats.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitComma(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseSignedIntList parses a comma-separated int list allowing the -1
+// sentinel (unlimited admission / disabled cache).
+func parseSignedIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitComma(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil || v < -1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

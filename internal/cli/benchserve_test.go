@@ -1,0 +1,145 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchServe runs `axqlbench -suite serve` with shared tiny-corpus settings
+// plus extra flags and fails the test on error.
+func benchServe(t *testing.T, extra ...string) (stdout, stderr string) {
+	t.Helper()
+	args := append([]string{"-suite", "serve", "-scale", "0.005", "-queries", "2",
+		"-duration", "300ms", "-shards", "2", "-concurrency", "8"}, extra...)
+	var out, errBuf bytes.Buffer
+	if err := Bench(args, &out, &errBuf); err != nil {
+		t.Fatalf("Bench %v: %v\n%s", args, err, errBuf.String())
+	}
+	return out.String(), errBuf.String()
+}
+
+// TestBenchServeRecordDeterministic pins the acceptance criterion that a
+// recorded stream is a pure function of its seed: two -record runs with the
+// same seed write byte-identical logs, and a different seed changes them.
+func TestBenchServeRecordDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	dir := t.TempDir()
+	rec := func(name string, seed string) []byte {
+		path := filepath.Join(dir, name)
+		benchServe(t, "-rates", "30", "-seed", seed, "-record", path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) == 0 {
+			t.Fatalf("%s: recorded an empty stream", name)
+		}
+		return raw
+	}
+	a := rec("a.jsonl", "42")
+	b := rec("b.jsonl", "42")
+	c := rec("c.jsonl", "43")
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed produced different streams:\n%s\n---\n%s", a, b)
+	}
+	if bytes.Equal(a, c) {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+// TestBenchServeMatrixJSON runs a 2×2 matrix with -check and validates the
+// appended BENCH_serve.json entry shape.
+func TestBenchServeMatrixJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	stdout, _ := benchServe(t, "-rates", "20,0", "-inflight", "0,-1",
+		"-mix", "all", "-json", jsonPath, "-check")
+	if !strings.Contains(stdout, "serve suite") || !strings.Contains(stdout, "closed") {
+		t.Errorf("serve output:\n%s", stdout)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []serveEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("BENCH_serve.json: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Mix != "all" || e.Docs == 0 || e.Shards != 2 || e.Date == "" {
+		t.Errorf("entry = %+v", e)
+	}
+	if len(e.Cells) != 4 {
+		t.Fatalf("cells = %d, want 2 rates × 2 inflight = 4", len(e.Cells))
+	}
+	for _, c := range e.Cells {
+		if c.Sent == 0 || c.HTTP200 == 0 {
+			t.Errorf("cell %+v: no traffic", c)
+		}
+		if c.ThroughputQPS <= 0 {
+			t.Errorf("cell %+v: zero throughput", c)
+		}
+	}
+}
+
+// TestBenchServeReplay records a stream then replays it, checking that the
+// replay fires exactly the recorded request count.
+func TestBenchServeReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	rec := filepath.Join(t.TempDir(), "rec.jsonl")
+	benchServe(t, "-rates", "40", "-seed", "7", "-record", rec)
+	raw, err := os.ReadFile(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Count(raw, []byte("\n"))
+
+	stdout, _ := benchServe(t, "-replay", rec, "-check")
+	if !strings.Contains(stdout, "mix=replay") {
+		t.Errorf("replay output:\n%s", stdout)
+	}
+	var entriesOut []string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.Contains(line, "  ") && !strings.Contains(line, "rate") && strings.TrimSpace(line) != "" {
+			entriesOut = append(entriesOut, line)
+		}
+	}
+	if len(entriesOut) == 0 {
+		t.Fatalf("no result rows:\n%s", stdout)
+	}
+	fields := strings.Fields(entriesOut[0])
+	if len(fields) < 5 || fields[4] != strconv.Itoa(want) {
+		t.Errorf("replay sent %s requests, want %d:\n%s", fields[4], want, stdout)
+	}
+}
+
+// TestBenchServeBadFlags covers the flag-validation error paths.
+func TestBenchServeBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		{"-suite", "serve", "-rates", "x"},
+		{"-suite", "serve", "-inflight", "-2"},
+		{"-suite", "serve", "-target", "http://localhost:1"},            // -target without -replay
+		{"-suite", "serve", "-rates", "1,2", "-record", "/tmp/r.jsonl"}, // multi-cell record
+		{"-suite", "serve", "-mix", "nope"},
+	} {
+		if err := Bench(args, &out, &errBuf); err == nil {
+			t.Errorf("Bench %v: expected error", args)
+		}
+	}
+}

@@ -24,6 +24,7 @@ func QueryGen(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Int64("seed", 2002, "random seed")
 		count     = fs.Int("count", 10, "queries per set (the paper uses 10)")
 		renamings = fs.String("renamings", "0,5,10", "comma-separated renaming levels")
+		patterns  = fs.String("patterns", "paper", "pattern set: paper (Section 8.1), extended (deep/wide/or-heavy/text-heavy), all, or a comma-separated list of pattern names")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,12 +44,17 @@ func QueryGen(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	pats, err := resolvePatterns(*patterns)
+	if err != nil {
+		return err
+	}
+
 	g, err := querygen.New(db.Tree(), *seed)
 	if err != nil {
 		return err
 	}
 	written := 0
-	for _, p := range querygen.PaperPatterns {
+	for _, p := range pats {
 		for _, ren := range levels {
 			set, err := g.GenerateSet(p, ren, *count)
 			if err != nil {
@@ -76,6 +82,31 @@ func QueryGen(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "wrote %d query/cost pairs to %s\n", written, *outDir)
 	return nil
+}
+
+// resolvePatterns maps the -patterns flag to concrete pattern sets: the two
+// named sets, their union, or an explicit comma-separated name list.
+func resolvePatterns(spec string) ([]querygen.Pattern, error) {
+	switch spec {
+	case "paper":
+		return querygen.PaperPatterns, nil
+	case "extended":
+		return querygen.ExtendedPatterns, nil
+	case "all":
+		return append(append([]querygen.Pattern{}, querygen.PaperPatterns...), querygen.ExtendedPatterns...), nil
+	}
+	var out []querygen.Pattern
+	for _, name := range splitComma(spec) {
+		p, ok := querygen.FindPattern(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown pattern %q (want paper, extended, all, or pattern names)", name)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty pattern list")
+	}
+	return out, nil
 }
 
 func parseIntList(s string) ([]int, error) {

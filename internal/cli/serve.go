@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -46,6 +47,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		slow        = fs.Duration("slow", time.Second, "log completed queries slower than this at warning level (-1ns disables)")
 		drain       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 		logFormat   = fs.String("log", "text", "request log format: text, json, or off")
+		record      = fs.String("record", "", "append every well-formed /query arrival to this JSONL query log (replayable with axqlbench -suite serve -replay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,15 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		return err
 	}
 
+	var queryLog *os.File
+	if *record != "" {
+		queryLog, err = os.OpenFile(*record, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer queryLog.Close()
+	}
+
 	srvCfg := server.Config{
 		Model:          model,
 		MaxInflight:    *maxInflight,
@@ -77,6 +88,9 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		CacheEntries:   *resultCache,
 		SlowQuery:      *slow,
 		Logger:         logger,
+	}
+	if queryLog != nil {
+		srvCfg.QueryLog = queryLog
 	}
 	var serving string
 	if *dbPath != "" && approxql.IsCorpusBundle(*dbPath) {

@@ -1,0 +1,109 @@
+// Package load is the serving load harness behind `axqlbench -suite serve`:
+// it generates deterministic workload streams (zipf-skewed query popularity,
+// Poisson inter-arrival times), fires them at an axqlserve /query endpoint in
+// open- or closed-loop mode, and reports latency percentiles, throughput,
+// rejection/timeout rates, and result-cache hit rates.
+//
+// The harness separates *stream generation* from *firing*: GenStream turns a
+// query pool into a concrete []Item — every query, result count, and arrival
+// offset pinned — and Run only executes it. Streams are pure functions of
+// their seed, so any run (including a failing CI sweep) is exactly
+// reproducible, and a stream can be written to a JSONL log (WriteLog) and
+// replayed later (ReadLog), byte-identical. The same JSONL format is what
+// axqlserve -record emits, so production query logs replay through the same
+// path.
+//
+// Open loop versus closed loop: an open-loop run schedules arrivals from a
+// Poisson process regardless of how fast the server answers — when the
+// server falls behind, requests queue and measured latency grows without
+// bound, which is how production overload actually looks. A closed-loop run
+// keeps a fixed number of workers issuing back-to-back requests — it can
+// never overload the server, and measures best-case pipeline latency at a
+// given concurrency. Open-loop latencies are measured from the *scheduled*
+// arrival time, not the send time, so queueing delay (including coordinated
+// omission in the generator itself) is visible in the percentiles.
+package load
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Item is one request of a workload stream: the JSONL query-log record
+// shared by the harness (-record/-replay) and the server (axqlserve
+// -record). AtMS is the arrival offset from the start of the stream.
+type Item struct {
+	AtMS        int64  `json:"at_ms"`
+	Query       string `json:"query"`
+	N           int    `json:"n"`
+	Strategy    string `json:"strategy,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// StreamConfig parameterizes GenStream.
+type StreamConfig struct {
+	// Rate is the mean arrival rate in queries/second. Inter-arrival gaps
+	// are exponential (a Poisson process), so instantaneous load bursts
+	// above the mean — the property that makes queueing delay visible.
+	// Rate <= 0 puts every arrival at offset 0 (closed-loop streams, where
+	// workers ignore arrival times).
+	Rate float64
+	// Duration bounds the stream's arrival span; generation stops at the
+	// first arrival past it.
+	Duration time.Duration
+	// Count, when positive, fixes the item count instead of Duration.
+	Count int
+	// ZipfSkew > 1 skews query popularity: a few pool entries dominate the
+	// stream (realistic cache traffic). Values <= 1 select uniformly.
+	ZipfSkew float64
+	// Seed makes the stream deterministic: same pool, same config, same
+	// seed — same stream, always.
+	Seed int64
+}
+
+// GenStream samples a concrete request stream from the pool. The pool's
+// AtMS fields are ignored; each emitted Item carries its own arrival
+// offset. Which pool entries rank as "popular" under zipf skew is itself a
+// seeded permutation, so different seeds shift popularity onto different
+// queries.
+func GenStream(pool []Item, cfg StreamConfig) []Item {
+	if len(pool) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := newSampler(rng, len(pool), cfg.ZipfSkew)
+
+	count := cfg.Count
+	if count <= 0 && cfg.Rate > 0 {
+		count = int(cfg.Rate * cfg.Duration.Seconds())
+	}
+	out := make([]Item, 0, count)
+	atMS := 0.0
+	for i := 0; count <= 0 || i < count; i++ {
+		if cfg.Rate > 0 {
+			atMS += rng.ExpFloat64() / cfg.Rate * 1000
+			if cfg.Count <= 0 && time.Duration(atMS)*time.Millisecond > cfg.Duration {
+				break
+			}
+		} else if count <= 0 {
+			break // no rate and no count: nothing to bound the stream
+		}
+		it := pool[pick()]
+		it.AtMS = int64(atMS)
+		out = append(out, it)
+	}
+	return out
+}
+
+// newSampler returns a deterministic pool-index sampler: zipf-distributed
+// over a seeded popularity permutation when skew > 1, uniform otherwise.
+func newSampler(rng *rand.Rand, n int, skew float64) func() int {
+	if skew <= 1 || n < 2 {
+		return func() int { return rng.Intn(n) }
+	}
+	// rand.Zipf emits rank 0 most often; the permutation decides which
+	// pool entry holds each rank.
+	perm := rng.Perm(n)
+	z := rand.NewZipf(rng, skew, 1, uint64(n-1))
+	return func() int { return perm[z.Uint64()] }
+}

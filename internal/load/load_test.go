@@ -1,0 +1,246 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testPool(n int) []Item {
+	pool := make([]Item, n)
+	for i := range pool {
+		pool[i] = Item{Query: fmt.Sprintf("q%02d", i), N: 1 + i%3}
+	}
+	return pool
+}
+
+// TestGenStreamDeterministic pins the reproducibility contract: the same
+// pool, config, and seed produce the identical stream, and a different seed
+// does not.
+func TestGenStreamDeterministic(t *testing.T) {
+	pool := testPool(20)
+	cfg := StreamConfig{Rate: 500, Duration: time.Second, ZipfSkew: 1.3, Seed: 42}
+	a := GenStream(pool, cfg)
+	b := GenStream(pool, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty stream")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	cfg.Seed = 43
+	c := GenStream(pool, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced the identical stream")
+	}
+}
+
+func TestGenStreamArrivals(t *testing.T) {
+	pool := testPool(5)
+	cfg := StreamConfig{Rate: 1000, Duration: time.Second, Seed: 7}
+	s := GenStream(pool, cfg)
+	// Poisson at 1000 qps over 1s: expect on the order of 1000 arrivals.
+	if len(s) < 700 || len(s) > 1300 {
+		t.Fatalf("arrival count %d implausible for rate 1000 x 1s", len(s))
+	}
+	var last int64 = -1
+	for _, it := range s {
+		if it.AtMS < last {
+			t.Fatalf("arrival times not monotone: %d after %d", it.AtMS, last)
+		}
+		last = it.AtMS
+		if it.Query == "" || it.N <= 0 {
+			t.Fatalf("stream item lost pool fields: %+v", it)
+		}
+	}
+	if last > 1000 {
+		t.Errorf("last arrival %dms past the 1s duration", last)
+	}
+}
+
+func TestGenStreamCountOverridesDuration(t *testing.T) {
+	s := GenStream(testPool(3), StreamConfig{Count: 17, Seed: 1})
+	if len(s) != 17 {
+		t.Fatalf("count = %d, want 17", len(s))
+	}
+	for _, it := range s {
+		if it.AtMS != 0 {
+			t.Fatalf("rateless stream has nonzero arrival offset: %+v", it)
+		}
+	}
+}
+
+// TestZipfSkewConcentrates verifies skewed sampling concentrates traffic on
+// few queries while uniform sampling spreads it.
+func TestZipfSkewConcentrates(t *testing.T) {
+	pool := testPool(50)
+	count := func(skew float64) int {
+		s := GenStream(pool, StreamConfig{Count: 2000, ZipfSkew: skew, Seed: 11})
+		freq := map[string]int{}
+		top := 0
+		for _, it := range s {
+			freq[it.Query]++
+			if freq[it.Query] > top {
+				top = freq[it.Query]
+			}
+		}
+		return top
+	}
+	uniformTop, zipfTop := count(0), count(1.5)
+	if zipfTop <= uniformTop*2 {
+		t.Errorf("zipf top query count %d not clearly above uniform %d", zipfTop, uniformTop)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	stream := GenStream(testPool(8), StreamConfig{Rate: 200, Duration: 500 * time.Millisecond, ZipfSkew: 1.2, Seed: 3})
+	stream[0].Strategy = "direct"
+	stream[0].Fingerprint = "abc123"
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stream, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", stream[:2], got[:2])
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"{not json}",
+		`{"at_ms":0,"n":5}`,              // missing query
+		`{"at_ms":0,"query":"a","n":0}`,  // non-positive n
+		`{"at_ms":0,"query":"a","n":-1}`, // negative n
+	} {
+		if _, err := ReadLog(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ReadLog accepted %q", bad)
+		}
+	}
+	// Blank lines are fine.
+	items, err := ReadLog(strings.NewReader("\n" + `{"at_ms":1,"query":"a","n":5}` + "\n\n"))
+	if err != nil || len(items) != 1 {
+		t.Fatalf("blank-line log: %v, %d items", err, len(items))
+	}
+}
+
+// stubServer fakes axqlserve's /query surface: every 5th request is
+// rejected 429, every 7th times out 504, the rest succeed and claim
+// "cached" on every 2nd success.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	var ok atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body queryBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Query == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		switch i := n.Add(1); {
+		case i%5 == 0:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case i%7 == 0:
+			w.WriteHeader(http.StatusGatewayTimeout)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"cached":%v,"results":[]}`, ok.Add(1)%2 == 0)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &n
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	ts, hits := stubServer(t)
+	stream := GenStream(testPool(10), StreamConfig{Rate: 2000, Duration: 200 * time.Millisecond, Seed: 5})
+	rep := Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
+
+	if rep.Sent != len(stream) {
+		t.Errorf("sent %d, want %d", rep.Sent, len(stream))
+	}
+	if int(hits.Load()) != rep.Sent {
+		t.Errorf("server saw %d requests, harness sent %d", hits.Load(), rep.Sent)
+	}
+	if rep.Errors != 0 || rep.Completed != rep.Sent {
+		t.Errorf("errors=%d completed=%d sent=%d", rep.Errors, rep.Completed, rep.Sent)
+	}
+	if rep.OK == 0 || rep.Rejected == 0 || rep.Timeouts == 0 {
+		t.Errorf("status mix missing: ok=%d rejected=%d timeouts=%d", rep.OK, rep.Rejected, rep.Timeouts)
+	}
+	if rep.OK+rep.Rejected+rep.Timeouts+rep.Other != rep.Completed {
+		t.Error("status counts do not sum to completed")
+	}
+	if rep.CacheHits == 0 || rep.CacheHits >= rep.OK {
+		t.Errorf("cache hits %d out of %d OK implausible", rep.CacheHits, rep.OK)
+	}
+	if len(rep.LatenciesMS) != rep.OK {
+		t.Errorf("latency samples %d, want one per OK %d", len(rep.LatenciesMS), rep.OK)
+	}
+	if rep.Percentile(0.5) <= 0 || rep.Percentile(0.99) < rep.Percentile(0.5) || rep.MaxLatency() < rep.Percentile(0.99) {
+		t.Errorf("percentiles disordered: p50=%g p99=%g max=%g",
+			rep.Percentile(0.5), rep.Percentile(0.99), rep.MaxLatency())
+	}
+	if rep.Throughput() <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestRunClosedLoopConcurrent(t *testing.T) {
+	ts, _ := stubServer(t)
+	stream := GenStream(testPool(10), StreamConfig{Count: 50, Seed: 5})
+	rep := Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream,
+		Options{Concurrency: 8})
+	if rep.Sent != len(stream) {
+		t.Errorf("one-pass closed loop sent %d, want %d", rep.Sent, len(stream))
+	}
+	if rep.OK == 0 || rep.Errors != 0 {
+		t.Errorf("ok=%d errors=%d", rep.OK, rep.Errors)
+	}
+
+	// Duration-bound closed loop cycles the stream until time is up.
+	rep = Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream[:3],
+		Options{Concurrency: 4, Duration: 150 * time.Millisecond})
+	if rep.Sent <= 3 {
+		t.Errorf("duration-bound run sent only %d requests", rep.Sent)
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	ts, _ := stubServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stream := GenStream(testPool(4), StreamConfig{Rate: 10, Duration: 10 * time.Second, Seed: 9})
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(ctx, Client{Base: ts.URL, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
+	}()
+	select {
+	case rep := <-done:
+		if rep.Sent > 1 {
+			t.Errorf("cancelled run still sent %d requests", rep.Sent)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+func TestNewClientTransport(t *testing.T) {
+	c := NewClient("http://example.invalid", 128)
+	tr, ok := c.HTTP.Transport.(*http.Transport)
+	if !ok || tr.MaxIdleConnsPerHost != 128 {
+		t.Fatalf("transport not tuned: %+v", c.HTTP.Transport)
+	}
+}

@@ -1,0 +1,62 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteLog writes a stream as a JSONL query log, one Item per line — the
+// -record format of both the harness and axqlserve.
+func WriteLog(w io.Writer, items []Item) error {
+	for _, it := range items {
+		if err := AppendLog(w, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendLog writes one Item as a single JSONL line. Callers serializing
+// concurrent writers (the server's record hook) hold their own lock.
+func AppendLog(w io.Writer, it Item) error {
+	raw, err := json.Marshal(it)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// ReadLog parses a JSONL query log back into a stream. Blank lines are
+// skipped; a malformed line fails with its line number.
+func ReadLog(r io.Reader) ([]Item, error) {
+	var out []Item
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var it Item
+		if err := json.Unmarshal([]byte(text), &it); err != nil {
+			return nil, fmt.Errorf("query log line %d: %w", line, err)
+		}
+		if it.Query == "" {
+			return nil, fmt.Errorf("query log line %d: missing query", line)
+		}
+		if it.N <= 0 {
+			return nil, fmt.Errorf("query log line %d: non-positive n", line)
+		}
+		out = append(out, it)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

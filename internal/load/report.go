@@ -1,0 +1,132 @@
+package load
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report aggregates one load run. Counters cover every fired request;
+// latency percentiles cover successful (200) responses only — 429s and 504s
+// are failure modes with their own rates, and mixing their (fast reject /
+// slow deadline) latencies into the percentiles would hide the service
+// latency they sit beside.
+type Report struct {
+	// Sent is every request fired; Completed every one that got an HTTP
+	// response (Sent - Completed = transport errors).
+	Sent      int
+	Completed int
+	Errors    int
+
+	// OK, Rejected, Timeouts, and Other split Completed by status: 200,
+	// 429 (admission control), 504 (evaluation deadline), anything else.
+	OK       int
+	Rejected int
+	Timeouts int
+	Other    int
+
+	// CacheHits counts 200 responses served from the server's result
+	// cache (the response's "cached" field).
+	CacheHits int
+
+	// LatenciesMS holds one entry per OK response, sorted ascending.
+	LatenciesMS []float64
+
+	// Duration is the wall-clock span of the whole run.
+	Duration time.Duration
+}
+
+// collector accumulates observations from concurrent request goroutines.
+type collector struct {
+	mu sync.Mutex
+	r  Report
+}
+
+func (c *collector) observe(status int, cached bool, lat time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.r.Sent++
+	if err != nil {
+		c.r.Errors++
+		return
+	}
+	c.r.Completed++
+	switch status {
+	case 200:
+		c.r.OK++
+		if cached {
+			c.r.CacheHits++
+		}
+		c.r.LatenciesMS = append(c.r.LatenciesMS, float64(lat.Nanoseconds())/1e6)
+	case 429:
+		c.r.Rejected++
+	case 504:
+		c.r.Timeouts++
+	default:
+		c.r.Other++
+	}
+}
+
+// report finalizes and returns the accumulated Report.
+func (c *collector) report(elapsed time.Duration) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.r.Duration = elapsed
+	sort.Float64s(c.r.LatenciesMS)
+	return c.r
+}
+
+// Percentile returns the q-quantile (0 < q <= 1) of the OK latencies in
+// milliseconds, 0 when there were none.
+func (r Report) Percentile(q float64) float64 {
+	n := len(r.LatenciesMS)
+	if n == 0 {
+		return 0
+	}
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return r.LatenciesMS[i]
+}
+
+// MaxLatency returns the slowest OK response in milliseconds.
+func (r Report) MaxLatency() float64 {
+	if len(r.LatenciesMS) == 0 {
+		return 0
+	}
+	return r.LatenciesMS[len(r.LatenciesMS)-1]
+}
+
+// Throughput returns successful responses per second of run wall clock.
+func (r Report) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Duration.Seconds()
+}
+
+// RejectRate returns the fraction of fired requests answered 429.
+func (r Report) RejectRate() float64 { return r.rate(r.Rejected) }
+
+// TimeoutRate returns the fraction of fired requests answered 504.
+func (r Report) TimeoutRate() float64 { return r.rate(r.Timeouts) }
+
+func (r Report) rate(n int) float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Sent)
+}
+
+// CacheHitRate returns the fraction of OK responses served from the result
+// cache.
+func (r Report) CacheHitRate() float64 {
+	if r.OK == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(r.OK)
+}

@@ -1,0 +1,181 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client targets one server: the base URL (scheme://host:port, no trailing
+// slash) and the http.Client to reach it with. For high-concurrency runs the
+// transport should allow enough idle connections per host (see NewClient).
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a Client whose transport keeps enough idle connections
+// for maxConcurrent parallel requests, avoiding the default transport's
+// two-connections-per-host churn under load.
+func NewClient(base string, maxConcurrent int) Client {
+	if maxConcurrent < 16 {
+		maxConcurrent = 16
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = maxConcurrent
+	tr.MaxIdleConnsPerHost = maxConcurrent
+	return Client{Base: base, HTTP: &http.Client{Transport: tr}}
+}
+
+// Options tunes Run.
+type Options struct {
+	// OpenLoop fires each item at its scheduled AtMS offset regardless of
+	// outstanding responses; false runs closed-loop with Concurrency
+	// workers issuing back-to-back requests.
+	OpenLoop bool
+	// Concurrency is the closed-loop worker count (default 1).
+	Concurrency int
+	// Duration bounds a closed-loop run in wall-clock time; workers cycle
+	// through the stream until it elapses. Zero means one pass over the
+	// stream.
+	Duration time.Duration
+	// Timeout is the per-request client-side guard (default 30s) — a
+	// backstop above the server's own deadline so a wedged server cannot
+	// hang the harness.
+	Timeout time.Duration
+}
+
+// queryBody is the /query request payload the harness sends.
+type queryBody struct {
+	Query    string `json:"query"`
+	N        int    `json:"n"`
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// cachedProbe is the one /query response field the harness reads.
+type cachedProbe struct {
+	Cached bool `json:"cached"`
+}
+
+// Run fires the stream at the client's server and aggregates a Report. It
+// returns when every fired request has completed (or ctx is cancelled, which
+// stops scheduling new arrivals but still waits for in-flight ones).
+func Run(ctx context.Context, c Client, stream []Item, o Options) Report {
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	col := &collector{}
+	start := time.Now()
+	if o.OpenLoop {
+		runOpen(ctx, c, stream, o, col, start)
+	} else {
+		runClosed(ctx, c, stream, o, col, start)
+	}
+	return col.report(time.Since(start))
+}
+
+// runOpen schedules every arrival at its AtMS offset and measures latency
+// from the *scheduled* time, so server queueing and generator lag both show
+// up in the percentiles instead of being silently omitted.
+func runOpen(ctx context.Context, c Client, stream []Item, o Options, col *collector, start time.Time) {
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for _, it := range stream {
+		sched := start.Add(time.Duration(it.AtMS) * time.Millisecond)
+		if wait := time.Until(sched); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(it Item, sched time.Time) {
+			defer wg.Done()
+			status, cached, err := fire(ctx, c, it, o.Timeout)
+			col.observe(status, cached, time.Since(sched), err)
+		}(it, sched)
+	}
+	wg.Wait()
+}
+
+// runClosed runs Concurrency workers pulling the stream in order (cycling
+// past the end while Duration lasts), measuring latency from send time.
+func runClosed(ctx context.Context, c Client, stream []Item, o Options, col *collector, start time.Time) {
+	if len(stream) == 0 {
+		return
+	}
+	var next atomic.Int64
+	deadline := start.Add(o.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if o.Duration > 0 {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else if i >= int64(len(stream)) {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				it := stream[i%int64(len(stream))]
+				sent := time.Now()
+				status, cached, err := fire(ctx, c, it, o.Timeout)
+				col.observe(status, cached, time.Since(sent), err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fire issues one /query request. The returned status is 0 on transport
+// errors.
+func fire(ctx context.Context, c Client, it Item, timeout time.Duration) (status int, cached bool, err error) {
+	body, err := json.Marshal(queryBody{Query: it.Query, N: it.N, Strategy: it.Strategy})
+	if err != nil {
+		return 0, false, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var probe cachedProbe
+		if derr := json.NewDecoder(resp.Body).Decode(&probe); derr == nil {
+			cached = probe.Cached
+		}
+	}
+	// Drain so the connection is reusable.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, cached, nil
+}

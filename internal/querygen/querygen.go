@@ -33,6 +33,50 @@ var PaperPatterns = []Pattern{
 	},
 }
 
+// ExtendedPatterns grow the scenario matrix beyond the paper's three
+// patterns: deeper paths, wider branching, or-heavy disjunctions, and
+// text-heavy conjunctions — the workload shapes the serving load harness
+// (`axqlbench -suite serve`) sweeps, where strategy and cache trade-offs
+// only show up under mixes the paper's patterns don't cover.
+var ExtendedPatterns = []Pattern{
+	{
+		Name: "deep",
+		Desc: "deep path query",
+		Src:  `name[name[name[name[term]]]]`,
+	},
+	{
+		Name: "wide",
+		Desc: "wide branching query",
+		Src:  `name[name[term] and name[term] and name[term] and name]`,
+	},
+	{
+		Name: "orheavy",
+		Desc: "or-heavy Boolean query",
+		Src:  `name[name[term or term or term] or name[term or term]]`,
+	},
+	{
+		Name: "textheavy",
+		Desc: "text-heavy conjunctive query",
+		Src:  `name[term and term and term and term]`,
+	},
+}
+
+// FindPattern looks a pattern up by name across PaperPatterns and
+// ExtendedPatterns.
+func FindPattern(name string) (Pattern, bool) {
+	for _, p := range PaperPatterns {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range ExtendedPatterns {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pattern{}, false
+}
+
 // Pattern is a query template: an approXQL query whose selectors are the
 // placeholders "name" (an element name) and "term" (a term).
 type Pattern struct {

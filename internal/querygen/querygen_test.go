@@ -43,6 +43,45 @@ func TestPaperPatternsParse(t *testing.T) {
 	}
 }
 
+// TestExtendedPatternsGenerate pins the serving-suite pattern set: every
+// extended pattern parses, fills deterministically, and is reachable by
+// name through FindPattern.
+func TestExtendedPatternsGenerate(t *testing.T) {
+	tree := testTree(t)
+	for _, p := range ExtendedPatterns {
+		if _, err := lang.Parse(p.Src); err != nil {
+			t.Fatalf("pattern %s does not parse: %v", p.Name, err)
+		}
+		found, ok := FindPattern(p.Name)
+		if !ok || found.Src != p.Src {
+			t.Errorf("FindPattern(%q) = %+v, %v", p.Name, found, ok)
+		}
+		g1, _ := New(tree, 77)
+		g2, _ := New(tree, 77)
+		a, err := g1.Generate(p, 5)
+		if err != nil {
+			t.Fatalf("pattern %s: %v", p.Name, err)
+		}
+		b, err := g2.Generate(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Query.String() != b.Query.String() {
+			t.Errorf("pattern %s not deterministic: %s vs %s", p.Name, a.Query, b.Query)
+		}
+		pat := lang.MustParse(p.Src)
+		if a.Query.Selectors() != pat.Selectors() {
+			t.Errorf("pattern %s: %d selectors, want %d", p.Name, a.Query.Selectors(), pat.Selectors())
+		}
+	}
+	if _, ok := FindPattern("pattern1"); !ok {
+		t.Error("FindPattern misses the paper patterns")
+	}
+	if _, ok := FindPattern("nope"); ok {
+		t.Error("FindPattern invented a pattern")
+	}
+}
+
 func TestGenerateFillsPlaceholders(t *testing.T) {
 	tree := testTree(t)
 	g, err := New(tree, 1)

@@ -120,6 +120,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	canonical, _ := approxql.Parse(req.Query)
 
+	// The replay log records every well-formed arrival before the cache
+	// and admission checks: a recorded stream replays the traffic the
+	// server received, not only the queries it chose to evaluate.
+	if s.cfg.QueryLog != nil {
+		s.recordQuery(canonical, n, strategy, fingerprint)
+	}
+
 	key := cacheKey(fingerprint, n, strategy)
 	if results, ok := s.cache.get(key); ok {
 		s.writeRanking(w, r, req, canonical, fingerprint, n, strategy, results, true, start)

@@ -24,6 +24,7 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"approxql"
+	"approxql/internal/load"
 )
 
 // Config tunes a Server. The zero value of every field selects a
@@ -73,6 +75,15 @@ type Config struct {
 	SlowQuery time.Duration
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
+
+	// QueryLog, when set, receives one JSONL line per well-formed /query
+	// request in the load.Item replay format: arrival offset since server
+	// start, canonical query, n, strategy, and fingerprint. Every arrival
+	// is logged — cache hits and admission rejections included — because
+	// the log records the traffic the server *saw*, which is what
+	// `axqlbench -suite serve -replay` needs to reproduce it. Writes are
+	// serialized by the server; the writer needs no locking of its own.
+	QueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +122,10 @@ type Server struct {
 	admission *admission
 	cache     *resultCache
 	metrics   *metrics
+	started   time.Time
+
+	// logMu serializes QueryLog writes across request goroutines.
+	logMu sync.Mutex
 
 	mu   sync.Mutex
 	http *http.Server
@@ -143,8 +158,25 @@ func New(cfg Config) (*Server, error) {
 		admission: newAdmission(cfg.MaxInflight),
 		cache:     newResultCache(cfg.CacheEntries),
 		metrics:   newMetrics(),
+		started:   time.Now(),
 	}
 	return s, nil
+}
+
+// recordQuery appends one arrival to the configured query log.
+func (s *Server) recordQuery(query string, n int, strategy approxql.Strategy, fingerprint string) {
+	it := load.Item{
+		AtMS:        time.Since(s.started).Milliseconds(),
+		Query:       query,
+		N:           n,
+		Strategy:    strategy.String(),
+		Fingerprint: fingerprint,
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if err := load.AppendLog(s.cfg.QueryLog, it); err != nil {
+		s.cfg.Logger.Warn("query log write failed", "err", err)
+	}
 }
 
 // Handler returns the root handler serving every endpoint.

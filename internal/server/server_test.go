@@ -50,7 +50,7 @@ func buildDB(t *testing.T) *approxql.Database {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.DB == nil {
+	if cfg.DB == nil && cfg.Corpus == nil {
 		cfg.DB = buildDB(t)
 	}
 	if cfg.Model == nil {

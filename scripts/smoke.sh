@@ -23,7 +23,7 @@ fail() {
 }
 
 echo "smoke: building binaries"
-go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve ./cmd/axql
+go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve ./cmd/axql ./cmd/axqlbench
 
 echo "smoke: generating a small collection"
 "$workdir/axqlgen" -seed 7 -elements 2000 -words 8000 -names 20 -vocab 200 \
@@ -123,9 +123,10 @@ echo "smoke: corpus: querying <$cname> via axql"
 grep -q 'doc1.xml' "$workdir/corpus.out" ||
     fail "corpus ranking lacks document names: $(cat "$workdir/corpus.out")"
 
-echo "smoke: corpus: starting axqlserve over the corpus bundle"
+echo "smoke: corpus: starting axqlserve over the corpus bundle (with -record)"
 : >"$workdir/server.log"
 "$workdir/axqlserve" -db "$workdir/corpus.axql" -addr 127.0.0.1:0 -log text \
+    -record "$workdir/server_queries.jsonl" \
     >/dev/null 2>"$workdir/server.log" &
 server_pid=$!
 
@@ -150,6 +151,28 @@ body="{\"query\":\"$cname\",\"n\":5}"
 response=$(curl -sSf -X POST -H 'Content-Type: application/json' -d "$body" "$base/query")
 echo "$response" | grep -q '"rank":1' || fail "no ranked corpus results in: $response"
 echo "$response" | grep -q '"doc_name":' || fail "no document names in: $response"
+
+# --- load harness: replay a recorded stream against the live server --------
+
+echo "smoke: load: replaying a query-log stream against the live server"
+{
+    printf '{"at_ms":0,"query":"%s","n":3}\n' "$cname"
+    printf '{"at_ms":50,"query":"%s","n":3}\n' "$cname"
+    printf '{"at_ms":100,"query":"%s[%s]","n":2,"strategy":"auto"}\n' "$cname" "$cname"
+    printf '{"at_ms":150,"query":"%s","n":5}\n' "$cname"
+} >"$workdir/replay.jsonl"
+"$workdir/axqlbench" -suite serve -target "$base" -replay "$workdir/replay.jsonl" \
+    -check >"$workdir/load.out" 2>&1 || fail "load replay failed: $(cat "$workdir/load.out")"
+grep -q 'replay of 4 requests' "$workdir/load.out" ||
+    fail "load harness did not replay 4 requests: $(cat "$workdir/load.out")"
+
+echo "smoke: load: server recorded the replayed arrivals"
+# The curl query above plus the 4 replayed ones: at least 5 log lines.
+[ -f "$workdir/server_queries.jsonl" ] || fail "server query log not written"
+lines=$(wc -l <"$workdir/server_queries.jsonl")
+[ "$lines" -ge 5 ] || fail "server query log has $lines lines, want >= 5"
+grep -q '"at_ms"' "$workdir/server_queries.jsonl" || fail "query log lacks at_ms offsets"
+grep -q "\"$cname\"" "$workdir/server_queries.jsonl" || fail "query log lacks the smoke query"
 
 kill -TERM "$server_pid"
 for _ in $(seq 1 100); do
