@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke fuzz-smoke
+.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke planner-smoke fuzz-smoke
 
 all: check
 
@@ -75,10 +75,17 @@ bench-serve-smoke:
 	$(GO) run ./cmd/axqlbench -suite serve -scale 0.01 -queries 3 \
 	    -rates 40,0 -inflight 0 -duration 1s -check
 
-# Short fuzz pass over the corpus-bundle manifest reader; longer local
-# runs: go test -fuzz FuzzCorpusManifest ./internal/backend/.
+# Short fuzz passes over the corpus-bundle manifest reader and the B+tree
+# subtree-counter maintenance; longer local runs: go test -fuzz <target>
+# in the respective package.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzCorpusManifest -fuzztime 30s ./internal/backend/
+	$(GO) test -run xxx -fuzz FuzzCounters -fuzztime 30s ./internal/storage/
+
+# CI gate for the query planner (docs/PLANNER.md): on every paper-pattern
+# point the Auto pick must stay under twice the best forced strategy.
+planner-smoke:
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.01 -plannercheck
 
 # Fast benchmark pass for CI: a fixed small iteration count just proves the
 # benchmarks still compile and run; timings are not meaningful.

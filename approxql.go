@@ -306,7 +306,14 @@ func OpenBundle(path string, model *CostModel) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return OpenStored(b.Collection, b.Postings, b.Secondary, model)
+	db, err := OpenStored(b.Collection, b.Postings, b.Secondary, model)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := db.be.(*backend.Stored); ok {
+		s.SetManifestVersion(b.Version)
+	}
+	return db, nil
 }
 
 // WriteBundle writes a bundle manifest at path referencing a collection

@@ -42,7 +42,8 @@ func persistBundle(t *testing.T, db *Database) string {
 // TestBackendEquivalence is the cross-backend contract: Search,
 // SearchExplained, and Explain return identical answers whether the postings
 // come from the in-memory indexes or from the persisted B+tree files, for
-// both strategies and for sequential and parallel secondary execution.
+// every strategy (planner-resolved Auto included) and for sequential and
+// parallel secondary execution.
 func TestBackendEquivalence(t *testing.T) {
 	cfg := datagen.Config{
 		Seed: 42, NumElementNames: 25, VocabularySize: 500,
@@ -84,7 +85,7 @@ func TestBackendEquivalence(t *testing.T) {
 			for _, g := range set {
 				query := g.Query.String()
 				lastQuery, lastModel = query, g.Model
-				for _, strategy := range []Strategy{Direct, SchemaDriven} {
+				for _, strategy := range []Strategy{Direct, SchemaDriven, Auto} {
 					for _, workers := range []int{1, 8} {
 						opts := []QueryOption{
 							WithCostModel(g.Model),

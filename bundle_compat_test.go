@@ -59,8 +59,8 @@ func TestV1BundleStillOpens(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.SplitN(string(manifest), "\n", 2)
-	if lines[0] != "axql-bundle v2" {
-		t.Fatalf("fresh bundle manifest starts with %q, want axql-bundle v2", lines[0])
+	if lines[0] != "axql-bundle v4" {
+		t.Fatalf("fresh bundle manifest starts with %q, want axql-bundle v4", lines[0])
 	}
 	if err := os.WriteFile(bundle, []byte("axql-bundle v1\n"+lines[1]), 0o644); err != nil {
 		t.Fatal(err)

@@ -203,10 +203,12 @@ func corpusFromBackend(be backend.Backend) (*Corpus, error) {
 }
 
 // corpusConfig translates the shared query options into the corpus
-// engine's configuration.
+// engine's configuration. Auto defers the strategy to the per-shard
+// planner.
 func (c *Corpus) corpusConfig(qc queryConfig, strategy Strategy) corpus.Config {
 	return corpus.Config{
 		Direct:      strategy == Direct,
+		Auto:        strategy == Auto,
 		InitialK:    qc.initialK,
 		Delta:       qc.delta,
 		Growth:      qc.growth,
@@ -240,14 +242,7 @@ func (c *Corpus) SearchContext(ctx context.Context, query string, n int, opts ..
 		return nil, err
 	}
 	strategy := qc.strategy
-	if strategy == Auto {
-		if n > 0 {
-			strategy = SchemaDriven
-		} else {
-			strategy = Direct
-		}
-	}
-	if strategy != Direct && strategy != SchemaDriven {
+	if strategy != Auto && strategy != Direct && strategy != SchemaDriven {
 		return nil, fmt.Errorf("approxql: unknown strategy %d", strategy)
 	}
 	hits, err := c.c.Search(ctx, x, n, c.corpusConfig(qc, strategy))
@@ -257,6 +252,35 @@ func (c *Corpus) SearchContext(ctx context.Context, query string, n int, opts ..
 	out := make([]Hit, len(hits))
 	for i, h := range hits {
 		out[i] = Hit{Doc: h.Doc, Result: Result{Root: h.Root, Cost: h.Cost}}
+	}
+	return out, nil
+}
+
+// Plan runs only the planner for a query across the corpus: the per-shard
+// strategy split an Auto search would use, without executing anything
+// beyond count-only index probes. Strategy is the majority pick; Estimate
+// sums the per-shard estimates. It is the corpus analog of Database.Plan.
+func (c *Corpus) Plan(query string, n int, opts ...QueryOption) (PlanDecision, error) {
+	qc := corpusOptions(opts)
+	x, err := parseExpand(query, &qc)
+	if err != nil {
+		return PlanDecision{}, err
+	}
+	s := c.c.Plan(x, n)
+	out := PlanDecision{
+		Estimate:     s.Estimate,
+		PlanSpace:    s.PlanSpace,
+		Probes:       s.Probes,
+		InitialK:     s.InitialK,
+		Delta:        s.Delta,
+		Growth:       s.Growth,
+		DirectShards: s.DirectShards,
+		SchemaShards: s.SchemaShards,
+	}
+	if s.DirectShards >= s.SchemaShards {
+		out.Strategy = Direct
+	} else {
+		out.Strategy = SchemaDriven
 	}
 	return out, nil
 }
@@ -385,18 +409,38 @@ type CorpusStats struct {
 	Nodes int
 	// MaxDepth is the deepest root-to-leaf path over all shards.
 	MaxDepth int
+	// BundleVersion is the manifest version the corpus was opened from
+	// (the highest across shards), or 0 for in-memory corpora and stored
+	// backends opened from bare index files.
+	BundleVersion int
+	// StorageCounted reports whether every stored shard's index files
+	// carry per-subtree counters (the v4 storage format), making posting
+	// counts O(log n) for the planner. False when any shard predates the
+	// counter format or when no shard reads from stored indexes.
+	StorageCounted bool
 }
 
 // Stats aggregates the per-shard summaries.
 func (c *Corpus) Stats() CorpusStats {
 	st := CorpusStats{Docs: c.c.NumDocs(), Shards: c.c.NumShards()}
+	stored, counted := 0, true
 	for _, sh := range c.c.Shards() {
 		sum := sh.Summary()
 		st.Nodes += sum.Nodes
 		if sum.MaxDepth > st.MaxDepth {
 			st.MaxDepth = sum.MaxDepth
 		}
+		if s, ok := sh.Backend().(*backend.Stored); ok {
+			stored++
+			if v := s.ManifestVersion(); v > st.BundleVersion {
+				st.BundleVersion = v
+			}
+			if !s.StorageCounted() {
+				counted = false
+			}
+		}
 	}
+	st.StorageCounted = stored > 0 && counted
 	return st
 }
 
@@ -571,6 +615,7 @@ func openCorpusBundle(path string, o OpenOptions) (*Corpus, error) {
 			closeAll()
 			return nil, err
 		}
+		be.SetManifestVersion(m.Version)
 		shards = append(shards, corpus.NewShard(be, cs.Summary))
 	}
 	c, err := corpus.New(shards, m.Docs)

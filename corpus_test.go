@@ -187,10 +187,11 @@ func relLess(a, b relHit) bool {
 }
 
 // TestCorpusEquivalence is the corpus's central contract: for every shard
-// layout (one shard, a few, one document per shard), both strategies, and
-// both parallelism settings, Search returns exactly the same ranked (doc,
-// root, cost) top-n as evaluating every document independently and merging
-// — bit-identical, including tie order.
+// layout (one shard, a few, one document per shard), every strategy
+// (per-shard planner-resolved Auto included), and both parallelism
+// settings, Search returns exactly the same ranked (doc, root, cost) top-n
+// as evaluating every document independently and merging — bit-identical,
+// including tie order.
 func TestCorpusEquivalence(t *testing.T) {
 	w := getCorpusWorld(t)
 	D := len(w.docsXML)
@@ -205,7 +206,7 @@ func TestCorpusEquivalence(t *testing.T) {
 		c := buildCorpus(t, w.docsXML, shardDocs)
 		for qi, q := range w.queries {
 			ref := refs[qi]
-			for _, strategy := range []Strategy{Direct, SchemaDriven} {
+			for _, strategy := range []Strategy{Direct, SchemaDriven, Auto} {
 				for _, par := range []int{1, 4} {
 					for _, n := range []int{5, 0} {
 						name := fmt.Sprintf("shards=%d/%s/%s/par=%d/n=%d",

@@ -43,7 +43,22 @@ type Backend interface {
 	Close() error
 }
 
+// CountSource is the optional count-only capability of a backend: primary
+// posting sizes without decoding (or even materializing) the postings. The
+// query planner probes backends for it to estimate approximate-result
+// counts cheaply; both bundled backends implement it — the in-memory one
+// exactly from its posting slices, the stored one from encoded posting
+// headers (on counter-format stores a single O(log n) descent per label).
+type CountSource interface {
+	// StructCount returns the number of struct nodes labeled name.
+	StructCount(name string) (int, error)
+	// TextCount returns the number of text nodes labeled term.
+	TextCount(term string) (int, error)
+}
+
 var (
-	_ Backend = (*Memory)(nil)
-	_ Backend = (*Stored)(nil)
+	_ Backend     = (*Memory)(nil)
+	_ Backend     = (*Stored)(nil)
+	_ CountSource = (*Memory)(nil)
+	_ CountSource = (*Stored)(nil)
 )

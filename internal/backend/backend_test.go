@@ -194,6 +194,7 @@ func TestBundleRoundTrip(t *testing.T) {
 		Collection: filepath.Join(dir, "c.axql"),
 		Postings:   filepath.Join(dir, "c.post"),
 		Secondary:  filepath.Join(dir, "sub", "c.sec"),
+		Version:    BundleVersion,
 	}
 	if err := WriteBundle(path, b); err != nil {
 		t.Fatal(err)

@@ -9,18 +9,28 @@ import (
 )
 
 // bundleMagic is the first line of a bundle manifest; axql sniffs its prefix
-// to distinguish bundles from collection files. New single-shard bundles are
-// written as v2 (their postings use the blocked codec), but v1 bundles stay
-// readable: the posting codec is self-describing, so the manifest version
-// only records which encoder produced the files. v3 is the multi-shard
-// corpus manifest (see CorpusManifest); every earlier version opens as a
-// one-shard corpus.
+// to distinguish bundles from collection files. The version records which
+// writer produced the files; every older version stays readable:
+//
+//	v1  legacy unblocked posting codec
+//	v2  blocked posting codec (single-shard text manifest)
+//	v3  multi-shard corpus manifest (JSON body, see CorpusManifest)
+//	v4  index stores carry per-subtree counters (both manifest shapes:
+//	    a text body is a single-shard bundle, a JSON body a corpus)
+//
+// The posting codec and the storage meta page are self-describing, so the
+// manifest version is observability (CorpusStats, /healthz), not dispatch.
 const (
 	bundleMagicPrefix = "axql-bundle v"
-	bundleMagic       = "axql-bundle v2"
+	bundleMagic       = "axql-bundle v4"
 	bundleMagicV1     = "axql-bundle v1"
+	bundleMagicV2     = "axql-bundle v2"
 	bundleMagicV3     = "axql-bundle v3"
+	bundleMagicV4     = "axql-bundle v4"
 )
+
+// BundleVersion is the manifest version new bundles are written with.
+const BundleVersion = 4
 
 // Bundle names the three files of a persisted collection: the collection
 // file (tree dictionaries and structure, xmltree.WriteTo format), the
@@ -39,6 +49,9 @@ type Bundle struct {
 	Collection string
 	Postings   string
 	Secondary  string
+	// Version is the manifest version the bundle was read from (1, 2, or
+	// 4); WriteBundle always writes the current BundleVersion.
+	Version int
 }
 
 // IsBundle reports whether the file at path starts with a bundle magic of
@@ -87,17 +100,30 @@ func ReadBundle(path string) (Bundle, error) {
 	defer f.Close()
 	dir := filepath.Dir(path)
 	sc := bufio.NewScanner(f)
-	if !sc.Scan() || (sc.Text() != bundleMagic && sc.Text() != bundleMagicV1) {
-		if sc.Text() == bundleMagicV3 {
-			return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
-		}
+	var b Bundle
+	if !sc.Scan() {
 		return Bundle{}, fmt.Errorf("backend: %s is not an axql bundle", path)
 	}
-	var b Bundle
+	switch sc.Text() {
+	case bundleMagicV1:
+		b.Version = 1
+	case bundleMagicV2:
+		b.Version = 2
+	case bundleMagicV4:
+		b.Version = 4
+	case bundleMagicV3:
+		return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
+	default:
+		return Bundle{}, fmt.Errorf("backend: %s is not an axql bundle", path)
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if strings.HasPrefix(line, "{") {
+			// A v4 magic over a JSON body is the corpus manifest shape.
+			return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
 		}
 		key, val, ok := strings.Cut(line, " ")
 		if !ok {

@@ -9,18 +9,19 @@ import (
 	"strings"
 )
 
-// maxManifestSize bounds a v3 manifest file: the JSON body holds shard file
+// maxManifestSize bounds a corpus manifest file: the JSON body holds shard file
 // names, document names, and label summaries — megabytes at most for any
 // realistic corpus. The cap keeps a corrupted or hostile manifest from
 // ballooning memory before validation.
 const maxManifestSize = 64 << 20
 
-// CorpusManifest is the v3 bundle format: one magic line followed by a JSON
-// body describing every shard of a sharded corpus and the global document
-// table. Paths are relative to the manifest's directory (absolute paths are
-// kept verbatim), so a corpus directory moves as a unit:
+// CorpusManifest is the multi-shard bundle format (introduced in v3): one
+// magic line followed by a JSON body describing every shard of a sharded
+// corpus and the global document table. Paths are relative to the manifest's
+// directory (absolute paths are kept verbatim), so a corpus directory moves
+// as a unit:
 //
-//	axql-bundle v3
+//	axql-bundle v4
 //	{
 //	  "shards": [
 //	    {"collection": "c.s0.axql", "postings": "c.s0.post",
@@ -37,6 +38,10 @@ const maxManifestSize = 64 << 20
 type CorpusManifest struct {
 	Shards []CorpusShard `json:"shards"`
 	Docs   []CorpusDoc   `json:"docs"`
+	// Version is the manifest version the bundle was read from (3 or 4);
+	// WriteCorpusBundle always writes the current BundleVersion. It is not
+	// part of the JSON body — the magic line carries it.
+	Version int `json:"-"`
 }
 
 // CorpusShard names one shard's three files, plus its pruning summary.
@@ -55,20 +60,28 @@ type CorpusDoc struct {
 	Name string `json:"name,omitempty"`
 }
 
-// IsCorpusBundle reports whether the file at path is a v3 multi-shard
-// bundle manifest.
+// IsCorpusBundle reports whether the file at path is a multi-shard bundle
+// manifest: a v3 magic line, or a v4 magic line followed by a JSON body
+// (under the v4 magic a text body is a single-shard bundle instead).
 func IsCorpusBundle(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
 		return false
 	}
 	defer f.Close()
-	buf := make([]byte, len(bundleMagicV3)+1)
+	buf := make([]byte, len(bundleMagicV4)+1+64)
 	n, _ := f.Read(buf)
-	return strings.HasPrefix(string(buf[:n]), bundleMagicV3+"\n")
+	head := string(buf[:n])
+	if strings.HasPrefix(head, bundleMagicV3+"\n") {
+		return true
+	}
+	if body, ok := strings.CutPrefix(head, bundleMagicV4+"\n"); ok {
+		return strings.HasPrefix(strings.TrimLeft(body, " \t\r\n"), "{")
+	}
+	return false
 }
 
-// WriteCorpusBundle writes a v3 manifest at path, relativizing the shard
+// WriteCorpusBundle writes a current-version manifest at path, relativizing the shard
 // file paths to the manifest's directory where possible. The manifest must
 // validate (at least one shard, complete file triples, in-range document
 // shard indices).
@@ -96,14 +109,14 @@ func WriteCorpusBundle(path string, m CorpusManifest) error {
 		return err
 	}
 	var b bytes.Buffer
-	b.WriteString(bundleMagicV3 + "\n")
+	b.WriteString(bundleMagic + "\n")
 	b.Write(body)
 	b.WriteByte('\n')
 	return os.WriteFile(path, b.Bytes(), 0o644)
 }
 
-// ReadCorpusBundle parses and validates the v3 manifest at path, resolving
-// shard file paths against the manifest's directory.
+// ReadCorpusBundle parses and validates the corpus manifest at path,
+// resolving shard file paths against the manifest's directory.
 func ReadCorpusBundle(path string) (CorpusManifest, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -128,13 +141,19 @@ func ReadCorpusBundle(path string) (CorpusManifest, error) {
 	return m, nil
 }
 
-// ParseCorpusManifest parses a v3 manifest from its raw bytes, resolving
-// relative shard paths against dir. It is the validation core of
+// ParseCorpusManifest parses a v3 or v4 corpus manifest from its raw bytes,
+// resolving relative shard paths against dir. It is the validation core of
 // ReadCorpusBundle, exposed for the manifest fuzzer: every manifest it
 // accepts has a complete, in-range shard table.
 func ParseCorpusManifest(data []byte, dir string) (CorpusManifest, error) {
 	magic, body, ok := bytes.Cut(data, []byte("\n"))
-	if !ok || string(magic) != bundleMagicV3 {
+	var version int
+	switch {
+	case ok && string(magic) == bundleMagicV3:
+		version = 3
+	case ok && string(magic) == bundleMagicV4:
+		version = 4
+	default:
 		return CorpusManifest{}, fmt.Errorf("not an axql corpus bundle (magic %q)", truncate(string(magic), 32))
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
@@ -150,6 +169,7 @@ func ParseCorpusManifest(data []byte, dir string) (CorpusManifest, error) {
 	if err := validateCorpusManifest(&m); err != nil {
 		return CorpusManifest{}, err
 	}
+	m.Version = version
 	for i := range m.Shards {
 		s := &m.Shards[i]
 		s.Collection = resolvePath(dir, s.Collection)

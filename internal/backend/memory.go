@@ -43,6 +43,12 @@ func (m *Memory) Struct(name string) ([]xmltree.NodeID, error) { return m.ix.Str
 // Text implements index.Source.
 func (m *Memory) Text(term string) ([]xmltree.NodeID, error) { return m.ix.Text(term) }
 
+// StructCount implements CountSource exactly from the in-memory posting.
+func (m *Memory) StructCount(name string) (int, error) { return m.ix.StructCount(name) }
+
+// TextCount implements CountSource exactly from the in-memory posting.
+func (m *Memory) TextCount(term string) (int, error) { return m.ix.TextCount(term) }
+
 // SecInstances implements schema.SecSource.
 func (m *Memory) SecInstances(c schema.NodeID) ([]xmltree.NodeID, error) {
 	return m.Schema().SecInstances(c)

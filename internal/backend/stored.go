@@ -27,6 +27,8 @@ type Stored struct {
 	schemaOnce sync.Once
 	sch        *schema.Schema
 
+	manifestVersion int
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -75,6 +77,28 @@ func (s *Stored) Struct(name string) ([]xmltree.NodeID, error) { return s.post.S
 
 // Text implements index.Source.
 func (s *Stored) Text(term string) ([]xmltree.NodeID, error) { return s.post.Text(term) }
+
+// StructCount implements CountSource from the encoded posting header.
+func (s *Stored) StructCount(name string) (int, error) { return s.post.StructCount(name) }
+
+// TextCount implements CountSource from the encoded posting header.
+func (s *Stored) TextCount(term string) (int, error) { return s.post.TextCount(term) }
+
+// StorageCounted reports whether both index files carry the per-subtree
+// counter format (fresh bundles do; files from older bundles fall back to
+// linear counting).
+func (s *Stored) StorageCounted() bool {
+	return s.postDB.Counted() && s.secDB.Counted()
+}
+
+// SetManifestVersion records the version of the bundle manifest this backend
+// was opened from, for reporting through stats surfaces (CorpusStats,
+// /healthz). Call it right after opening, before the backend is shared.
+func (s *Stored) SetManifestVersion(v int) { s.manifestVersion = v }
+
+// ManifestVersion returns the recorded bundle manifest version, or 0 when
+// the backend was opened from bare index files rather than a bundle.
+func (s *Stored) ManifestVersion() int { return s.manifestVersion }
 
 // SecInstances implements schema.SecSource.
 func (s *Stored) SecInstances(c schema.NodeID) ([]xmltree.NodeID, error) {

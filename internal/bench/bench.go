@@ -357,3 +357,9 @@ func PrintSeries(w io.Writer, ms []Measurement) {
 			speedup, d.MeanResults)
 	}
 }
+
+// Set returns the pre-generated query set for one (pattern, renamings)
+// point, nil when the runner has none.
+func (r *Runner) Set(pattern string, renamings int) []*querygen.Generated {
+	return r.sets[pattern][renamings]
+}

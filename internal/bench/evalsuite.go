@@ -5,18 +5,24 @@ import (
 	"runtime"
 	"time"
 
+	"approxql/internal/backend"
 	"approxql/internal/eval"
+	"approxql/internal/kbest"
 	"approxql/internal/lang"
+	"approxql/internal/plan"
 )
 
 // EvalMeasurement is one point of the direct-evaluation suite (`axqlbench
-// -suite eval`): algorithm primary timed over a pre-generated query set with
+// -suite eval`): one strategy timed over a pre-generated query set with
 // allocation counts sampled from the runtime, the harness behind
 // BENCH_eval.json.
 type EvalMeasurement struct {
 	Pattern   string
 	Renamings int
 	N         int
+	// Strategy is the evaluation strategy measured: "direct" or "schema"
+	// (forced), or "auto" (the planner resolves the strategy per query).
+	Strategy string
 	// Workers is the evaluator's Parallelism setting (1 = serial).
 	Workers int
 	// Queries is the query-set size; Iterations how many times the whole
@@ -42,6 +48,14 @@ type EvalMeasurement struct {
 // accumulated, after one untimed warm-up pass that populates any backend
 // cache, so stored and memory backends are measured in steady state.
 func (r *Runner) MeasureDirect(pattern string, renamings, n, workers int, minTime time.Duration) (EvalMeasurement, error) {
+	return r.MeasureStrategy(pattern, renamings, n, workers, minTime, "direct")
+}
+
+// MeasureStrategy is MeasureDirect generalized over the evaluation strategy:
+// "direct" (fresh Evaluator per query), "schema" (k-best second-level
+// enumeration), or "auto" (the planner decides per query, including the k/δ
+// schedule, exactly as the production Auto path does).
+func (r *Runner) MeasureStrategy(pattern string, renamings, n, workers int, minTime time.Duration, strategy string) (EvalMeasurement, error) {
 	set, ok := r.sets[pattern][renamings]
 	if !ok || len(set) == 0 {
 		return EvalMeasurement{}, fmt.Errorf("bench: no query set for %s/%d", pattern, renamings)
@@ -50,17 +64,49 @@ func (r *Runner) MeasureDirect(pattern string, renamings, n, workers int, minTim
 	for i, g := range set {
 		xs[i] = lang.Expand(g.Query, g.Model)
 	}
+	cs, _ := r.be.(backend.CountSource)
+
+	runDirect := func(x *lang.Expanded) (int, error) {
+		ev := eval.New(r.tree, r.be)
+		ev.Parallelism = workers
+		res, err := ev.BestN(x, n)
+		ev.Release()
+		return len(res), err
+	}
+	runSchema := func(x *lang.Expanded, opt kbest.Options) (int, error) {
+		res, _, err := kbest.BestNWithSecondary(r.sch, r.be, x, n, opt)
+		return len(res), err
+	}
+	runOne := func(x *lang.Expanded) (int, error) {
+		switch strategy {
+		case "direct":
+			return runDirect(x)
+		case "schema":
+			opt := kbest.Options{InitialK: n}
+			if n <= 0 {
+				opt.InitialK = 16
+				opt.MaxK = allNMaxK
+			}
+			return runSchema(x, opt)
+		case "auto":
+			d := plan.Decide(r.sch, cs, x, n)
+			if d.Strategy == plan.Direct {
+				return runDirect(x)
+			}
+			return runSchema(x, kbest.Options{
+				InitialK: d.InitialK, Delta: d.Delta, Growth: d.Growth,
+			})
+		}
+		return 0, fmt.Errorf("bench: unknown strategy %q (want direct, schema, or auto)", strategy)
+	}
 	runSet := func() (int, error) {
 		results := 0
 		for _, x := range xs {
-			ev := eval.New(r.tree, r.be)
-			ev.Parallelism = workers
-			res, err := ev.BestN(x, n)
+			c, err := runOne(x)
 			if err != nil {
 				return 0, err
 			}
-			results += len(res)
-			ev.Release()
+			results += c
 		}
 		return results, nil
 	}
@@ -87,6 +133,7 @@ func (r *Runner) MeasureDirect(pattern string, renamings, n, workers int, minTim
 		Pattern:        pattern,
 		Renamings:      renamings,
 		N:              n,
+		Strategy:       strategy,
 		Workers:        workers,
 		Queries:        len(set),
 		Iterations:     iters,
@@ -109,6 +156,30 @@ func (r *Runner) EvalSuite(n int, workersList []int, minTime time.Duration) ([]E
 		for _, ren := range r.cfg.Renamings {
 			for _, w := range workersList {
 				m, err := r.MeasureDirect(pattern, ren, n, w, minTime)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PlannerSuite measures the planner's Auto pick against both forced
+// strategies over every (pattern, renamings) point of the paper set, serial,
+// at the given result count. The returned slice interleaves, per point,
+// "direct", "schema", and "auto" measurements; comparing the auto row to the
+// best forced row shows the cost of delegating the choice to the planner.
+func (r *Runner) PlannerSuite(n int, minTime time.Duration) ([]EvalMeasurement, error) {
+	var out []EvalMeasurement
+	for _, pattern := range []string{"pattern1", "pattern2", "pattern3"} {
+		if _, ok := r.sets[pattern]; !ok {
+			continue
+		}
+		for _, ren := range r.cfg.Renamings {
+			for _, strategy := range []string{"direct", "schema", "auto"} {
+				m, err := r.MeasureStrategy(pattern, ren, n, 1, minTime, strategy)
 				if err != nil {
 					return nil, err
 				}

@@ -26,6 +26,7 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
 		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json, BENCH_corpus.json, BENCH_serve.json)")
 		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series), eval (direct-evaluation time/allocation suite), corpus (sharded scatter-gather sweep), or serve (HTTP serving load harness)")
+		pcheck   = fs.Bool("plannercheck", false, "with -suite eval: fail when the planner's auto pick is 2x or more slower than the best forced strategy on any paper-pattern point")
 	)
 	sf := registerServeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -42,7 +43,7 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 
 	switch *suite {
 	case "eval":
-		return benchEvalSuite(cfg, *scale, *jsonOut, stdout, stderr)
+		return benchEvalSuite(cfg, *scale, *jsonOut, *pcheck, stdout, stderr)
 	case "corpus":
 		return benchCorpusSuite(cfg, *scale, *jsonOut, stdout, stderr)
 	case "serve":
@@ -100,8 +101,10 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 
 // benchEvalSuite runs the direct-evaluation suite: algorithm primary over
 // every (pattern, renamings, workers) point at n=10, reporting time and
-// allocations per query, optionally appended to BENCH_eval.json.
-func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, stdout, stderr io.Writer) error {
+// allocations per query, optionally appended to BENCH_eval.json. A second
+// planner table compares the Auto pick with both forced strategies on every
+// point; -plannercheck turns that comparison into a hard gate.
+func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, plannerCheck bool, stdout, stderr io.Writer) error {
 	cfg.Renamings = []int{0, 5}
 	const (
 		evalN       = 10
@@ -136,11 +139,78 @@ func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, stdout, std
 			m.NsPerQuery, m.AllocsPerQuery, m.BytesPerQuery, m.MeanResults)
 	}
 
+	// Planner comparison: the Auto pick vs both forced strategies, serial,
+	// on every paper-pattern point.
+	ps, err := runner.PlannerSuite(evalN, pointBudget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\n=== planner suite (n=%d, workers=1) ===\n", evalN)
+	fmt.Fprintf(stdout, "%-10s %-10s %-8s %14s %12s\n",
+		"pattern", "renamings", "strategy", "ns/query", "mean_results")
+	for _, m := range ps {
+		fmt.Fprintf(stdout, "%-10s %-10d %-8s %14.0f %12.1f\n",
+			m.Pattern, m.Renamings, m.Strategy, m.NsPerQuery, m.MeanResults)
+	}
+	if plannerCheck {
+		if err := checkPlannerSuite(ps, stderr); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "planner check passed: auto within 2x of the best forced strategy on every point")
+	}
+	for _, m := range ps {
+		// The forced-direct rows duplicate the main suite's workers=1
+		// points; record only what the planner comparison adds.
+		if m.Strategy != "direct" {
+			ms = append(ms, m)
+		}
+	}
+
 	if jsonOut != "" {
 		if err := appendEvalJSON(jsonOut, cfg.Backend, scale, ms); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(ms), jsonOut)
+	}
+	return nil
+}
+
+// checkPlannerSuite gates on the planner suite: on every (pattern,
+// renamings) point the auto measurement must stay under twice the best
+// forced strategy's time. A failure means the planner's crossover rule picks
+// the losing strategy badly enough to matter.
+func checkPlannerSuite(ps []bench.EvalMeasurement, stderr io.Writer) error {
+	type point struct {
+		pattern   string
+		renamings int
+	}
+	best := make(map[point]float64)
+	auto := make(map[point]float64)
+	for _, m := range ps {
+		p := point{m.Pattern, m.Renamings}
+		switch m.Strategy {
+		case "auto":
+			auto[p] = m.NsPerQuery
+		default:
+			if b, ok := best[p]; !ok || m.NsPerQuery < b {
+				best[p] = m.NsPerQuery
+			}
+		}
+	}
+	var bad int
+	for p, a := range auto {
+		b, ok := best[p]
+		if !ok || b <= 0 {
+			continue
+		}
+		if a >= 2*b {
+			bad++
+			fmt.Fprintf(stderr, "planner check: %s/%d: auto %.0f ns/query vs best forced %.0f (%.2fx)\n",
+				p.pattern, p.renamings, a, b, a/b)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("axqlbench: planner picked a strategy >=2x slower than the best forced one on %d point(s)", bad)
 	}
 	return nil
 }
@@ -256,9 +326,13 @@ type evalEntry struct {
 }
 
 type evalPoint struct {
-	Pattern        string  `json:"pattern"`
-	Renamings      int     `json:"renamings"`
-	N              int     `json:"n"`
+	Pattern   string `json:"pattern"`
+	Renamings int    `json:"renamings"`
+	N         int    `json:"n"`
+	// Strategy is the evaluation strategy measured ("direct", "schema", or
+	// "auto"); absent on rows recorded before the planner existed, which
+	// were all direct.
+	Strategy       string  `json:"strategy,omitempty"`
 	Workers        int     `json:"workers"`
 	Queries        int     `json:"queries"`
 	Iterations     int     `json:"iterations"`
@@ -289,6 +363,7 @@ func appendEvalJSON(path, backend string, scale float64, ms []bench.EvalMeasurem
 			Pattern:        m.Pattern,
 			Renamings:      m.Renamings,
 			N:              m.N,
+			Strategy:       m.Strategy,
 			Workers:        m.Workers,
 			Queries:        m.Queries,
 			Iterations:     m.Iterations,

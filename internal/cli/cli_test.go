@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -140,6 +141,36 @@ func TestQueryModes(t *testing.T) {
 	}
 	if direct.String() != viaSchema.String() {
 		t.Errorf("strategies disagree:\n%s\nvs\n%s", direct.String(), viaSchema.String())
+	}
+}
+
+// TestExplainPlannerHeader pins the format of the planner line that
+// -explain prints before the second-level plans: consumers scrape the
+// strategy, estimated_count, and planner fields from it.
+func TestExplainPlannerHeader(t *testing.T) {
+	dir := t.TempDir()
+	xml := writeFile(t, dir, "catalog.xml", catalogXML)
+
+	autoLine := regexp.MustCompile(`^planner strategy=(direct|schema) estimated_count=\d+ plan_space=\d+ planner=auto$`)
+	var out bytes.Buffer
+	if err := Query([]string{"-xml", xml, "-papercosts", "-explain", "-n", "2",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if !autoLine.MatchString(first) {
+		t.Errorf("auto planner header = %q, want match for %v", first, autoLine)
+	}
+
+	forcedLine := regexp.MustCompile(`^planner strategy=schema estimated_count=\d+ plan_space=\d+ planner=forced$`)
+	out.Reset()
+	if err := Query([]string{"-xml", xml, "-papercosts", "-explain", "-strategy", "schema", "-n", "2",
+		`cd[title["concerto"]]`}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ = strings.Cut(out.String(), "\n")
+	if !forcedLine.MatchString(first) {
+		t.Errorf("forced planner header = %q, want match for %v", first, forcedLine)
 	}
 }
 
@@ -493,6 +524,10 @@ func TestCorpusIndexAndQueryEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "shards") {
 		t.Errorf("corpus explain output:\n%s", out.String())
+	}
+	corpusHeader := regexp.MustCompile(`^planner strategy=(direct|schema) estimated_count=\d+ plan_space=\d+ planner=auto shards=direct:\d+,schema:\d+$`)
+	if first, _, _ := strings.Cut(out.String(), "\n"); !corpusHeader.MatchString(first) {
+		t.Errorf("corpus planner header = %q, want match for %v", first, corpusHeader)
 	}
 
 	// -stats without a query reports corpus statistics.

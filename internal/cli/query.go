@@ -119,6 +119,11 @@ func Query(args []string, stdout, stderr io.Writer) error {
 
 	switch {
 	case *explain:
+		dec, err := db.Plan(query, *n, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", plannerLine(dec, *strategy))
 		plans, err := db.ExplainContext(ctx, query, *n, opts...)
 		if err != nil {
 			return err
@@ -241,6 +246,12 @@ func queryCorpus(f corpusQueryFlags, args []string, stdout io.Writer) error {
 
 	switch {
 	case f.explain:
+		dec, err := c.Plan(query, f.n, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s shards=direct:%d,schema:%d\n",
+			plannerLine(dec, f.strategy), dec.DirectShards, dec.SchemaShards)
 		plans, err := c.ExplainContext(ctx, query, f.n, opts...)
 		if err != nil {
 			return err
@@ -272,6 +283,20 @@ func queryCorpus(f corpusQueryFlags, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "--- execution metrics ---\n%s", metrics.String())
 	}
 	return nil
+}
+
+// plannerLine renders the -explain header reporting the planner's view of
+// the query: the effective strategy, the approximate-result-count estimate,
+// and whether the strategy was planner-resolved or forced by -strategy.
+func plannerLine(dec approxql.PlanDecision, strategyFlag string) string {
+	chosen := dec.Strategy.String()
+	planner := "auto"
+	if strategyFlag != "auto" {
+		chosen = strategyFlag
+		planner = "forced"
+	}
+	return fmt.Sprintf("planner strategy=%s estimated_count=%d plan_space=%d planner=%s",
+		chosen, dec.Estimate, dec.PlanSpace, planner)
 }
 
 // printHit prints one ranked corpus hit, naming the document it came from.

@@ -231,6 +231,13 @@ type Config struct {
 	// per-shard best-n pruning) instead of the schema-driven k-growing
 	// engine.
 	Direct bool
+	// Auto lets the planner pick the strategy per shard from each
+	// shard's own schema statistics and count probes (internal/plan);
+	// Direct is ignored when Auto is set. Mixing strategies across
+	// shards keeps the ranking bit-identical: either strategy delivers a
+	// superset of the shard's part of the global answer into the shared
+	// top-n heap.
+	Auto bool
 	// InitialK, Delta, Growth, and MaxK tune each shard's k-growing loop;
 	// see exec.Config. Zero values derive defaults. A zero InitialK is
 	// derived from the requested n: each shard needs roughly the full

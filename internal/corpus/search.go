@@ -8,10 +8,12 @@ import (
 	"sort"
 	"sync"
 
+	"approxql/internal/backend"
 	"approxql/internal/cost"
 	"approxql/internal/eval"
 	"approxql/internal/exec"
 	"approxql/internal/lang"
+	"approxql/internal/plan"
 )
 
 // topn is the gathering side of a corpus search: a bounded max-heap over
@@ -154,12 +156,13 @@ func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config
 		_, inner := resolveWorkers(cfg, 1)
 		var m exec.Metrics
 		var err error
-		if cfg.Direct {
+		if direct, shCfg := decideShard(active[0], x, n, cfg, &m); direct {
 			err = searchShardDirect(ctx, active[0], x, n, inner, &m, heap)
 		} else {
-			err = searchShardSchema(ctx, active[0], x, n, cfg, inner, &m, heap)
+			err = searchShardSchema(ctx, active[0], x, n, shCfg, inner, &m, heap)
 		}
 		merged.Merge(&m)
+		finishPlanner(merged, cfg)
 		if cfg.Metrics != nil {
 			cfg.Metrics.Merge(merged)
 		}
@@ -184,10 +187,10 @@ func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config
 				for sh := range jobs {
 					var m exec.Metrics
 					var err error
-					if cfg.Direct {
+					if direct, shCfg := decideShard(sh, x, n, cfg, &m); direct {
 						err = searchShardDirect(ctx2, sh, x, n, inner, &m, heap)
 					} else {
-						err = searchShardSchema(ctx2, sh, x, n, cfg, inner, &m, heap)
+						err = searchShardSchema(ctx2, sh, x, n, shCfg, inner, &m, heap)
 					}
 					mu.Lock()
 					merged.Merge(&m)
@@ -214,10 +217,55 @@ func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config
 			return nil, err
 		}
 	}
+	finishPlanner(merged, cfg)
 	if cfg.Metrics != nil {
 		cfg.Metrics.Merge(merged)
 	}
 	return heap.Sorted(), nil
+}
+
+// decideShard resolves one shard's strategy: the forced strategy from cfg,
+// or — under Auto — the planner's pick from the shard's own schema and
+// count-only index probes. For a schema-driven pick the planner's k/δ
+// schedule fills any schedule fields the caller left unset; either way the
+// shard contributes a superset of its part of the global answer, so mixing
+// strategies across shards cannot change the merged ranking.
+func decideShard(sh *Shard, x *lang.Expanded, n int, cfg Config, m *exec.Metrics) (bool, Config) {
+	if !cfg.Auto {
+		return cfg.Direct, cfg
+	}
+	cs, _ := sh.be.(backend.CountSource)
+	d := plan.Decide(sh.be.Schema(), cs, x, n)
+	m.PlannerEstimate = d.Estimate
+	m.PlannerProbes = d.Probes
+	if d.Strategy == plan.Direct {
+		m.PlannerDirect = 1
+		return true, cfg
+	}
+	m.PlannerSchema = 1
+	if cfg.InitialK <= 0 {
+		cfg.InitialK = d.InitialK
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = d.Delta
+	}
+	if cfg.Growth <= 0 {
+		cfg.Growth = d.Growth
+	}
+	return false, cfg
+}
+
+// finishPlanner names the majority per-shard pick in the merged metrics of
+// an Auto search.
+func finishPlanner(merged *exec.Metrics, cfg Config) {
+	if !cfg.Auto || merged.PlannerDirect+merged.PlannerSchema == 0 {
+		return
+	}
+	if merged.PlannerDirect >= merged.PlannerSchema {
+		merged.PlannerStrategy = plan.Direct.String()
+	} else {
+		merged.PlannerStrategy = plan.SchemaDriven.String()
+	}
 }
 
 // searchShardSchema runs one shard's k-growing engine unbounded (N = 0)

@@ -96,6 +96,21 @@ type Metrics struct {
 	BoundSkipped int
 	BoundStops   int
 
+	// The Planner* fields describe how the Auto strategy was resolved;
+	// they stay zero/empty when the caller forced a strategy.
+	// PlannerStrategy names the strategy the planner picked ("direct" or
+	// "schema"); PlannerEstimate is its approximate-result-count estimate
+	// R̂; PlannerProbes counts the count-only index probes the estimate
+	// issued. In a sharded evaluation the planner decides per shard:
+	// PlannerDirect/PlannerSchema count the shards routed to each
+	// strategy, PlannerEstimate sums the per-shard estimates, and
+	// PlannerStrategy names the majority pick.
+	PlannerStrategy string
+	PlannerEstimate int
+	PlannerProbes   int
+	PlannerDirect   int
+	PlannerSchema   int
+
 	// ResultsEmitted counts distinct result roots delivered.
 	ResultsEmitted int
 	// Truncated reports that the search hit MaxK before finding N
@@ -142,6 +157,13 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.ShardsPruned += o.ShardsPruned
 	m.BoundSkipped += o.BoundSkipped
 	m.BoundStops += o.BoundStops
+	if o.PlannerStrategy != "" {
+		m.PlannerStrategy = o.PlannerStrategy
+	}
+	m.PlannerEstimate += o.PlannerEstimate
+	m.PlannerProbes += o.PlannerProbes
+	m.PlannerDirect += o.PlannerDirect
+	m.PlannerSchema += o.PlannerSchema
 	m.ResultsEmitted += o.ResultsEmitted
 	m.Truncated = m.Truncated || o.Truncated
 	if o.Parallelism > m.Parallelism {
@@ -193,6 +215,15 @@ func (m *Metrics) String() string {
 	}
 	if m.BoundSkipped > 0 || m.BoundStops > 0 {
 		w("bound cutoff      %d queries skipped, %d shard stops", m.BoundSkipped, m.BoundStops)
+	}
+	if m.PlannerStrategy != "" {
+		if m.PlannerDirect+m.PlannerSchema > 1 {
+			w("planner           %s  (estimate %d, %d probes; %d direct / %d schema shards)",
+				m.PlannerStrategy, m.PlannerEstimate, m.PlannerProbes, m.PlannerDirect, m.PlannerSchema)
+		} else {
+			w("planner           %s  (estimate %d, %d probes)",
+				m.PlannerStrategy, m.PlannerEstimate, m.PlannerProbes)
+		}
 	}
 	w("results emitted   %d", m.ResultsEmitted)
 	w("parallelism       %d", m.Parallelism)

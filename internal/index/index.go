@@ -93,6 +93,18 @@ func (ix *Memory) TextByID(id dict.ID) []xmltree.NodeID {
 	return ix.textPost[id]
 }
 
+// StructCount returns the length of the posting for name.
+func (ix *Memory) StructCount(name string) (int, error) {
+	p, _ := ix.Struct(name)
+	return len(p), nil
+}
+
+// TextCount returns the length of the posting for term.
+func (ix *Memory) TextCount(term string) (int, error) {
+	p, _ := ix.Text(term)
+	return len(p), nil
+}
+
 // DocFreq reports how many nodes carry the given label.
 func (ix *Memory) DocFreq(label string, kind cost.Kind) int {
 	var p []xmltree.NodeID

@@ -100,3 +100,31 @@ func (s *Stored) Struct(name string) ([]xmltree.NodeID, error) {
 func (s *Stored) Text(term string) ([]xmltree.NodeID, error) {
 	return s.fetch(textPrefix + term)
 }
+
+// postingHeaderLen bounds the encoded posting prefix that holds the entry
+// count: an optional two-byte format marker plus one uvarint.
+const postingHeaderLen = 12
+
+// StructCount returns the length of the posting for name without decoding
+// (or, on counter-format stores, even materializing) it.
+func (s *Stored) StructCount(name string) (int, error) {
+	return s.count(structPrefix + name)
+}
+
+// TextCount returns the length of the posting for term, like StructCount.
+func (s *Stored) TextCount(term string) (int, error) {
+	return s.count(textPrefix + term)
+}
+
+func (s *Stored) count(key string) (int, error) {
+	if s.cache != nil {
+		if post, ok := s.cache.Get(key); ok {
+			return len(post), nil
+		}
+	}
+	hdr, ok, err := s.db.ValueHeader([]byte(key), postingHeaderLen)
+	if err != nil || !ok {
+		return 0, err
+	}
+	return PostingCount(hdr)
+}

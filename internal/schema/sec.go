@@ -207,8 +207,14 @@ func (ss *StoredSec) SecTermInstancesUpTo(c NodeID, term string, bound xmltree.N
 	return ss.fetchUpTo(secTermKey(c, term), bound)
 }
 
+// secPostingHeaderLen bounds the encoded posting prefix that carries the
+// entry count: an optional two-byte format marker plus one uvarint.
+const secPostingHeaderLen = 12
+
 // count reads a posting's size from its encoded header, without decoding —
-// or caching — the entries. Cached postings short-circuit to their length.
+// or caching — the entries. Cached postings short-circuit to their length;
+// otherwise only the value header is read, so overflow-chained postings
+// cost one descent instead of a page per chain hop.
 func (ss *StoredSec) count(key []byte) (int, error) {
 	k := string(key)
 	if ss.cache != nil {
@@ -216,14 +222,14 @@ func (ss *StoredSec) count(key []byte) (int, error) {
 			return len(post), nil
 		}
 	}
-	raw, ok, err := ss.db.Get(key)
+	hdr, ok, err := ss.db.ValueHeader(key, secPostingHeaderLen)
 	if err != nil {
 		return 0, err
 	}
 	if !ok {
 		return 0, nil
 	}
-	n, err := index.PostingCount(raw)
+	n, err := index.PostingCount(hdr)
 	if err != nil {
 		return 0, fmt.Errorf("schema: posting %q: %w", k, err)
 	}

@@ -30,10 +30,22 @@ type resultCache struct {
 	misses int64
 }
 
+// cachedRanking is a cache value: the ranking plus the planner view that
+// produced it, so a hit reproduces the cold path's planner fields too.
+type cachedRanking struct {
+	results []approxql.Hit // never mutated after insertion
+	// strategy is the effective strategy that produced the ranking;
+	// planner is "auto" or "forced"; estimate is the planner's
+	// approximate-result-count estimate.
+	strategy string
+	planner  string
+	estimate int
+}
+
 type cacheEntry struct {
 	key     string
 	gen     uint64
-	results []approxql.Hit // never mutated after insertion
+	ranking cachedRanking
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -50,37 +62,37 @@ func cacheKey(fingerprint string, n int, strategy approxql.Strategy) string {
 }
 
 // get returns the cached ranking for key, if present.
-func (c *resultCache) get(key string) ([]approxql.Hit, bool) {
+func (c *resultCache) get(key string) (cachedRanking, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
 		c.misses++
-		return nil, false
+		return cachedRanking{}, false
 	}
 	el, ok := c.entries[key]
 	if !ok || el.Value.(*cacheEntry).gen != c.gen {
 		c.misses++
-		return nil, false
+		return cachedRanking{}, false
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).results, true
+	return el.Value.(*cacheEntry).ranking, true
 }
 
-// put stores a complete ranking. The caller must not modify results
-// afterwards.
-func (c *resultCache) put(key string, results []approxql.Hit) {
+// put stores a complete ranking. The caller must not modify the ranking's
+// results afterwards.
+func (c *resultCache) put(key string, rk cachedRanking) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value = &cacheEntry{key: key, gen: c.gen, results: results}
+		el.Value = &cacheEntry{key: key, gen: c.gen, ranking: rk}
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, gen: c.gen, results: results})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, gen: c.gen, ranking: rk})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -61,8 +61,16 @@ type QueryResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	// N is the effective result bound after clamping.
 	N int `json:"n"`
-	// Strategy is the effective strategy.
+	// Strategy is the strategy that produced the ranking: the forced one,
+	// or — for "auto" requests — the planner's pick (the majority pick
+	// across shards of a corpus).
 	Strategy string `json:"strategy"`
+	// Planner reports how Strategy was chosen: "auto" (planner-resolved)
+	// or "forced" (requested by the client).
+	Planner string `json:"planner"`
+	// EstimatedCount is the planner's approximate-result-count estimate
+	// for the query, summed across shards.
+	EstimatedCount int `json:"estimated_count"`
 	// Cached reports that the ranking was served from the result cache.
 	Cached bool `json:"cached"`
 	// TookMS is the server-side handling time in milliseconds.
@@ -128,8 +136,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(fingerprint, n, strategy)
-	if results, ok := s.cache.get(key); ok {
-		s.writeRanking(w, r, req, canonical, fingerprint, n, strategy, results, true, start)
+	if rk, ok := s.cache.get(key); ok {
+		s.writeRanking(w, r, req, canonical, fingerprint, n, rk, true, start)
 		return
 	}
 
@@ -177,22 +185,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.cache.put(key, results)
-	s.writeRanking(w, r, req, canonical, fingerprint, n, strategy, results, false, start)
+	rk := cachedRanking{results: results}
+	if strategy == approxql.Auto {
+		rk.planner = "auto"
+		rk.strategy = qm.PlannerStrategy
+		rk.estimate = qm.PlannerEstimate
+		if rk.strategy == "" {
+			// Every shard was pruned: nothing ran, report the trivial pick.
+			rk.strategy = approxql.Direct.String()
+		}
+	} else {
+		rk.planner = "forced"
+		rk.strategy = strategy.String()
+		// The planner did not run; its estimate is still cheap (count-only
+		// probes) and keeps the response shape uniform.
+		if dec, err := s.corpus.Plan(req.Query, n, opts...); err == nil {
+			rk.estimate = dec.Estimate
+		}
+	}
+	s.cache.put(key, rk)
+	s.writeRanking(w, r, req, canonical, fingerprint, n, rk, false, start)
 }
 
 func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryRequest,
-	canonical, fingerprint string, n int, strategy approxql.Strategy,
-	results []approxql.Hit, cached bool, start time.Time) {
+	canonical, fingerprint string, n int, rk cachedRanking, cached bool, start time.Time) {
 
+	results := rk.results
 	resp := QueryResponse{
-		Query:       canonical,
-		Fingerprint: fingerprint,
-		N:           n,
-		Strategy:    strategy.String(),
-		Cached:      cached,
-		TookMS:      float64(time.Since(start).Microseconds()) / 1000,
-		Results:     make([]QueryResult, len(results)),
+		Query:          canonical,
+		Fingerprint:    fingerprint,
+		N:              n,
+		Strategy:       rk.strategy,
+		Planner:        rk.planner,
+		EstimatedCount: rk.estimate,
+		Cached:         cached,
+		TookMS:         float64(time.Since(start).Microseconds()) / 1000,
+		Results:        make([]QueryResult, len(results)),
 	}
 	for i, res := range results {
 		doc := s.corpus.Doc(res.Doc)
@@ -221,16 +249,24 @@ type HealthResponse struct {
 	Docs     int   `json:"docs"`
 	Shards   int   `json:"shards"`
 	Inflight int64 `json:"inflight"`
+	// BundleVersion is the manifest version the served bundle was opened
+	// from (0 for in-memory collections); StorageCounted reports whether
+	// every stored shard carries the counter-format index stores the
+	// planner's O(log n) count probes rely on.
+	BundleVersion  int  `json:"bundle_version"`
+	StorageCounted bool `json:"storage_counted"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.corpus.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		Nodes:    st.Nodes,
-		Docs:     st.Docs,
-		Shards:   st.Shards,
-		Inflight: s.admission.inflight.Load(),
+		Status:         "ok",
+		Nodes:          st.Nodes,
+		Docs:           st.Docs,
+		Shards:         st.Shards,
+		Inflight:       s.admission.inflight.Load(),
+		BundleVersion:  st.BundleVersion,
+		StorageCounted: st.StorageCounted,
 	})
 }
 

@@ -122,8 +122,69 @@ func TestQueryMatchesDatabaseSearch(t *testing.T) {
 	if qr.Cached {
 		t.Error("first evaluation reported cached")
 	}
-	if qr.Strategy != "auto" || qr.N != 5 {
+	if (qr.Strategy != "direct" && qr.Strategy != "schema") || qr.N != 5 {
 		t.Errorf("echo = strategy %q n %d", qr.Strategy, qr.N)
+	}
+	if qr.Planner != "auto" {
+		t.Errorf("planner = %q, want auto", qr.Planner)
+	}
+}
+
+// TestPlannerResponseFields pins the planner's wire format: every /query
+// response carries "strategy", "planner", and "estimated_count", resolved
+// by the planner for auto requests and echoed for forced ones, identically
+// on cache hits.
+func TestPlannerResponseFields(t *testing.T) {
+	db := buildDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	query := `cd[title["concerto"]]`
+	for _, req := range []QueryRequest{
+		{Query: query, N: 5},
+		{Query: query, N: 5, Strategy: "direct"},
+		{Query: query, N: 5, Strategy: "schema"},
+	} {
+		resp, body := postQuery(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(body, &raw); err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{"strategy", "planner", "estimated_count"} {
+			if _, ok := raw[field]; !ok {
+				t.Errorf("strategy=%q: response misses %q: %s", req.Strategy, field, body)
+			}
+		}
+		qr := decodeResponse(t, body)
+		if req.Strategy == "" {
+			if qr.Planner != "auto" {
+				t.Errorf("auto request: planner = %q", qr.Planner)
+			}
+			if qr.Strategy != "direct" && qr.Strategy != "schema" {
+				t.Errorf("auto request: strategy = %q", qr.Strategy)
+			}
+		} else {
+			if qr.Planner != "forced" || qr.Strategy != req.Strategy {
+				t.Errorf("forced %q: planner = %q strategy = %q", req.Strategy, qr.Planner, qr.Strategy)
+			}
+		}
+		if qr.EstimatedCount <= 0 {
+			t.Errorf("strategy=%q: estimated_count = %d, want > 0", req.Strategy, qr.EstimatedCount)
+		}
+
+		// A cache hit must reproduce the same planner view.
+		_, body2 := postQuery(t, ts.URL, req)
+		hit := decodeResponse(t, body2)
+		if !hit.Cached {
+			t.Errorf("strategy=%q: second response not cached", req.Strategy)
+		}
+		if hit.Strategy != qr.Strategy || hit.Planner != qr.Planner || hit.EstimatedCount != qr.EstimatedCount {
+			t.Errorf("strategy=%q: cache hit planner view %q/%q/%d != cold %q/%q/%d",
+				req.Strategy, hit.Strategy, hit.Planner, hit.EstimatedCount,
+				qr.Strategy, qr.Planner, qr.EstimatedCount)
+		}
 	}
 }
 

@@ -13,7 +13,9 @@ import (
 //   - every key in a subtree lies within the separator bounds of its parent,
 //   - the next-leaf chain visits exactly the leaves, in key order,
 //   - the stored key count matches the number of leaf cells,
-//   - overflow chains terminate and carry the advertised lengths.
+//   - overflow chains terminate and carry the advertised lengths,
+//   - on counted databases, every branch page is flagged and every
+//     per-subtree counter equals the key count of the leaves below it.
 //
 // Check is intended for tests and for verifying files of unknown
 // provenance; it reads every page once.
@@ -24,7 +26,7 @@ func (db *DB) Check() error {
 		return ErrClosed
 	}
 	c := &checker{db: db}
-	firstLeaf, lastLeaf, err := c.walk(db.root, nil, nil)
+	firstLeaf, lastLeaf, _, err := c.walk(db.root, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -63,24 +65,24 @@ type checker struct {
 
 // walk validates the subtree rooted at id; every key must satisfy
 // low <= key < high (nil bounds are open). It returns the first and last
-// leaf page of the subtree.
-func (c *checker) walk(id uint32, low, high []byte) (uint32, uint32, error) {
+// leaf page of the subtree and the subtree's total key count.
+func (c *checker) walk(id uint32, low, high []byte) (uint32, uint32, int, error) {
 	pg, err := c.db.pager.get(id)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	n := nCells(pg)
 	var prev []byte
 	for i := 0; i < n; i++ {
 		key := cellKey(pg, i)
 		if prev != nil && bytes.Compare(prev, key) >= 0 {
-			return 0, 0, corruptf("page %d: keys out of order at cell %d", id, i)
+			return 0, 0, 0, corruptf("page %d: keys out of order at cell %d", id, i)
 		}
 		if low != nil && bytes.Compare(key, low) < 0 {
-			return 0, 0, corruptf("page %d: key below separator bound", id)
+			return 0, 0, 0, corruptf("page %d: key below separator bound", id)
 		}
 		if high != nil && bytes.Compare(key, high) >= 0 {
-			return 0, 0, corruptf("page %d: key above separator bound", id)
+			return 0, 0, 0, corruptf("page %d: key above separator bound", id)
 		}
 		prev = append(prev[:0], key...)
 	}
@@ -90,13 +92,17 @@ func (c *checker) walk(id uint32, low, high []byte) (uint32, uint32, error) {
 		c.keys += n
 		for i := 0; i < n; i++ {
 			if err := c.checkOverflow(pg, i); err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 		}
-		return id, id, nil
+		return id, id, n, nil
 	case pageBranch:
 		if n == 0 {
-			return 0, 0, corruptf("page %d: branch without separators", id)
+			return 0, 0, 0, corruptf("page %d: branch without separators", id)
+		}
+		if counted(pg) != c.db.counted {
+			return 0, 0, 0, corruptf("page %d: counter flag %v on a counted=%v database",
+				id, counted(pg), c.db.counted)
 		}
 		// Collect the key bounds per child. Separator keys live in the
 		// subtree to their right.
@@ -106,6 +112,7 @@ func (c *checker) walk(id uint32, low, high []byte) (uint32, uint32, error) {
 			children = append(children, branchChild(pg, i))
 		}
 		var first, last uint32
+		total := 0
 		for i, child := range children {
 			childLow, childHigh := low, high
 			if i > 0 {
@@ -114,18 +121,31 @@ func (c *checker) walk(id uint32, low, high []byte) (uint32, uint32, error) {
 			if i < n {
 				childHigh = append([]byte(nil), cellKey(pg, i)...)
 			}
-			f, l, err := c.walk(child, childLow, childHigh)
+			f, l, sub, err := c.walk(child, childLow, childHigh)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
+			if c.db.counted {
+				// The stored counter for this child must match the leaf
+				// walk exactly.
+				stored := leftCount(pg)
+				if i > 0 {
+					stored = branchCellCount(pg, i-1)
+				}
+				if int(stored) != sub {
+					return 0, 0, 0, corruptf("page %d: child %d counter %d, subtree holds %d keys",
+						id, i, stored, sub)
+				}
+			}
+			total += sub
 			if i == 0 {
 				first = f
 			}
 			last = l
 		}
-		return first, last, nil
+		return first, last, total, nil
 	}
-	return 0, 0, corruptf("page %d: unexpected type %d in tree", id, pg.data[offType])
+	return 0, 0, 0, corruptf("page %d: unexpected type %d in tree", id, pg.data[offType])
 }
 
 func (c *checker) checkOverflow(pg *page, i int) error {

@@ -1,0 +1,171 @@
+package storage
+
+import "bytes"
+
+// Count and rank operations. On counted databases (every freshly created
+// one) these run in O(log n) by descending the tree and summing the
+// per-subtree counters on branch pages; files written before the counter
+// format fall back to a linear leaf walk with identical semantics.
+
+// Rank returns the number of stored keys strictly smaller than key.
+func (db *DB) Rank(key []byte) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	r, err := db.rankLocked(key)
+	if err != nil {
+		return 0, err
+	}
+	return r, db.pager.trim()
+}
+
+// CountRange returns the number of stored keys k with lo <= k < hi. A nil
+// lo means "from the smallest key"; a nil hi means "to the end".
+func (db *DB) CountRange(lo, hi []byte) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	below := 0
+	var err error
+	if lo != nil {
+		if below, err = db.rankLocked(lo); err != nil {
+			return 0, err
+		}
+	}
+	upper := int(db.keys)
+	if hi != nil {
+		if upper, err = db.rankLocked(hi); err != nil {
+			return 0, err
+		}
+	}
+	if upper < below {
+		return 0, db.pager.trim()
+	}
+	return upper - below, db.pager.trim()
+}
+
+// CountPrefix returns the number of stored keys that start with prefix.
+func (db *DB) CountPrefix(prefix []byte) (int, error) {
+	return db.CountRange(prefix, prefixSuccessor(prefix))
+}
+
+// prefixSuccessor returns the smallest key greater than every key with the
+// given prefix, or nil when no such key exists (all-0xFF prefixes).
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			succ := append([]byte(nil), prefix[:i+1]...)
+			succ[i]++
+			return succ
+		}
+	}
+	return nil
+}
+
+// rankLocked counts the keys strictly below key. Callers hold db.mu.
+func (db *DB) rankLocked(key []byte) (int, error) {
+	pg, err := db.pager.get(db.root)
+	if err != nil {
+		return 0, err
+	}
+	if db.counted {
+		total := 0
+		for pg.data[offType] == pageBranch {
+			idx := childIndexFor(pg, key)
+			// Children left of the descent target hold only smaller keys;
+			// their counters contribute without descending.
+			if idx >= 0 {
+				total += int(leftCount(pg))
+			}
+			for j := 0; j < idx; j++ {
+				total += int(branchCellCount(pg, j))
+			}
+			pg, err = db.pager.get(childAt(pg, idx))
+			if err != nil {
+				return 0, err
+			}
+		}
+		if pg.data[offType] != pageLeaf {
+			return 0, corruptf("page %d: expected leaf, got type %d", pg.id, pg.data[offType])
+		}
+		i, _ := search(pg, key)
+		return total + i, nil
+	}
+	// Uncounted fallback: walk the leaf chain up to the key's leaf.
+	for pg.data[offType] == pageBranch {
+		pg, err = db.pager.get(leftChild(pg))
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := 0
+	for {
+		if pg.data[offType] != pageLeaf {
+			return 0, corruptf("page %d: expected leaf, got type %d", pg.id, pg.data[offType])
+		}
+		n := nCells(pg)
+		if n > 0 && bytes.Compare(cellKey(pg, n-1), key) >= 0 {
+			i, _ := search(pg, key)
+			return total + i, nil
+		}
+		total += n
+		next := nextLeaf(pg)
+		if next == 0 {
+			return total, nil
+		}
+		pg, err = db.pager.get(next)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// ValueHeader returns up to max leading bytes of the value stored under
+// key, without materializing overflow chains: inline values are sliced in
+// place and overflowed values read only their first overflow page. It
+// reports whether the key exists. The callers use it to decode posting-list
+// headers (counts) from values whose full materialization would cost a
+// page read per overflow hop.
+func (db *DB) ValueHeader(key []byte, max int) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, ErrClosed
+	}
+	pg, err := db.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	i, found := search(pg, key)
+	if !found {
+		return nil, false, db.pager.trim()
+	}
+	val, ovfLen, ovfPage := leafCellValue(pg, i)
+	if ovfPage == 0 {
+		if max > len(val) {
+			max = len(val)
+		}
+		out := append([]byte(nil), val[:max]...)
+		return out, true, db.pager.trim()
+	}
+	opg, err := db.pager.get(ovfPage)
+	if err != nil {
+		return nil, false, err
+	}
+	if opg.data[offType] != pageOverflow {
+		return nil, false, corruptf("page %d: expected overflow, got type %d", ovfPage, opg.data[offType])
+	}
+	dlen := int(getU16(opg.data, ovfOffLen))
+	if max > dlen {
+		max = dlen
+	}
+	if max > int(ovfLen) {
+		max = int(ovfLen)
+	}
+	out := append([]byte(nil), opg.data[ovfHdrSize:ovfHdrSize+max]...)
+	return out, true, db.pager.trim()
+}

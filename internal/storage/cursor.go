@@ -71,6 +71,72 @@ func (c *Cursor) Seek(key []byte) bool {
 	return c.settle(pg)
 }
 
+// SeekRank positions the cursor at the key with the given zero-based rank
+// in ascending key order: the offset jump of paginated serving. On counted
+// databases one root-to-leaf descent suffices (O(log n)); older files walk
+// the leaf chain, skipping whole leaves by their cell counts.
+func (c *Cursor) SeekRank(rank int) bool {
+	c.db.mu.Lock()
+	defer c.db.mu.Unlock()
+	if c.fail(c.checkOpen()) {
+		return false
+	}
+	if rank < 0 || rank >= int(c.db.keys) {
+		c.valid = false
+		c.key, c.value = nil, nil
+		return false
+	}
+	pg, err := c.db.pager.get(c.db.root)
+	if c.fail(err) {
+		return false
+	}
+	r := rank
+	if c.db.counted {
+		for pg.data[offType] == pageBranch {
+			child := uint32(0)
+			if r < int(leftCount(pg)) {
+				child = leftChild(pg)
+			} else {
+				r -= int(leftCount(pg))
+				for j := 0; j < nCells(pg); j++ {
+					if r < int(branchCellCount(pg, j)) {
+						child = branchChild(pg, j)
+						break
+					}
+					r -= int(branchCellCount(pg, j))
+				}
+			}
+			if child == 0 {
+				return !c.fail(corruptf("page %d: rank %d beyond subtree counters", pg.id, rank))
+			}
+			pg, err = c.db.pager.get(child)
+			if c.fail(err) {
+				return false
+			}
+		}
+	} else {
+		for pg.data[offType] == pageBranch {
+			pg, err = c.db.pager.get(leftChild(pg))
+			if c.fail(err) {
+				return false
+			}
+		}
+		for r >= nCells(pg) {
+			r -= nCells(pg)
+			next := nextLeaf(pg)
+			if next == 0 {
+				return !c.fail(corruptf("rank %d beyond leaf chain", rank))
+			}
+			pg, err = c.db.pager.get(next)
+			if c.fail(err) {
+				return false
+			}
+		}
+	}
+	c.leaf, c.idx = pg.id, r
+	return c.settle(pg)
+}
+
 // Next advances to the next key.
 func (c *Cursor) Next() bool {
 	c.db.mu.Lock()

@@ -6,7 +6,13 @@ import (
 	"sync"
 )
 
-const metaMagic = "AXQLBT01"
+// Meta magics: v1 files predate per-subtree counters, v2 files maintain
+// them on every branch page. Fresh databases are always written as v2;
+// v1 files still open and serve every operation through linear fallbacks.
+const (
+	metaMagic   = "AXQLBT01"
+	metaMagicV2 = "AXQLBT02"
+)
 
 // DB is an embedded B+tree key-value store. Open one with Open; a DB with
 // an empty path lives entirely in memory.
@@ -16,6 +22,7 @@ type DB struct {
 	file     *os.File
 	root     uint32
 	keys     uint64
+	counted  bool // branch pages maintain per-subtree key counters
 	readonly bool
 	closed   bool
 }
@@ -39,7 +46,7 @@ func Open(path string, opts *Options) (*DB, error) {
 	if cache <= 0 {
 		cache = 4096
 	}
-	db := &DB{}
+	db := &DB{counted: true}
 	if path == "" {
 		db.pager = newPager(nil, cache)
 		return db, db.initEmpty()
@@ -97,7 +104,12 @@ func (db *DB) readMeta(pageCount int64) error {
 	if _, err := db.file.ReadAt(meta, 0); err != nil {
 		return err
 	}
-	if string(meta[:len(metaMagic)]) != metaMagic {
+	switch string(meta[:len(metaMagic)]) {
+	case metaMagicV2:
+		db.counted = true
+	case metaMagic:
+		db.counted = false
+	default:
 		return corruptf("bad magic %q", meta[:len(metaMagic)])
 	}
 	db.root = getU32(meta, 8)
@@ -115,7 +127,11 @@ func (db *DB) readMeta(pageCount int64) error {
 
 func (db *DB) writeMeta() error {
 	meta := make([]byte, PageSize)
-	copy(meta, metaMagic)
+	if db.counted {
+		copy(meta, metaMagicV2)
+	} else {
+		copy(meta, metaMagic)
+	}
 	putU32(meta, 8, db.root)
 	putU32(meta, 12, db.pager.freeHead)
 	putU32(meta, 16, db.pager.nextID)
@@ -170,6 +186,24 @@ func (db *DB) Len() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return int(db.keys)
+}
+
+// Counted reports whether the database maintains per-subtree key counters
+// on its branch pages (all fresh databases do; files written before the
+// counter format fall back to linear counting).
+func (db *DB) Counted() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.counted
+}
+
+// PageOps returns the cumulative number of logical page accesses the
+// database has performed, cache hits included. Tests pin the asymptotic
+// cost of count and rank operations with deltas of this counter.
+func (db *DB) PageOps() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pager.reads
 }
 
 // Get returns the value stored under key and whether it exists. The returned
@@ -233,7 +267,7 @@ func (db *DB) Put(key, value []byte) error {
 	if db.readonly {
 		return ErrReadOnly
 	}
-	split, err := db.insert(db.root, key, value)
+	split, _, err := db.insert(db.root, key, value)
 	if err != nil {
 		return err
 	}
@@ -243,14 +277,26 @@ func (db *DB) Put(key, value []byte) error {
 		if err != nil {
 			return err
 		}
-		initPage(newRoot, pageBranch)
+		db.initBranch(newRoot)
 		setLeftChild(newRoot, db.root)
-		if !insertCellAt(newRoot, 0, makeBranchCell(split.key, split.right)) {
+		if db.counted {
+			setLeftCount(newRoot, split.leftKeys)
+		}
+		if !insertCellAt(newRoot, 0, makeBranchCell(split.key, split.right, split.rightKeys, db.counted)) {
 			return corruptf("separator does not fit into an empty root")
 		}
 		db.root = newRoot.id
 	}
 	return db.pager.trim()
+}
+
+// initBranch formats pg as an empty branch page in the database's cell
+// layout (counted databases tag the page and maintain subtree counters).
+func (db *DB) initBranch(pg *page) {
+	initPage(pg, pageBranch)
+	if db.counted {
+		pg.data[offFlags] |= pageFlagCounted
+	}
 }
 
 // Delete removes key. It reports whether the key existed.
@@ -263,9 +309,27 @@ func (db *DB) Delete(key []byte) (bool, error) {
 	if db.readonly {
 		return false, ErrReadOnly
 	}
-	pg, err := db.findLeaf(key)
+	// Record the descent so subtree counters can be decremented after a
+	// successful delete.
+	type step struct {
+		pg  *page
+		idx int
+	}
+	var path []step
+	pg, err := db.pager.get(db.root)
 	if err != nil {
 		return false, err
+	}
+	for pg.data[offType] == pageBranch {
+		idx := childIndexFor(pg, key)
+		path = append(path, step{pg, idx})
+		pg, err = db.pager.get(childAt(pg, idx))
+		if err != nil {
+			return false, err
+		}
+	}
+	if pg.data[offType] != pageLeaf {
+		return false, corruptf("page %d: expected leaf, got type %d", pg.id, pg.data[offType])
 	}
 	i, found := search(pg, key)
 	if !found {
@@ -276,6 +340,11 @@ func (db *DB) Delete(key []byte) (bool, error) {
 	}
 	deleteCellAt(pg, i)
 	db.keys--
+	if db.counted {
+		for _, s := range path {
+			addChildCount(s.pg, s.idx, -1)
+		}
+	}
 	return true, db.pager.trim()
 }
 
@@ -301,55 +370,75 @@ func (db *DB) findLeaf(key []byte) (*page, error) {
 type splitResult struct {
 	key   []byte // separator key: smallest key in the right sibling's subtree
 	right uint32
+	// leftKeys and rightKeys are the absolute post-insert key counts of
+	// the two subtree halves (maintained only on counted databases).
+	leftKeys  uint32
+	rightKeys uint32
 }
 
-func (db *DB) insert(pageID uint32, key, value []byte) (*splitResult, error) {
+// insert descends to the leaf for key and inserts (key, value). It returns
+// a non-nil splitResult when the page split, and added reports whether the
+// key count of the subtree grew (false for in-place replacements), which
+// drives the counter maintenance in the parents.
+func (db *DB) insert(pageID uint32, key, value []byte) (*splitResult, bool, error) {
 	pg, err := db.pager.get(pageID)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	switch pg.data[offType] {
 	case pageLeaf:
 		return db.insertLeaf(pg, key, value)
 	case pageBranch:
 		idx := childIndexFor(pg, key)
-		split, err := db.insert(childAt(pg, idx), key, value)
-		if err != nil || split == nil {
-			return nil, err
+		split, added, err := db.insert(childAt(pg, idx), key, value)
+		if err != nil {
+			return nil, false, err
 		}
-		cell := makeBranchCell(split.key, split.right)
+		if split == nil {
+			if added && db.counted {
+				addChildCount(pg, idx, 1)
+			}
+			return nil, added, nil
+		}
+		// The child split: its counter becomes the left half's total and
+		// the new separator cell carries the right half's.
+		if db.counted {
+			setChildCount(pg, idx, split.leftKeys)
+		}
+		cell := makeBranchCell(split.key, split.right, split.rightKeys, db.counted)
 		if insertCellAt(pg, idx+1, cell) {
-			return nil, nil
+			return nil, added, nil
 		}
-		return db.splitBranch(pg, idx+1, cell)
+		sp, err := db.splitBranch(pg, idx+1, cell)
+		return sp, added, err
 	default:
-		return nil, corruptf("page %d: unexpected type %d during insert", pg.id, pg.data[offType])
+		return nil, false, corruptf("page %d: unexpected type %d during insert", pg.id, pg.data[offType])
 	}
 }
 
-func (db *DB) insertLeaf(pg *page, key, value []byte) (*splitResult, error) {
+func (db *DB) insertLeaf(pg *page, key, value []byte) (*splitResult, bool, error) {
 	i, found := search(pg, key)
 	if found {
 		if err := db.freeCellOverflow(pg, i); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		deleteCellAt(pg, i)
 		db.keys--
 	}
 	cell, err := db.makeValueCell(key, value)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if insertCellAt(pg, i, cell) {
 		db.keys++
-		return nil, nil
+		return nil, !found, nil
 	}
 	split, err := db.splitLeaf(pg, i, cell)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	db.keys++
-	return split, nil
+	return split, !found, nil
 }
 
 // makeValueCell builds the leaf cell for (key, value), spilling large values
@@ -407,7 +496,12 @@ func (db *DB) splitLeaf(pg *page, i int, cell []byte) (*splitResult, error) {
 			return nil, corruptf("leaf split: cell does not fit into either half")
 		}
 	}
-	return &splitResult{key: append([]byte(nil), cellKey(right, 0)...), right: right.id}, nil
+	return &splitResult{
+		key:       append([]byte(nil), cellKey(right, 0)...),
+		right:     right.id,
+		leftKeys:  uint32(nCells(pg)),
+		rightKeys: uint32(nCells(right)),
+	}, nil
 }
 
 // splitBranch splits a full branch page and inserts cell at index i.
@@ -416,14 +510,17 @@ func (db *DB) splitBranch(pg *page, i int, cell []byte) (*splitResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	initPage(right, pageBranch)
+	db.initBranch(right)
 
 	n := nCells(pg)
 	mid := n / 2
 	// The middle key is promoted; its child becomes the right page's
-	// leftmost child.
+	// leftmost child (carrying its subtree counter into the header slot).
 	sep := append([]byte(nil), cellKey(pg, mid)...)
 	setLeftChild(right, branchChild(pg, mid))
+	if db.counted {
+		setLeftCount(right, branchCellCount(pg, mid))
+	}
 	for j := mid + 1; j < n; j++ {
 		off := cellOffset(pg, j)
 		sz := cellSize(pg, j)
@@ -443,7 +540,12 @@ func (db *DB) splitBranch(pg *page, i int, cell []byte) (*splitResult, error) {
 			return nil, corruptf("branch split: cell does not fit into right half")
 		}
 	}
-	return &splitResult{key: sep, right: right.id}, nil
+	res := &splitResult{key: sep, right: right.id}
+	if db.counted {
+		res.leftKeys = subtreeKeys(pg)
+		res.rightKeys = subtreeKeys(right)
+	}
+	return res, nil
 }
 
 // readValue materializes the value of leaf cell i, following overflow chains.

@@ -13,6 +13,9 @@ import (
 //	flags 1 (overflow): vlen uint32 | first overflow page id uint32
 //
 // Branch cell: klen uint16 | key | child page id uint32
+//
+// On counted branch pages (pageFlagCounted set) every branch cell carries a
+// trailing uint32: the number of keys stored in the child's subtree.
 const (
 	flagInline   = 0
 	flagOverflow = 1
@@ -33,6 +36,10 @@ func initPage(pg *page, typ byte) {
 	putU32(pg.data, offLink, 0)
 	// Upper is stored mod 64K; PageSize is exactly 4096 so offsets fit.
 	setUpper(pg, PageSize)
+	// Clear the flag byte and the leftmost-child counter slot.
+	for i := offFlags; i < hdrSize; i++ {
+		pg.data[i] = 0
+	}
 	pg.dirty = true
 }
 
@@ -84,6 +91,66 @@ func leftChild(pg *page) uint32 { return getU32(pg.data, offLink) }
 func setLeftChild(pg *page, c uint32) {
 	putU32(pg.data, offLink, c)
 	pg.dirty = true
+}
+
+// counted reports whether pg's branch cells carry subtree key counters.
+func counted(pg *page) bool { return pg.data[offFlags]&pageFlagCounted != 0 }
+
+// leftCount returns the key count of the leftmost child's subtree on a
+// counted branch page.
+func leftCount(pg *page) uint32 { return getU32(pg.data, offLeftCount) }
+
+func setLeftCount(pg *page, v uint32) {
+	putU32(pg.data, offLeftCount, v)
+	pg.dirty = true
+}
+
+// branchCellCount returns the subtree key count of branch cell i; the page
+// must be counted.
+func branchCellCount(pg *page, i int) uint32 {
+	off := cellOffset(pg, i)
+	klen := int(getU16(pg.data, off))
+	return getU32(pg.data, off+2+klen+4)
+}
+
+func setBranchCellCount(pg *page, i int, v uint32) {
+	off := cellOffset(pg, i)
+	klen := int(getU16(pg.data, off))
+	putU32(pg.data, off+2+klen+4, v)
+	pg.dirty = true
+}
+
+// childCount returns the subtree key count for a childIndexFor result on a
+// counted branch page.
+func childCount(pg *page, idx int) uint32 {
+	if idx < 0 {
+		return leftCount(pg)
+	}
+	return branchCellCount(pg, idx)
+}
+
+// setChildCount stores the subtree key count for a childIndexFor result.
+func setChildCount(pg *page, idx int, v uint32) {
+	if idx < 0 {
+		setLeftCount(pg, v)
+		return
+	}
+	setBranchCellCount(pg, idx, v)
+}
+
+// addChildCount adjusts the subtree key count for a childIndexFor result.
+func addChildCount(pg *page, idx int, delta int) {
+	setChildCount(pg, idx, uint32(int(childCount(pg, idx))+delta))
+}
+
+// subtreeKeys sums a counted branch page's child counters: the key count of
+// the whole subtree rooted at pg.
+func subtreeKeys(pg *page) uint32 {
+	total := leftCount(pg)
+	for i := 0; i < nCells(pg); i++ {
+		total += branchCellCount(pg, i)
+	}
+	return total
 }
 
 // nextLeaf returns the next-leaf link of a leaf page.
@@ -144,6 +211,9 @@ func cellSize(pg *page, i int) int {
 	off := cellOffset(pg, i)
 	klen := int(getU16(pg.data, off))
 	if pg.data[offType] == pageBranch {
+		if counted(pg) {
+			return 2 + klen + 4 + 4
+		}
 		return 2 + klen + 4
 	}
 	flags := pg.data[off+2]
@@ -229,10 +299,19 @@ func makeLeafCell(key, value []byte, ovfLen uint32, ovfPage uint32) []byte {
 	return cell
 }
 
-func makeBranchCell(key []byte, child uint32) []byte {
-	cell := make([]byte, 2+len(key)+4)
+// makeBranchCell builds a branch cell; counted pages append the child's
+// subtree key count.
+func makeBranchCell(key []byte, child uint32, count uint32, withCount bool) []byte {
+	size := 2 + len(key) + 4
+	if withCount {
+		size += 4
+	}
+	cell := make([]byte, size)
 	putU16(cell, 0, uint16(len(key)))
 	copy(cell[2:], key)
 	putU32(cell, 2+len(key), child)
+	if withCount {
+		putU32(cell, 2+len(key)+4, count)
+	}
 	return cell
 }

@@ -25,6 +25,7 @@ type pager struct {
 	maxCache int
 	nextID   uint32 // next page id to allocate (== page count)
 	freeHead uint32 // head of the free-page list, 0 = empty
+	reads    uint64 // logical page accesses (cache hits included)
 }
 
 func newPager(file *os.File, cachePages int) *pager {
@@ -42,6 +43,7 @@ func newPager(file *os.File, cachePages int) *pager {
 
 // get returns the page with the given id, reading it from disk if necessary.
 func (p *pager) get(id uint32) (*page, error) {
+	p.reads++
 	if id == 0 || id >= p.nextID {
 		return nil, corruptf("page id %d out of range [1,%d)", id, p.nextID)
 	}

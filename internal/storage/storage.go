@@ -53,7 +53,9 @@ const (
 //	[1:3]   number of cells (uint16)
 //	[3:7]   leaf: next-leaf page id; branch: leftmost child page id
 //	[7:9]   upper: offset where cell content begins (cells grow downward)
-//	[9:16]  reserved
+//	[9]     flags (bit 0: branch cells carry subtree counters)
+//	[10:14] counted branch: key count of the leftmost child's subtree
+//	[14:16] reserved
 //	[16:..] cell pointer array (uint16 offsets, sorted by key)
 //
 // Overflow page layout:
@@ -68,12 +70,19 @@ const (
 	offNCells    = 1
 	offLink      = 3
 	offUpper     = 7
+	offFlags     = 9
+	offLeftCount = 10
 	ovfHdrSize   = 7
 	ovfOffNext   = 1
 	ovfOffLen    = 5
 	ovfCapacity  = PageSize - ovfHdrSize
 	branchFanout = 4 // minimum cells per branch page the layout must allow
 )
+
+// pageFlagCounted marks a branch page whose cells carry a trailing uint32
+// subtree key count. Pages written before counters existed have a zero flag
+// byte (it was reserved space), so the accessors parse both layouts.
+const pageFlagCounted = 1
 
 // maxInlineCell is the largest cell stored inline in a leaf; larger values
 // spill to overflow pages. Sized so at least four cells fit per page.

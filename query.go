@@ -7,21 +7,26 @@ import (
 	"sort"
 	"time"
 
+	"approxql/internal/backend"
 	"approxql/internal/cost"
 	"approxql/internal/costgen"
 	"approxql/internal/eval"
 	"approxql/internal/exec"
 	"approxql/internal/kbest"
 	"approxql/internal/lang"
+	"approxql/internal/plan"
 )
 
 // Strategy selects the best-n evaluation algorithm.
 type Strategy int
 
 const (
-	// Auto picks SchemaDriven when a bounded number of results is
-	// requested and Direct when all results are wanted — the paper's
-	// crossover finding applied as a planner rule.
+	// Auto lets the planner pick: it estimates the approximate-result
+	// count from schema statistics and count-only index probes and
+	// resolves to SchemaDriven when the requested n is small relative to
+	// the estimate, Direct otherwise — the paper's Figure 7 crossover
+	// applied per query (and, for a corpus, per shard). See
+	// internal/plan and docs/PLANNER.md.
 	Auto Strategy = iota
 	// Direct computes all approximate results with algorithm primary
 	// against the data indexes, sorts, and prunes (Section 6).
@@ -173,6 +178,96 @@ func (db *Database) engine(c queryConfig, n int) *exec.Engine {
 	})
 }
 
+// resolveAuto runs the planner for one query, records the decision in the
+// attached metrics, and adopts the planner's k/δ schedule for options the
+// caller left unset.
+func (db *Database) resolveAuto(c *queryConfig, x *lang.Expanded, n int) Strategy {
+	cs, _ := db.be.(backend.CountSource)
+	d := plan.Decide(db.Schema(), cs, x, n)
+	if c.metrics != nil {
+		c.metrics.PlannerStrategy = d.Strategy.String()
+		c.metrics.PlannerEstimate = d.Estimate
+		c.metrics.PlannerProbes = d.Probes
+	}
+	if d.Strategy == plan.Direct {
+		if c.metrics != nil {
+			c.metrics.PlannerDirect++
+		}
+		return Direct
+	}
+	if c.metrics != nil {
+		c.metrics.PlannerSchema++
+	}
+	if c.initialK <= 0 {
+		c.initialK = d.InitialK
+	}
+	if c.delta <= 0 {
+		c.delta = d.Delta
+	}
+	if c.growth <= 0 {
+		c.growth = d.Growth
+	}
+	return SchemaDriven
+}
+
+// PlanDecision reports how the planner resolves Auto for one query: the
+// strategy it picks, the approximate-result-count estimate R̂ that drove the
+// choice, and — when the pick is SchemaDriven — the k/δ growth schedule the
+// engine starts from. For a corpus the planner decides per shard;
+// DirectShards/SchemaShards give the split, Estimate sums the per-shard
+// estimates, and Strategy is the majority pick.
+type PlanDecision struct {
+	// Strategy is the planner's pick: Direct or SchemaDriven.
+	Strategy Strategy
+	// Estimate is R̂, the planner's upper-bound estimate of the
+	// approximate-result count.
+	Estimate int
+	// PlanSpace bounds the number of distinct second-level queries the
+	// schema can generate for this query (the k termination bound).
+	PlanSpace int
+	// Probes counts the count-only index probes the estimate issued.
+	Probes int
+	// InitialK, Delta, and Growth are the schema-driven schedule (zero
+	// when Strategy is Direct).
+	InitialK int
+	Delta    int
+	Growth   int
+	// DirectShards and SchemaShards count the shards routed to each
+	// strategy (1/0 or 0/1 for a single database).
+	DirectShards int
+	SchemaShards int
+}
+
+// Plan runs only the planner for a query: the strategy Auto would resolve
+// to, without executing anything beyond count-only index probes. It is the
+// introspection surface behind axql -explain and the server's planner
+// fields.
+func (db *Database) Plan(query string, n int, opts ...QueryOption) (PlanDecision, error) {
+	c := db.config(opts)
+	x, err := parseExpand(query, &c)
+	if err != nil {
+		return PlanDecision{}, err
+	}
+	cs, _ := db.be.(backend.CountSource)
+	d := plan.Decide(db.Schema(), cs, x, n)
+	out := PlanDecision{
+		Estimate:  d.Estimate,
+		PlanSpace: d.PlanSpace,
+		Probes:    d.Probes,
+		InitialK:  d.InitialK,
+		Delta:     d.Delta,
+		Growth:    d.Growth,
+	}
+	if d.Strategy == plan.Direct {
+		out.Strategy = Direct
+		out.DirectShards = 1
+	} else {
+		out.Strategy = SchemaDriven
+		out.SchemaShards = 1
+	}
+	return out, nil
+}
+
 // Search returns the best n results for an approXQL query, ranked by
 // ascending transformation cost. n <= 0 returns all approximate results.
 func (db *Database) Search(query string, n int, opts ...QueryOption) ([]Result, error) {
@@ -190,11 +285,7 @@ func (db *Database) SearchContext(ctx context.Context, query string, n int, opts
 	}
 	strategy := c.strategy
 	if strategy == Auto {
-		if n > 0 {
-			strategy = SchemaDriven
-		} else {
-			strategy = Direct
-		}
+		strategy = db.resolveAuto(&c, x, n)
 	}
 	switch strategy {
 	case Direct:

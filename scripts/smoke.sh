@@ -110,8 +110,8 @@ echo "smoke: corpus: indexing with -shard-docs"
 "$workdir/axqlindex" -out "$workdir/corpus.axql" -shard-docs 1 -q \
     "$workdir/doc1.xml" "$workdir/doc2.xml" "$workdir/doc3.xml"
 [ -f "$workdir/corpus.axql" ] || fail "corpus bundle not written"
-head -1 "$workdir/corpus.axql" | grep -q 'axql-bundle v3' ||
-    fail "corpus bundle is not a v3 manifest"
+head -1 "$workdir/corpus.axql" | grep -q 'axql-bundle v4' ||
+    fail "corpus bundle is not a v4 manifest"
 
 cname=$(grep -o '<n[0-9]*' "$workdir/doc1.xml" | sort | uniq -c | sort -rn |
     head -1 | tr -d ' <' | sed 's/^[0-9]*//')
