@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck smoke check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke planner-smoke fuzz-smoke
+.PHONY: all vet build test race race-full fmt-check staticcheck vuln smoke smoke-cluster check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke planner-smoke fuzz-smoke
 
 all: check
 
@@ -33,9 +33,20 @@ fmt-check:
 staticcheck:
 	staticcheck ./...
 
+# Requires govulncheck on PATH (CI installs it; locally:
+# go install golang.org/x/vuln/cmd/govulncheck@latest).
+vuln:
+	govulncheck ./...
+
 # End-to-end smoke test: generate, index, serve, query over HTTP.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster smoke test (docs/CLUSTER.md): three shard nodes behind a
+# gatherer, ranking parity with single-process serving, and partial
+# degradation when a node is killed.
+smoke-cluster:
+	./scripts/smoke_cluster.sh
 
 check: vet build test race
 
@@ -70,10 +81,17 @@ bench-serve:
 	    -json BENCH_serve.json
 
 # CI gate for the load harness: one tiny open-loop and one closed-loop cell
-# must produce non-zero throughput with no 5xx or transport errors.
+# must produce non-zero throughput with no 5xx or transport errors, plus the
+# same matrix through a two-node in-process cluster with no partials. The
+# run JSON goes under bench-artifacts/ (uncommitted) for CI to upload.
 bench-serve-smoke:
+	mkdir -p bench-artifacts
 	$(GO) run ./cmd/axqlbench -suite serve -scale 0.01 -queries 3 \
-	    -rates 40,0 -inflight 0 -duration 1s -check
+	    -rates 40,0 -inflight 0 -duration 1s -check \
+	    -json bench-artifacts/BENCH_serve_smoke.json
+	$(GO) run ./cmd/axqlbench -suite serve -scale 0.01 -queries 3 \
+	    -rates 40,0 -inflight 0 -duration 1s -check -cluster-nodes 2 \
+	    -json bench-artifacts/BENCH_serve_smoke.json
 
 # Short fuzz passes over the corpus-bundle manifest reader and the B+tree
 # subtree-counter maintenance; longer local runs: go test -fuzz <target>

@@ -1,0 +1,295 @@
+// Cluster tests live in the external test package: they drive the public
+// facade through internal/server's HTTP handlers, and internal/server
+// itself imports approxql.
+package approxql_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"approxql"
+	"approxql/internal/datagen"
+	"approxql/internal/querygen"
+	"approxql/internal/server"
+)
+
+// clusterWorld is the shared fixture: synthetic documents, generated
+// queries with non-trivial cost spreads, and one saved corpus bundle per
+// shard layout.
+type clusterWorld struct {
+	queries []clusterQuery
+	bundles map[int]string // shard count -> bundle path
+	shards  map[int]int    // shard count -> actual shards in the bundle
+}
+
+type clusterQuery struct {
+	name  string
+	query string
+	model *approxql.CostModel
+}
+
+func buildClusterWorld(t *testing.T, dir string) *clusterWorld {
+	t.Helper()
+	g, err := datagen.New(datagen.Config{
+		Seed:            17,
+		NumElementNames: 50,
+		VocabularySize:  1_500,
+		TargetElements:  4_000,
+		TargetWords:     12_000,
+		TemplateNodes:   40,
+		MaxDepth:        6,
+		MaxRepeat:       2,
+		ZipfSkew:        1.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs []string
+	for !g.Done() && len(docs) < 12 {
+		var buf bytes.Buffer
+		if err := g.WriteDocumentXML(&buf); err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, buf.String())
+	}
+	if len(docs) < 8 {
+		t.Fatalf("datagen produced only %d documents", len(docs))
+	}
+
+	b := approxql.NewBuilder(nil)
+	for _, d := range docs {
+		if err := b.AddXMLString(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := b.Database()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := querygen.New(db.Tree(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &clusterWorld{bundles: make(map[int]string), shards: make(map[int]int)}
+	for _, pattern := range []querygen.Pattern{querygen.PaperPatterns[0], querygen.PaperPatterns[2]} {
+		for _, renamings := range []int{0, 5} {
+			gq, err := qg.Generate(pattern, renamings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.queries = append(w.queries, clusterQuery{
+				name:  fmt.Sprintf("%s/renamings=%d", pattern.Name, renamings),
+				query: gq.Query.String(),
+				model: gq.Model,
+			})
+		}
+	}
+
+	for _, shards := range []int{1, 2, 7} {
+		cb := approxql.NewCorpusBuilder(nil)
+		cb.SetShardSize((len(docs) + shards - 1) / shards)
+		for i, d := range docs {
+			if _, err := cb.AddDocumentString(fmt.Sprintf("doc%02d.xml", i), d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := cb.Corpus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("c%d.bundle", shards))
+		if err := c.SaveBundle(path); err != nil {
+			t.Fatal(err)
+		}
+		w.shards[shards] = c.NumShards()
+		w.bundles[shards] = path
+		c.Close()
+	}
+	return w
+}
+
+// startShardNode serves the given shard subset of a bundle over the wire
+// protocol, returning its base URL. model plays the role of the -costs
+// file a deployment hands every node: a query's rename/delete costs are
+// node-side configuration, not part of the wire protocol, and the cluster
+// contract requires all nodes (and the gatherer) to agree on them.
+func startShardNode(t *testing.T, bundle string, shards []int, model *approxql.CostModel) string {
+	t.Helper()
+	c, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	// The generous deadline keeps the slowest full-ranking queries from
+	// timing out (and so partially degrading the gather) under -race.
+	srv, err := server.New(server.Config{Corpus: c, ShardNode: true, Model: model,
+		DefaultTimeout: 5 * time.Minute, MaxTimeout: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestClusterEquivalence is the distributed analog of
+// TestCorpusEquivalence: a gatherer over shard nodes — each serving a
+// disjoint subset of one bundle over HTTP — must return exactly the
+// single-process ranking, bit-identical including tie order, names and
+// paths resolved by the owning nodes. One layout mixes a remote node with
+// the gatherer's own local shards.
+func TestClusterEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	w := buildClusterWorld(t, dir)
+
+	for _, layout := range []int{1, 2, 7} {
+		bundle := w.bundles[layout]
+		numShards := w.shards[layout]
+
+		ref, err := approxql.Open(bundle, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+
+		// Round-robin the bundle's shards over up to 3 nodes. In the
+		// widest layout the first subset is served in-process (the
+		// gatherer's own corpus), the rest remotely.
+		numNodes := min(3, numShards)
+		subsets := make([][]int, numNodes)
+		for si := 0; si < numShards; si++ {
+			subsets[si%numNodes] = append(subsets[si%numNodes], si)
+		}
+		var local *approxql.Corpus
+		localSubset := -1
+		if layout == 7 {
+			localSubset = 0
+			c, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: subsets[0]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			local = c
+		}
+
+		for _, q := range w.queries {
+			// Nodes are restarted per query so each carries the query's
+			// cost model as its configured -costs equivalent.
+			var urls []string
+			for ni, subset := range subsets {
+				if ni == localSubset {
+					continue
+				}
+				urls = append(urls, startShardNode(t, bundle, subset, q.model))
+			}
+			cl, err := approxql.NewCluster(urls, local, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strategy := range []approxql.Strategy{approxql.Direct, approxql.SchemaDriven, approxql.Auto} {
+				for _, n := range []int{5, 0} {
+					name := fmt.Sprintf("layout=%d/%s/%s/n=%d", layout, q.name, strategy, n)
+					want, err := ref.Search(q.query, n,
+						approxql.WithCostModel(q.model), approxql.WithStrategy(strategy))
+					if err != nil {
+						t.Fatalf("%s: reference: %v", name, err)
+					}
+					res, err := cl.SearchContext(context.Background(), q.query, n, false,
+						approxql.WithCostModel(q.model), approxql.WithStrategy(strategy))
+					if err != nil {
+						t.Fatalf("%s: cluster: %v", name, err)
+					}
+					if res.Partial {
+						t.Fatalf("%s: partial gather with every node alive", name)
+					}
+					if len(res.Hits) != len(want) {
+						t.Fatalf("%s: got %d hits, want %d\ngot  %v\nwant %v",
+							name, len(res.Hits), len(want), res.Hits, want)
+					}
+					for i, h := range res.Hits {
+						if h.Doc != want[i].Doc || h.Root != want[i].Root || h.Cost != want[i].Cost {
+							t.Fatalf("%s: hit %d = (%d,%d,%d), want (%d,%d,%d)", name, i,
+								h.Doc, h.Root, h.Cost, want[i].Doc, want[i].Root, want[i].Cost)
+						}
+						if wantName := ref.Doc(want[i].Doc).Name(); h.DocName != wantName {
+							t.Fatalf("%s: hit %d doc name %q, want %q", name, i, h.DocName, wantName)
+						}
+						if wantPath := ref.Doc(want[i].Doc).Path(want[i].Root); h.Path != wantPath {
+							t.Fatalf("%s: hit %d path %q, want %q", name, i, h.Path, wantPath)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOpenShardSubset pins the subset-opening contract: global DocIDs are
+// preserved, Stats counts only owned documents, and a subset answers
+// exactly the full corpus's hits restricted to its shards.
+func TestOpenShardSubset(t *testing.T) {
+	dir := t.TempDir()
+	w := buildClusterWorld(t, dir)
+	bundle := w.bundles[7]
+	numShards := w.shards[7]
+	if numShards < 3 {
+		t.Fatalf("layout has %d shards, need at least 3", numShards)
+	}
+
+	full, err := approxql.Open(bundle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	sub, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: []int{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if sub.NumDocs() != full.NumDocs() {
+		t.Fatalf("subset NumDocs = %d, want the full table %d", sub.NumDocs(), full.NumDocs())
+	}
+	if st := sub.Stats(); st.Shards != 2 || st.Docs >= full.Stats().Docs {
+		t.Fatalf("subset stats = %+v, want 2 shards and fewer docs than %d", st, full.Stats().Docs)
+	}
+
+	q := w.queries[0]
+	want, err := full.Search(q.query, 0, approxql.WithCostModel(q.model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.Search(q.query, 0, approxql.WithCostModel(q.model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owned []approxql.Hit
+	for _, h := range want {
+		if sub.Owns(h.Doc) {
+			owned = append(owned, h)
+		}
+	}
+	if len(got) != len(owned) {
+		t.Fatalf("subset returned %d hits, want %d (full ranking restricted to its shards)", len(got), len(owned))
+	}
+	for i := range got {
+		if got[i] != owned[i] {
+			t.Fatalf("subset hit %d = %+v, want %+v", i, got[i], owned[i])
+		}
+		if got[i].Doc < 0 || sub.Doc(got[i].Doc).Name() != full.Doc(got[i].Doc).Name() {
+			t.Fatalf("subset hit %d names %q, full corpus %q",
+				i, sub.Doc(got[i].Doc).Name(), full.Doc(got[i].Doc).Name())
+		}
+	}
+
+	for _, bad := range [][]int{{-1}, {0, 0}, {numShards}} {
+		if _, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: bad}); err == nil {
+			t.Fatalf("Open with Shards=%v succeeded, want error", bad)
+		}
+	}
+}

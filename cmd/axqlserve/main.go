@@ -5,8 +5,18 @@
 //	axqlserve -xml catalog.xml -addr :8080
 //	axqlserve -db catalog.bundle -max-inflight 64 -timeout 5s
 //
+// It also serves corpus bundles distributed across processes: -shard-node
+// exposes the cluster wire protocol over a slice of a bundle (-shards),
+// and -nodes turns the process into a gatherer merging remote shard
+// nodes' streams into one exact global ranking:
+//
+//	axqlserve -db c.bundle -shard-node -shards 0,3 -addr :8081
+//	axqlserve -nodes http://h1:8081,http://h2:8082 -addr :8080
+//
 // Endpoints: POST /query, GET /healthz, GET /metrics (Prometheus text
-// format), GET /debug/pprof. See docs/SERVER.md for the full reference.
+// format), GET /debug/pprof; shard nodes add POST /shard/query,
+// POST /shard/bound, and GET /shard/stats. See docs/SERVER.md and
+// docs/CLUSTER.md for the full reference.
 package main
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"approxql/internal/backend"
@@ -179,6 +180,12 @@ func (c *Corpus) NumDocs() int { return c.c.NumDocs() }
 
 // NumShards returns the number of shards.
 func (c *Corpus) NumShards() int { return c.c.NumShards() }
+
+// Owns reports whether doc lives on one of this corpus's shards — always
+// true for a corpus opened whole, false for other nodes' documents when
+// the corpus was opened on a shard subset (OpenOptions.Shards). Doc views
+// of unowned documents resolve names only.
+func (c *Corpus) Owns(doc DocID) bool { return c.c.Owns(doc) }
 
 // Close closes every shard's backend (a no-op for in-memory corpora).
 func (c *Corpus) Close() error { return c.c.Close() }
@@ -420,9 +427,11 @@ type CorpusStats struct {
 	StorageCounted bool
 }
 
-// Stats aggregates the per-shard summaries.
+// Stats aggregates the per-shard summaries. Docs counts the documents
+// this corpus actually serves — the full table for a whole bundle,
+// fewer when opened on a shard subset.
 func (c *Corpus) Stats() CorpusStats {
-	st := CorpusStats{Docs: c.c.NumDocs(), Shards: c.c.NumShards()}
+	st := CorpusStats{Docs: c.c.NumOwnedDocs(), Shards: c.c.NumShards()}
 	stored, counted := 0, true
 	for _, sh := range c.c.Shards() {
 		sum := sh.Summary()
@@ -530,6 +539,13 @@ type OpenOptions struct {
 	// stored shards; 0 keeps the per-shard default
 	// (backend.DefaultCacheEntries each), < 0 disables caching.
 	CacheEntries int
+	// Shards restricts a multi-shard corpus bundle to the listed shard
+	// indices (as numbered in the manifest), opening only their index
+	// files — how a cluster shard node serves its slice of a bundle.
+	// Global DocIDs are preserved, so hits from different nodes of one
+	// bundle stay comparable. Empty opens every shard; non-bundle
+	// artifacts reject the option.
+	Shards []int
 }
 
 // Open opens any persisted approXQL artifact at path as a Corpus — the
@@ -552,6 +568,8 @@ func Open(path string, opts *OpenOptions) (*Corpus, error) {
 	switch {
 	case backend.IsCorpusBundle(path):
 		return openCorpusBundle(path, o)
+	case len(o.Shards) > 0:
+		return nil, fmt.Errorf("approxql: %s is not a multi-shard corpus bundle; Shards requires one", path)
 	case backend.IsBundle(path):
 		db, err := OpenBundle(path, o.Model)
 		if err != nil {
@@ -578,27 +596,47 @@ func Open(path string, opts *OpenOptions) (*Corpus, error) {
 	}
 }
 
-// openCorpusBundle opens a v3 manifest: every shard over its stored
-// indexes, with the manifest's pruning summaries.
+// openCorpusBundle opens a v3 manifest: every shard (or just
+// o.Shards) over its stored indexes, with the manifest's pruning
+// summaries.
 func openCorpusBundle(path string, o OpenOptions) (*Corpus, error) {
 	m, err := backend.ReadCorpusBundle(path)
 	if err != nil {
 		return nil, err
 	}
+	keep := o.Shards
+	if len(keep) == 0 {
+		keep = make([]int, len(m.Shards))
+		for i := range keep {
+			keep[i] = i
+		}
+	} else {
+		keep = append([]int(nil), keep...)
+		sort.Ints(keep)
+		for i, si := range keep {
+			if si < 0 || si >= len(m.Shards) {
+				return nil, fmt.Errorf("approxql: shard index %d out of range [0, %d)", si, len(m.Shards))
+			}
+			if i > 0 && keep[i-1] == si {
+				return nil, fmt.Errorf("approxql: shard index %d listed twice", si)
+			}
+		}
+	}
 	perShard := backend.DefaultCacheEntries
 	if o.CacheEntries != 0 {
-		perShard = o.CacheEntries / len(m.Shards)
+		perShard = o.CacheEntries / len(keep)
 		if o.CacheEntries > 0 && perShard < 1 {
 			perShard = 1
 		}
 	}
-	shards := make([]*corpus.Shard, 0, len(m.Shards))
+	shards := make([]*corpus.Shard, 0, len(keep))
 	closeAll := func() {
 		for _, sh := range shards {
 			sh.Backend().Close()
 		}
 	}
-	for _, cs := range m.Shards {
+	for _, si := range keep {
+		cs := m.Shards[si]
 		f, err := os.Open(cs.Collection)
 		if err != nil {
 			closeAll()
@@ -618,7 +656,7 @@ func openCorpusBundle(path string, o OpenOptions) (*Corpus, error) {
 		be.SetManifestVersion(m.Version)
 		shards = append(shards, corpus.NewShard(be, cs.Summary))
 	}
-	c, err := corpus.New(shards, m.Docs)
+	c, err := corpus.NewSubset(shards, keep, len(m.Shards), m.Docs)
 	if err != nil {
 		closeAll()
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"time"
 
 	"approxql"
@@ -123,6 +124,77 @@ type ServeOptions struct {
 	// fires exactly this recorded stream (open loop honors its at_ms
 	// offsets; closed loop uses only its query sequence).
 	Replay []load.Item
+	// Cluster, when non-nil, serves each cell through a gatherer over the
+	// topology's shard nodes instead of a single-process server. The cell's
+	// MaxInflight and CacheEntries apply to the gatherer; the shard nodes
+	// run with server defaults.
+	Cluster *ServeTopology
+}
+
+// ServeTopology is the in-process cluster fixture behind `-cluster-nodes`:
+// shard-node servers over disjoint subsets of a corpus bundle, each
+// speaking the wire protocol a gatherer fans out over. The topology
+// outlives individual cells so every cell measures the same cluster.
+type ServeTopology struct {
+	urls    []string
+	corpora []*approxql.Corpus
+	servers []*httptest.Server
+}
+
+// URLs returns the shard nodes' base URLs.
+func (st *ServeTopology) URLs() []string { return st.urls }
+
+// Nodes returns the shard-node count.
+func (st *ServeTopology) Nodes() int { return len(st.urls) }
+
+// Close stops the shard-node servers and closes their corpora.
+func (st *ServeTopology) Close() {
+	for _, ts := range st.servers {
+		ts.Close()
+	}
+	for _, c := range st.corpora {
+		c.Close()
+	}
+}
+
+// BuildServeTopology saves the corpus as a bundle under dir and starts
+// up to nodes shard-node servers over disjoint round-robin subsets of its
+// shards (fewer when the corpus has fewer shards than nodes). All nodes
+// keep the corpus's default cost model, matching the single-process
+// baseline the cluster cells are compared against.
+func BuildServeTopology(corpus *approxql.Corpus, nodes int, dir string) (*ServeTopology, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("bench: cluster topology needs at least 1 node")
+	}
+	if ns := corpus.NumShards(); nodes > ns {
+		nodes = ns
+	}
+	bundle := filepath.Join(dir, "serve.bundle")
+	if err := corpus.SaveBundle(bundle); err != nil {
+		return nil, err
+	}
+	subsets := make([][]int, nodes)
+	for si := 0; si < corpus.NumShards(); si++ {
+		subsets[si%nodes] = append(subsets[si%nodes], si)
+	}
+	st := &ServeTopology{}
+	for _, subset := range subsets {
+		c, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: subset})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.corpora = append(st.corpora, c)
+		srv, err := server.New(server.Config{Corpus: c, ShardNode: true})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		st.servers = append(st.servers, ts)
+		st.urls = append(st.urls, ts.URL)
+	}
+	return st, nil
 }
 
 // RunServeCell starts an in-process server over the corpus, drives one
@@ -135,11 +207,22 @@ func (r *CorpusRunner) RunServeCell(ctx context.Context, corpus *approxql.Corpus
 		return ServeResult{}, err
 	}
 
-	srv, err := server.New(server.Config{
-		Corpus:       corpus,
+	cfg := server.Config{
 		MaxInflight:  cell.MaxInflight,
 		CacheEntries: cell.CacheEntries,
-	})
+	}
+	if opts.Cluster != nil {
+		// The gatherer is rebuilt per cell (it is cheap); the shard nodes
+		// behind it persist across the whole matrix.
+		cl, err := approxql.NewCluster(opts.Cluster.URLs(), nil, nil)
+		if err != nil {
+			return ServeResult{}, err
+		}
+		cfg.Cluster = cl
+	} else {
+		cfg.Corpus = corpus
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return ServeResult{}, err
 	}

@@ -98,6 +98,39 @@ func TestValidateBenchFileMonotoneDates(t *testing.T) {
 	}
 }
 
+// TestServeSchemaClusterFields pins the serve schema's compatibility
+// contract for the cluster extension: entries recorded before the
+// "cluster_nodes"/"partials" fields existed still validate, entries
+// carrying them validate, and bad types for them are rejected.
+func TestServeSchemaClusterFields(t *testing.T) {
+	s, err := LoadSchema(filepath.Join("..", "..", "schemas", "bench_serve.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := `"rate_qps":10,"concurrency":32,"max_inflight":0,"cache_entries":0,
+		"sent":1,"completed":1,"http_200":1,"http_429":0,"http_504":0,"http_other":0,"errors":0,
+		"p50_ms":1,"p90_ms":1,"p99_ms":1,"max_ms":1,
+		"throughput_qps":1,"rate_429":0,"rate_504":0,"cache_hits":0,"cache_hit_rate":0`
+	entry := func(extraEntry, extraCell string) string {
+		return `[{"date":"2026-01-01T00:00:00Z","scale":1,"mix":"paper","seed":1,"zipf":1.3,
+			"docs":10,"shards":4,"duration_s":2` + extraEntry + `,
+			"cells":[{` + cell + extraCell + `}]}]`
+	}
+
+	if err := s.Validate(decode(t, entry("", ""))); err != nil {
+		t.Errorf("pre-cluster entry rejected: %v", err)
+	}
+	if err := s.Validate(decode(t, entry(`,"cluster_nodes":3`, `,"partials":0`))); err != nil {
+		t.Errorf("cluster entry rejected: %v", err)
+	}
+	if err := s.Validate(decode(t, entry(`,"cluster_nodes":"three"`, ""))); err == nil {
+		t.Error("non-integer cluster_nodes accepted")
+	}
+	if err := s.Validate(decode(t, entry("", `,"partials":-1`))); err == nil {
+		t.Error("negative partials accepted")
+	}
+}
+
 // TestRepoBenchFilesValidate is the retrofit gate: every recorded benchmark
 // file checked into the repository must validate against its schema. A file
 // that does not exist yet is skipped, not failed — suites are added over

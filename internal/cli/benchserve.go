@@ -26,6 +26,7 @@ type serveFlags struct {
 	nvalues     *string
 	concurrency *int
 	shards      *int
+	cluster     *int
 	record      *string
 	replay      *string
 	target      *string
@@ -44,9 +45,10 @@ func registerServeFlags(fs *flag.FlagSet) serveFlags {
 		nvalues:     fs.String("nvalues", "1,10,100", "serve: comma-separated result bounds cycled over the query pool"),
 		concurrency: fs.Int("concurrency", 32, "serve: closed-loop workers (rate 0 cells)"),
 		shards:      fs.Int("shards", 4, "serve: corpus shard count for the in-process server"),
+		cluster:     fs.Int("cluster-nodes", 0, "serve: run each cell through a gatherer over this many in-process shard nodes instead of a single-process server (0 = single process)"),
 		record:      fs.String("record", "", "serve: write the generated stream to this JSONL file (single-cell matrix only)"),
 		replay:      fs.String("replay", "", "serve: fire this recorded JSONL stream instead of generating one"),
-		target:      fs.String("target", "", "serve: base URL of a live axqlserve to load instead of an in-process server (requires -replay)"),
+		target:      fs.String("target", "", "serve: comma-separated base URLs of live axqlserve processes to load, round-robin, instead of an in-process server (requires -replay)"),
 		check:       fs.Bool("check", false, "serve: exit non-zero unless every cell has non-zero throughput and no 5xx or transport errors"),
 	}
 }
@@ -114,6 +116,21 @@ func benchServeSuite(cfg bench.Config, scale float64, jsonOut string, sf serveFl
 	fmt.Fprintf(stderr, "ready in %v: %d documents, %d shards\n\n",
 		time.Since(start).Round(time.Millisecond), runner.NumDocs(), corpus.NumShards())
 
+	if *sf.cluster > 0 {
+		dir, err := os.MkdirTemp("", "axqlbench-cluster-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		topo, err := bench.BuildServeTopology(corpus, *sf.cluster, dir)
+		if err != nil {
+			return err
+		}
+		defer topo.Close()
+		opts.Cluster = topo
+		fmt.Fprintf(stderr, "cluster: gatherer over %d in-process shard nodes\n\n", topo.Nodes())
+	}
+
 	if *sf.record != "" {
 		if len(rates) != 1 || len(inflights) != 1 || len(caches) != 1 {
 			return fmt.Errorf("axqlbench: -record needs a single-cell matrix (one rate, one -inflight, one -result-caches value)")
@@ -146,8 +163,12 @@ func benchServeSuite(cfg bench.Config, scale float64, jsonOut string, sf serveFl
 		return err
 	}
 
-	fmt.Fprintf(stdout, "=== serve suite (mix=%s, zipf=%g, %v/cell, %d docs, %d shards) ===\n",
-		mixLabel, *sf.zipf, *sf.duration, runner.NumDocs(), corpus.NumShards())
+	clusterLabel := ""
+	if opts.Cluster != nil {
+		clusterLabel = fmt.Sprintf(", cluster=%d nodes", opts.Cluster.Nodes())
+	}
+	fmt.Fprintf(stdout, "=== serve suite (mix=%s, zipf=%g, %v/cell, %d docs, %d shards%s) ===\n",
+		mixLabel, *sf.zipf, *sf.duration, runner.NumDocs(), corpus.NumShards(), clusterLabel)
 	printServeResults(stdout, results)
 
 	if jsonOut != "" {
@@ -176,9 +197,16 @@ func benchServeTarget(scale float64, jsonOut string, sf serveFlags, opts bench.S
 			break
 		}
 	}
-	client := load.NewClient(strings.TrimRight(*sf.target, "/"), *sf.concurrency)
+	targets := splitList(*sf.target)
+	for i := range targets {
+		targets[i] = strings.TrimRight(targets[i], "/")
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("axqlbench: -target lists no URLs")
+	}
+	client := load.NewMultiClient(targets, *sf.concurrency)
 	fmt.Fprintf(stderr, "replaying %d requests against %s (%s loop)...\n",
-		len(opts.Replay), *sf.target, map[bool]string{true: "open", false: "closed"}[openLoop])
+		len(opts.Replay), strings.Join(targets, ", "), map[bool]string{true: "open", false: "closed"}[openLoop])
 	rep := load.Run(context.Background(), client, opts.Replay, load.Options{
 		OpenLoop:    openLoop,
 		Concurrency: *sf.concurrency,
@@ -188,7 +216,8 @@ func benchServeTarget(scale float64, jsonOut string, sf serveFlags, opts bench.S
 		Cell:   bench.ServeCell{Concurrency: *sf.concurrency},
 		Report: rep,
 	}}
-	fmt.Fprintf(stdout, "=== serve suite (replay of %d requests against %s) ===\n", len(opts.Replay), *sf.target)
+	fmt.Fprintf(stdout, "=== serve suite (replay of %d requests against %s) ===\n",
+		len(opts.Replay), strings.Join(targets, ", "))
 	printServeResults(stdout, results)
 	if jsonOut != "" {
 		if err := appendServeJSON(jsonOut, scale, mixLabel, opts, 0, 0, results); err != nil {
@@ -204,18 +233,18 @@ func benchServeTarget(scale float64, jsonOut string, sf serveFlags, opts bench.S
 
 // printServeResults renders the matrix table.
 func printServeResults(w io.Writer, results []bench.ServeResult) {
-	fmt.Fprintf(w, "%8s %5s %9s %6s %6s %6s %5s %5s %4s %9s %9s %9s %9s %10s %6s\n",
-		"rate", "conc", "inflight", "cache", "sent", "200", "429", "504", "err",
+	fmt.Fprintf(w, "%8s %5s %9s %6s %6s %6s %5s %5s %4s %4s %9s %9s %9s %9s %10s %6s\n",
+		"rate", "conc", "inflight", "cache", "sent", "200", "429", "504", "err", "part",
 		"p50_ms", "p90_ms", "p99_ms", "max_ms", "qps", "hit%")
 	for _, r := range results {
 		rate := "closed"
 		if r.Cell.RateQPS > 0 {
 			rate = fmt.Sprintf("%g", r.Cell.RateQPS)
 		}
-		fmt.Fprintf(w, "%8s %5d %9d %6d %6d %6d %5d %5d %4d %9.2f %9.2f %9.2f %9.2f %10.1f %6.1f\n",
+		fmt.Fprintf(w, "%8s %5d %9d %6d %6d %6d %5d %5d %4d %4d %9.2f %9.2f %9.2f %9.2f %10.1f %6.1f\n",
 			rate, r.Cell.Concurrency, r.Cell.MaxInflight, r.Cell.CacheEntries,
 			r.Report.Sent, r.Report.OK, r.Report.Rejected, r.Report.Timeouts,
-			r.Report.Errors+r.Report.Other,
+			r.Report.Errors+r.Report.Other, r.Report.Partials,
 			r.Report.Percentile(0.50), r.Report.Percentile(0.90), r.Report.Percentile(0.99),
 			r.Report.MaxLatency(), r.Report.Throughput(), 100*r.Report.CacheHitRate())
 	}
@@ -233,21 +262,28 @@ func checkServeResults(results []bench.ServeResult) error {
 			return fmt.Errorf("axqlbench: check failed: cell rate=%g inflight=%d cache=%d had %d unexpected failures (transport/5xx/504)",
 				r.Cell.RateQPS, r.Cell.MaxInflight, r.Cell.CacheEntries, bad)
 		}
+		if r.Report.Partials > 0 {
+			return fmt.Errorf("axqlbench: check failed: cell rate=%g inflight=%d cache=%d answered %d partial rankings (a cluster node failed mid-run)",
+				r.Cell.RateQPS, r.Cell.MaxInflight, r.Cell.CacheEntries, r.Report.Partials)
+		}
 	}
 	return nil
 }
 
 // serveEntry is one recorded `-suite serve` run.
 type serveEntry struct {
-	Date     string      `json:"date"`
-	Scale    float64     `json:"scale"`
-	Mix      string      `json:"mix"`
-	Seed     int64       `json:"seed"`
-	Zipf     float64     `json:"zipf"`
-	Docs     int         `json:"docs"`
-	Shards   int         `json:"shards"`
-	Cells    []serveCell `json:"cells"`
-	Duration float64     `json:"duration_s"`
+	Date   string  `json:"date"`
+	Scale  float64 `json:"scale"`
+	Mix    string  `json:"mix"`
+	Seed   int64   `json:"seed"`
+	Zipf   float64 `json:"zipf"`
+	Docs   int     `json:"docs"`
+	Shards int     `json:"shards"`
+	// ClusterNodes is the -cluster-nodes shard-node count behind the
+	// gatherer; 0 means the run hit a single-process server.
+	ClusterNodes int         `json:"cluster_nodes"`
+	Cells        []serveCell `json:"cells"`
+	Duration     float64     `json:"duration_s"`
 }
 
 type serveCell struct {
@@ -271,6 +307,7 @@ type serveCell struct {
 	Rate504       float64 `json:"rate_504"`
 	CacheHits     int     `json:"cache_hits"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Partials      int     `json:"partials"`
 }
 
 // appendServeJSON appends one serve-suite run to a JSON array file, creating
@@ -294,6 +331,9 @@ func appendServeJSON(path string, scale float64, mix string, opts bench.ServeOpt
 		Shards:   shards,
 		Duration: opts.Duration.Seconds(),
 	}
+	if opts.Cluster != nil {
+		e.ClusterNodes = opts.Cluster.Nodes()
+	}
 	for _, r := range results {
 		e.Cells = append(e.Cells, serveCell{
 			RateQPS:       r.Cell.RateQPS,
@@ -316,6 +356,7 @@ func appendServeJSON(path string, scale float64, mix string, opts bench.ServeOpt
 			Rate504:       r.Report.TimeoutRate(),
 			CacheHits:     r.Report.CacheHits,
 			CacheHitRate:  r.Report.CacheHitRate(),
+			Partials:      r.Report.Partials,
 		})
 	}
 	entries = append(entries, e)

@@ -128,6 +128,43 @@ func TestBenchServeReplay(t *testing.T) {
 	}
 }
 
+// TestBenchServeClusterNodes runs the matrix through a gatherer over two
+// in-process shard nodes and checks the recorded entry carries the
+// topology, real traffic, and zero partial answers (every node healthy).
+func TestBenchServeClusterNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	stdout, stderr := benchServe(t, "-rates", "20", "-cluster-nodes", "2",
+		"-json", jsonPath, "-check")
+	if !strings.Contains(stdout, "cluster=2 nodes") {
+		t.Errorf("suite header misses the cluster label:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "gatherer over 2 in-process shard nodes") {
+		t.Errorf("stderr misses the topology line:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []serveEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ClusterNodes != 2 {
+		t.Fatalf("entries = %+v, want one run with cluster_nodes=2", entries)
+	}
+	for _, c := range entries[0].Cells {
+		if c.HTTP200 == 0 {
+			t.Errorf("cluster cell saw no successful traffic: %+v", c)
+		}
+		if c.Partials != 0 {
+			t.Errorf("healthy cluster answered %d partial rankings", c.Partials)
+		}
+	}
+}
+
 // TestBenchServeBadFlags covers the flag-validation error paths.
 func TestBenchServeBadFlags(t *testing.T) {
 	var out, errBuf bytes.Buffer

@@ -9,6 +9,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -21,6 +23,11 @@ import (
 // corpus bundle (built by axqlindex -shard-docs) and serves approXQL
 // queries over HTTP until SIGINT/SIGTERM, then drains in-flight queries and
 // exits. Corpus responses carry each hit's document id and name.
+//
+// Cluster modes (docs/CLUSTER.md): -shard-node serves the shard wire
+// protocol over this process's slice of a bundle (-shards picks the
+// slice); -nodes makes the process a gatherer whose /query fans out over
+// the listed shard nodes — plus its own shards, when -db is also given.
 func Serve(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -48,6 +55,13 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		drain       = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight queries")
 		logFormat   = fs.String("log", "text", "request log format: text, json, or off")
 		record      = fs.String("record", "", "append every well-formed /query arrival to this JSONL query log (replayable with axqlbench -suite serve -replay)")
+		shardNode   = fs.Bool("shard-node", false, "also serve the cluster shard protocol (/shard/query, /shard/bound, /shard/stats) so a gatherer can use this process as one node")
+		shards      = fs.String("shards", "", "comma-separated shard indices of the corpus bundle to serve, e.g. 0,3 (requires a corpus bundle -db; default all)")
+		nodes       = fs.String("nodes", "", "comma-separated shard-node base URLs to gather /query over, e.g. http://h1:8080,http://h2:8080 (gatherer mode; with -db this process serves its own shards too)")
+		failClosed  = fs.Bool("fail-closed", false, "fail whole queries when any cluster node fails, instead of answering partial rankings")
+		nodeConnect = fs.Duration("node-connect-timeout", 2*time.Second, "per-node dial plus response-header timeout")
+		nodeRead    = fs.Duration("node-read-timeout", 30*time.Second, "per-node idle timeout between hit-stream lines")
+		nodeRetries = fs.Int("node-retries", 2, "re-issues of a node query that failed before delivering any hit (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,24 +106,74 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	if queryLog != nil {
 		srvCfg.QueryLog = queryLog
 	}
+	if *shardNode && *nodes != "" {
+		return fmt.Errorf("axqlserve: -shard-node and -nodes are mutually exclusive (a process is a shard node or a gatherer, not both)")
+	}
+	if *shards != "" && !(*dbPath != "" && approxql.IsCorpusBundle(*dbPath)) {
+		return fmt.Errorf("axqlserve: -shards requires a corpus bundle -db")
+	}
+	shardIdx, err := parseShardList(*shards)
+	if err != nil {
+		return err
+	}
+
 	var serving string
-	if *dbPath != "" && approxql.IsCorpusBundle(*dbPath) {
-		c, err := approxql.Open(*dbPath, &approxql.OpenOptions{Model: model, CacheEntries: *cache})
+	switch {
+	case *nodes != "":
+		urls := splitList(*nodes)
+		var local *approxql.Corpus
+		if *dbPath != "" || *xml != "" {
+			c, err := openCorpus(*dbPath, *xml, model, *cache, shardIdx)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			local = c
+		}
+		retries := *nodeRetries
+		if retries == 0 {
+			retries = -1 // the facade's zero means "default"; the flag's means "off"
+		}
+		cl, err := approxql.NewCluster(urls, local, &approxql.ClusterOptions{
+			ConnectTimeout: *nodeConnect,
+			ReadTimeout:    *nodeRead,
+			Retries:        retries,
+			FailClosed:     *failClosed,
+		})
+		if err != nil {
+			return err
+		}
+		srvCfg.Cluster = cl
+		total := len(urls)
+		if local != nil {
+			total++
+		}
+		serving = fmt.Sprintf("gatherer over %d nodes", total)
+	case *dbPath != "" && approxql.IsCorpusBundle(*dbPath):
+		c, err := approxql.Open(*dbPath, &approxql.OpenOptions{Model: model, CacheEntries: *cache, Shards: shardIdx})
 		if err != nil {
 			return err
 		}
 		defer c.Close()
 		srvCfg.Corpus = c
+		srvCfg.ShardNode = *shardNode
 		st := c.Stats()
 		serving = fmt.Sprintf("%d nodes, %d docs, %d shards", st.Nodes, st.Docs, st.Shards)
-	} else {
+		if *shardNode {
+			serving += ", shard node"
+		}
+	default:
 		db, err := openDatabase(*dbPath, *xml, model, *cache)
 		if err != nil {
 			return err
 		}
 		defer db.Close()
 		srvCfg.DB = db
+		srvCfg.ShardNode = *shardNode
 		serving = fmt.Sprintf("%d nodes", db.Len())
+		if *shardNode {
+			serving += ", shard node"
+		}
 	}
 
 	srv, err := server.New(srvCfg)
@@ -141,6 +205,50 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		return fmt.Errorf("axqlserve: drain incomplete: %w", err)
 	}
 	return <-errc
+}
+
+// parseShardList parses "-shards 0,3" into shard indices; empty means all.
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("axqlserve: -shards: %q is not a shard index", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag, dropping empty fields.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// openCorpus opens any artifact (or on-the-fly XML) as a corpus — the
+// gatherer's local-shards target.
+func openCorpus(dbPath, xml string, model *approxql.CostModel, cache int, shards []int) (*approxql.Corpus, error) {
+	if dbPath != "" {
+		return approxql.Open(dbPath, &approxql.OpenOptions{Model: model, CacheEntries: cache, Shards: shards})
+	}
+	db, err := openDatabase("", xml, model, cache)
+	if err != nil {
+		return nil, err
+	}
+	return db.Corpus()
 }
 
 func newLogger(format string, stderr io.Writer) (*slog.Logger, error) {

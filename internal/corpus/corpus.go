@@ -117,6 +117,34 @@ type Corpus struct {
 // holds; documents of one shard must appear in the table in the shard
 // tree's preorder.
 func New(shards []*Shard, docs []backend.CorpusDoc) (*Corpus, error) {
+	idx := make([]int, len(shards))
+	for i := range idx {
+		idx[i] = i
+	}
+	return NewSubset(shards, idx, len(shards), docs)
+}
+
+// NewSubset assembles the sub-corpus a shard node serves: shards holds the
+// opened shards, shardIdx their indices in the full bundle's shard list
+// (of totalShards entries), and docs the bundle's complete document table.
+// Global DocIDs are preserved — every node of a cluster attributes the same
+// document the same identity — so documents living on dropped shards keep
+// their table entries (name included) but have no backing shard; queries
+// against the subset can only ever hit owned documents.
+func NewSubset(shards []*Shard, shardIdx []int, totalShards int, docs []backend.CorpusDoc) (*Corpus, error) {
+	if len(shards) != len(shardIdx) {
+		return nil, fmt.Errorf("corpus: %d shards with %d indices", len(shards), len(shardIdx))
+	}
+	pos := make(map[int]int, len(shardIdx))
+	for i, si := range shardIdx {
+		if si < 0 || si >= totalShards {
+			return nil, fmt.Errorf("corpus: shard index %d out of range [0, %d)", si, totalShards)
+		}
+		if _, dup := pos[si]; dup {
+			return nil, fmt.Errorf("corpus: shard index %d listed twice", si)
+		}
+		pos[si] = i
+	}
 	c := &Corpus{
 		shards:   shards,
 		docShard: make([]int32, len(docs)),
@@ -125,25 +153,31 @@ func New(shards []*Shard, docs []backend.CorpusDoc) (*Corpus, error) {
 	}
 	next := make([]int, len(shards))
 	for id, d := range docs {
-		if d.Shard < 0 || d.Shard >= len(shards) {
-			return nil, fmt.Errorf("corpus: doc %d names shard %d of %d", id, d.Shard, len(shards))
+		c.docNames[id] = d.Name
+		if d.Shard < 0 || d.Shard >= totalShards {
+			return nil, fmt.Errorf("corpus: doc %d names shard %d of %d", id, d.Shard, totalShards)
 		}
-		sh := shards[d.Shard]
-		local := next[d.Shard]
+		i, kept := pos[d.Shard]
+		if !kept {
+			c.docShard[id] = -1
+			c.docLocal[id] = -1
+			continue
+		}
+		sh := shards[i]
+		local := next[i]
 		if local >= len(sh.docRoots) {
 			return nil, fmt.Errorf("corpus: document table assigns more docs to shard %d than its tree holds (%d)",
 				d.Shard, len(sh.docRoots))
 		}
-		next[d.Shard]++
-		c.docShard[id] = int32(d.Shard)
+		next[i]++
+		c.docShard[id] = int32(i)
 		c.docLocal[id] = int32(local)
-		c.docNames[id] = d.Name
 		sh.globalIDs = append(sh.globalIDs, DocID(id))
 	}
 	for i, sh := range shards {
 		if next[i] != len(sh.docRoots) {
 			return nil, fmt.Errorf("corpus: shard %d holds %d docs, document table assigns %d",
-				i, len(sh.docRoots), next[i])
+				shardIdx[i], len(sh.docRoots), next[i])
 		}
 	}
 	return c, nil
@@ -152,8 +186,24 @@ func New(shards []*Shard, docs []backend.CorpusDoc) (*Corpus, error) {
 // NumShards returns the shard count.
 func (c *Corpus) NumShards() int { return len(c.shards) }
 
-// NumDocs returns the global document count.
+// NumDocs returns the global document count: the full bundle's table
+// length even for a subset corpus, since DocIDs index into it.
 func (c *Corpus) NumDocs() int { return len(c.docShard) }
+
+// NumOwnedDocs counts the documents living on this corpus's shards —
+// NumDocs for a full corpus, fewer for a shard node opened on a subset of
+// the bundle.
+func (c *Corpus) NumOwnedDocs() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.docRoots)
+	}
+	return n
+}
+
+// Owns reports whether doc lives on one of this corpus's shards. ShardOf
+// and DocRoot must only be called for owned documents.
+func (c *Corpus) Owns(doc DocID) bool { return c.docShard[doc] >= 0 }
 
 // Shards exposes the shard list (read-only) for persistence and cache
 // administration.

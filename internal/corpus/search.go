@@ -16,18 +16,26 @@ import (
 	"approxql/internal/plan"
 )
 
+// ranked ties the gather heap to the corpus's (cost, doc, root) total
+// order: any element type that can surface the Hit it is ranked by. Hit
+// qualifies trivially; ClusterHit embeds one and inherits the method.
+type ranked interface{ rankKey() Hit }
+
+func (h Hit) rankKey() Hit { return h }
+
 // topn is the gathering side of a corpus search: a bounded max-heap over
-// the (cost, doc, root) total order, shared by every shard worker. Its
-// Bound method is the cutoff published to the in-flight shard engines; it
-// is monotone non-increasing over a search, as exec.Config.Bound requires,
-// because entries only ever displace worse entries.
-type topn struct {
+// the (cost, doc, root) total order, shared by every shard worker (or, on
+// a cluster gatherer, every node driver). Its Bound method is the cutoff
+// published to the in-flight shard engines; it is monotone non-increasing
+// over a search, as exec.Config.Bound requires, because entries only ever
+// displace worse entries.
+type topn[T ranked] struct {
 	mu sync.Mutex
-	n  int   // <= 0: unbounded, collect everything
-	h  []Hit // max-heap on less when bounded; plain slice otherwise
+	n  int // <= 0: unbounded, collect everything
+	h  []T // max-heap on less when bounded; plain slice otherwise
 }
 
-func newTopN(n int) *topn { return &topn{n: n} }
+func newTopN[T ranked](n int) *topn[T] { return &topn[T]{n: n} }
 
 // Offer inserts the hit if it belongs in the current top n and reports
 // whether the offering shard should keep going. It returns false only when
@@ -36,7 +44,7 @@ func newTopN(n int) *topn { return &topn{n: n} }
 // can displace a top-n entry either. An equal-cost hit never stops the
 // shard — under the (cost, doc, root) tie-break it may still displace the
 // current maximum, and so may a later root at the same cost.
-func (t *topn) Offer(h Hit) bool {
+func (t *topn[T]) Offer(h T) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.n <= 0 {
@@ -48,10 +56,11 @@ func (t *topn) Offer(h Hit) bool {
 		t.up(len(t.h) - 1)
 		return true
 	}
-	if h.Cost > t.h[0].Cost {
+	k, worst := h.rankKey(), t.h[0].rankKey()
+	if k.Cost > worst.Cost {
 		return false
 	}
-	if !less(h, t.h[0]) {
+	if !less(k, worst) {
 		return true
 	}
 	t.h[0] = h
@@ -61,32 +70,32 @@ func (t *topn) Offer(h Hit) bool {
 
 // Bound returns the current cutoff: the n-th best cost once the heap is
 // full, cost.Inf before that (and always for unbounded collection).
-func (t *topn) Bound() cost.Cost {
+func (t *topn[T]) Bound() cost.Cost {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.n <= 0 || len(t.h) < t.n {
 		return cost.Inf
 	}
-	return t.h[0].Cost
+	return t.h[0].rankKey().Cost
 }
 
 // Sorted drains the heap into an ascending (cost, doc, root) slice. The
 // topn must not be offered to afterwards.
-func (t *topn) Sorted() []Hit {
+func (t *topn[T]) Sorted() []T {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := t.h
 	t.h = nil
-	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return less(out[i].rankKey(), out[j].rankKey()) })
 	return out
 }
 
 // up and down maintain the max-heap property under less (the maximum —
 // the currently worst kept hit — sits at index 0).
-func (t *topn) up(i int) {
+func (t *topn[T]) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if !less(t.h[p], t.h[i]) {
+		if !less(t.h[p].rankKey(), t.h[i].rankKey()) {
 			return
 		}
 		t.h[p], t.h[i] = t.h[i], t.h[p]
@@ -94,14 +103,14 @@ func (t *topn) up(i int) {
 	}
 }
 
-func (t *topn) down(i int) {
+func (t *topn[T]) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < len(t.h) && less(t.h[big], t.h[l]) {
+		if l < len(t.h) && less(t.h[big].rankKey(), t.h[l].rankKey()) {
 			big = l
 		}
-		if r < len(t.h) && less(t.h[big], t.h[r]) {
+		if r < len(t.h) && less(t.h[big].rankKey(), t.h[r].rankKey()) {
 			big = r
 		}
 		if big == i {
@@ -143,7 +152,7 @@ func resolveWorkers(cfg Config, shards int) (workers, inner int) {
 // shard coincides with the global order restricted to it).
 func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config) ([]Hit, error) {
 	active, pruned := c.filterShards(x)
-	heap := newTopN(n)
+	heap := newTopN[Hit](n)
 	merged := &exec.Metrics{}
 	merged.Shards = len(active)
 	merged.ShardsPruned = pruned
@@ -157,7 +166,7 @@ func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config
 		var m exec.Metrics
 		var err error
 		if direct, shCfg := decideShard(active[0], x, n, cfg, &m); direct {
-			err = searchShardDirect(ctx, active[0], x, n, inner, &m, heap)
+			err = searchShardDirect(ctx, active[0], x, n, inner, &m, heap.Offer)
 		} else {
 			err = searchShardSchema(ctx, active[0], x, n, shCfg, inner, &m, heap)
 		}
@@ -188,7 +197,7 @@ func (c *Corpus) Search(ctx context.Context, x *lang.Expanded, n int, cfg Config
 					var m exec.Metrics
 					var err error
 					if direct, shCfg := decideShard(sh, x, n, cfg, &m); direct {
-						err = searchShardDirect(ctx2, sh, x, n, inner, &m, heap)
+						err = searchShardDirect(ctx2, sh, x, n, inner, &m, heap.Offer)
 					} else {
 						err = searchShardSchema(ctx2, sh, x, n, shCfg, inner, &m, heap)
 					}
@@ -278,7 +287,7 @@ func finishPlanner(merged *exec.Metrics, cfg Config) {
 // within an equal-cost tier follows its second-level queries, not the
 // corpus (cost, doc, root) order, so its own n-truncation could keep the
 // wrong members of a tie set.
-func searchShardSchema(ctx context.Context, sh *Shard, x *lang.Expanded, n int, cfg Config, inner int, m *exec.Metrics, heap *topn) error {
+func searchShardSchema(ctx context.Context, sh *Shard, x *lang.Expanded, n int, cfg Config, inner int, m *exec.Metrics, heap *topn[Hit]) error {
 	initialK := cfg.InitialK
 	if initialK <= 0 && n > 0 {
 		// Mirror the single-database default: plan roughly the requested
@@ -307,12 +316,14 @@ func searchShardSchema(ctx context.Context, sh *Shard, x *lang.Expanded, n int, 
 	})
 }
 
-// searchShardDirect evaluates one shard with the direct algorithm. The
-// per-shard BestN is exact for the global merge: a shard's documents are
-// preorder-contiguous, so its (cost, root) order equals the global
-// (cost, doc, root) order restricted to the shard, and the global top n is
-// contained in the union of per-shard top n's.
-func searchShardDirect(ctx context.Context, sh *Shard, x *lang.Expanded, n, inner int, m *exec.Metrics, heap *topn) error {
+// searchShardDirect evaluates one shard with the direct algorithm,
+// delivering the shard's best n in ascending (cost, root) order through
+// offer; offer returning false stops the delivery (every later result is
+// at least as costly). The per-shard BestN is exact for the global merge:
+// a shard's documents are preorder-contiguous, so its (cost, root) order
+// equals the global (cost, doc, root) order restricted to the shard, and
+// the global top n is contained in the union of per-shard top n's.
+func searchShardDirect(ctx context.Context, sh *Shard, x *lang.Expanded, n, inner int, m *exec.Metrics, offer func(Hit) bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -342,9 +353,9 @@ func searchShardDirect(ctx context.Context, sh *Shard, x *lang.Expanded, n, inne
 		if !ok {
 			return fmt.Errorf("corpus: result root %d outside every shard document", r.Root)
 		}
-		// Offer's stop signal is meaningless here — the shard's results
-		// are already complete — so it is ignored.
-		heap.Offer(Hit{Doc: doc, Root: r.Root, Cost: r.Cost})
+		if !offer(Hit{Doc: doc, Root: r.Root, Cost: r.Cost}) {
+			break
+		}
 	}
 	return nil
 }

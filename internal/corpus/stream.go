@@ -19,6 +19,16 @@ type streamItem struct {
 	err  error
 }
 
+// streamJob parameterizes one per-shard stream producer beyond the shared
+// Config: the per-shard result bound direct shards evaluate to, the
+// external cost cutoff, and whether the per-shard strategy is resolved
+// (Auto/Direct from cfg) instead of forced schema-driven.
+type streamJob struct {
+	n       int
+	bound   func() cost.Cost
+	resolve bool
+}
+
 // Stream retrieves hits incrementally in ascending global (cost, doc,
 // root) order, calling fn for each; fn returns false to stop. Every active
 // shard streams its own engine's emission concurrently; the merger
@@ -34,11 +44,31 @@ type streamItem struct {
 // stop), so a stopped stream has done per-shard work proportional to how
 // far the costs ran, exactly like Database.Stream.
 func (c *Corpus) Stream(ctx context.Context, x *lang.Expanded, cfg Config, fn func(Hit) bool) error {
+	return c.stream(ctx, x, cfg, streamJob{}, fn)
+}
+
+// ServeStream is the shard-node primitive of a cluster: it streams the
+// corpus's hits in ascending (cost, doc, root) order like Stream, but
+// resolves the per-shard strategy from cfg (Auto/Direct, like Search) and
+// runs under an external cost cutoff. bound must be monotone
+// non-increasing, returning cost.Inf while no bound is known — typically a
+// gatherer's current global n-th cost. Hits whose cost strictly exceeds
+// the bound at emission time are never delivered; equal-cost hits always
+// are, preserving the gather heap's tie-exactness. n bounds each direct
+// shard's per-shard BestN (n <= 0: all results); schema shards run
+// unbounded under the cutoff, exactly as in Search.
+func (c *Corpus) ServeStream(ctx context.Context, x *lang.Expanded, n int, bound func() cost.Cost, cfg Config, fn func(Hit) bool) error {
+	return c.stream(ctx, x, cfg, streamJob{n: n, bound: bound, resolve: true}, fn)
+}
+
+// stream is the shared scatter/merge body of Stream and ServeStream.
+func (c *Corpus) stream(ctx context.Context, x *lang.Expanded, cfg Config, job streamJob, fn func(Hit) bool) error {
 	active, pruned := c.filterShards(x)
 	merged := &exec.Metrics{}
 	merged.Shards = len(active)
 	merged.ShardsPruned = pruned
 	defer func() {
+		finishPlanner(merged, cfg)
 		if cfg.Metrics != nil {
 			cfg.Metrics.Merge(merged)
 		}
@@ -59,7 +89,7 @@ func (c *Corpus) Stream(ctx context.Context, x *lang.Expanded, cfg Config, fn fu
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
-			streamShard(ctx2, sh, x, cfg, inner, &metrics[i], streams[i])
+			streamShard(ctx2, sh, x, cfg, job, inner, &metrics[i], streams[i])
 		}(i, sh)
 	}
 	// The producers select on ctx2 when sending, so cancelling first
@@ -122,10 +152,12 @@ func (c *Corpus) Stream(ctx context.Context, x *lang.Expanded, cfg Config, fn fu
 	}
 }
 
-// streamShard runs one shard's engine and forwards its emission as a
-// (cost, doc, root)-ascending stream, buffering and root-sorting each
-// equal-cost tier. It always terminates the stream with a done marker.
-func streamShard(ctx context.Context, sh *Shard, x *lang.Expanded, cfg Config, inner int, m *exec.Metrics, out chan<- streamItem) {
+// streamShard runs one shard and forwards its emission as a (cost, doc,
+// root)-ascending stream. Schema-driven shards buffer and root-sort each
+// equal-cost tier (the engine emits tiers in plan order); direct shards
+// are already (cost, root)-sorted and forward as-is. It always terminates
+// the stream with a done marker.
+func streamShard(ctx context.Context, sh *Shard, x *lang.Expanded, cfg Config, job streamJob, inner int, m *exec.Metrics, out chan<- streamItem) {
 	send := func(it streamItem) bool {
 		select {
 		case out <- it:
@@ -133,6 +165,25 @@ func streamShard(ctx context.Context, sh *Shard, x *lang.Expanded, cfg Config, i
 		case <-ctx.Done():
 			return false
 		}
+	}
+	if job.resolve {
+		direct, shCfg := decideShard(sh, x, job.n, cfg, m)
+		if direct {
+			err := searchShardDirect(ctx, sh, x, job.n, inner, m, func(h Hit) bool {
+				if job.bound != nil && h.Cost > job.bound() {
+					// Delivery is cost-ascending and the bound monotone
+					// non-increasing: every later hit is cut too.
+					return false
+				}
+				return send(streamItem{hit: h})
+			})
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				err = nil
+			}
+			send(streamItem{done: true, err: err})
+			return
+		}
+		cfg = shCfg
 	}
 	var tier []Hit
 	tierCost := cost.Cost(0)
@@ -148,7 +199,13 @@ func streamShard(ctx context.Context, sh *Shard, x *lang.Expanded, cfg Config, i
 	}
 	initialK := cfg.InitialK
 	if initialK <= 0 {
-		initialK = 8
+		// Mirror searchShardSchema's default: plan roughly the requested n
+		// up front so an external bound can engage early; plain streaming
+		// (no n) starts small and grows.
+		initialK = job.n
+		if initialK < 8 {
+			initialK = 8
+		}
 	}
 	eng := exec.New(sh.be.Schema(), sh.be, exec.Config{
 		N:           0,
@@ -158,6 +215,7 @@ func streamShard(ctx context.Context, sh *Shard, x *lang.Expanded, cfg Config, i
 		MaxK:        cfg.MaxK,
 		Parallelism: inner,
 		Metrics:     m,
+		Bound:       job.bound,
 	})
 	err := eng.Run(ctx, x, func(it exec.Item) bool {
 		doc, ok := sh.docOf(it.Root)

@@ -166,7 +166,7 @@ func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 func TestRunOpenLoop(t *testing.T) {
 	ts, hits := stubServer(t)
 	stream := GenStream(testPool(10), StreamConfig{Rate: 2000, Duration: 200 * time.Millisecond, Seed: 5})
-	rep := Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
+	rep := Run(context.Background(), Client{Bases: []string{ts.URL}, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
 
 	if rep.Sent != len(stream) {
 		t.Errorf("sent %d, want %d", rep.Sent, len(stream))
@@ -201,7 +201,7 @@ func TestRunOpenLoop(t *testing.T) {
 func TestRunClosedLoopConcurrent(t *testing.T) {
 	ts, _ := stubServer(t)
 	stream := GenStream(testPool(10), StreamConfig{Count: 50, Seed: 5})
-	rep := Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream,
+	rep := Run(context.Background(), Client{Bases: []string{ts.URL}, HTTP: ts.Client()}, stream,
 		Options{Concurrency: 8})
 	if rep.Sent != len(stream) {
 		t.Errorf("one-pass closed loop sent %d, want %d", rep.Sent, len(stream))
@@ -211,7 +211,7 @@ func TestRunClosedLoopConcurrent(t *testing.T) {
 	}
 
 	// Duration-bound closed loop cycles the stream until time is up.
-	rep = Run(context.Background(), Client{Base: ts.URL, HTTP: ts.Client()}, stream[:3],
+	rep = Run(context.Background(), Client{Bases: []string{ts.URL}, HTTP: ts.Client()}, stream[:3],
 		Options{Concurrency: 4, Duration: 150 * time.Millisecond})
 	if rep.Sent <= 3 {
 		t.Errorf("duration-bound run sent only %d requests", rep.Sent)
@@ -225,7 +225,7 @@ func TestRunHonorsContextCancel(t *testing.T) {
 	stream := GenStream(testPool(4), StreamConfig{Rate: 10, Duration: 10 * time.Second, Seed: 9})
 	done := make(chan Report, 1)
 	go func() {
-		done <- Run(ctx, Client{Base: ts.URL, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
+		done <- Run(ctx, Client{Bases: []string{ts.URL}, HTTP: ts.Client()}, stream, Options{OpenLoop: true})
 	}()
 	select {
 	case rep := <-done:
@@ -234,6 +234,35 @@ func TestRunHonorsContextCancel(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+// TestRunMultiTarget pins the multi-target contract: a stream round-robins
+// over the bases deterministically by index, and degraded ("partial")
+// gatherer answers are counted.
+func TestRunMultiTarget(t *testing.T) {
+	var a, b atomic.Int64
+	mk := func(n *atomic.Int64, partial bool) *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			n.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"partial":%v,"results":[]}`, partial)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	tsA, tsB := mk(&a, false), mk(&b, true)
+	stream := GenStream(testPool(4), StreamConfig{Count: 20, Seed: 5})
+	rep := Run(context.Background(), NewMultiClient([]string{tsA.URL, tsB.URL}, 4), stream,
+		Options{Concurrency: 4})
+	if rep.Sent != 20 || rep.OK != 20 {
+		t.Fatalf("sent=%d ok=%d, want 20/20", rep.Sent, rep.OK)
+	}
+	if a.Load() != 10 || b.Load() != 10 {
+		t.Fatalf("round-robin split %d/%d, want 10/10", a.Load(), b.Load())
+	}
+	if rep.Partials != 10 {
+		t.Fatalf("partials = %d, want 10 (every answer from the degraded target)", rep.Partials)
 	}
 }
 

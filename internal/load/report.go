@@ -29,6 +29,11 @@ type Report struct {
 	// cache (the response's "cached" field).
 	CacheHits int
 
+	// Partials counts 200 responses carrying "partial": true — a gatherer
+	// answered with some cluster nodes missing. Zero against a
+	// single-process server or a healthy cluster.
+	Partials int
+
 	// LatenciesMS holds one entry per OK response, sorted ascending.
 	LatenciesMS []float64
 
@@ -42,7 +47,7 @@ type collector struct {
 	r  Report
 }
 
-func (c *collector) observe(status int, cached bool, lat time.Duration, err error) {
+func (c *collector) observe(status int, probe cachedProbe, lat time.Duration, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.r.Sent++
@@ -54,8 +59,11 @@ func (c *collector) observe(status int, cached bool, lat time.Duration, err erro
 	switch status {
 	case 200:
 		c.r.OK++
-		if cached {
+		if probe.Cached {
 			c.r.CacheHits++
+		}
+		if probe.Partial {
+			c.r.Partials++
 		}
 		c.r.LatenciesMS = append(c.r.LatenciesMS, float64(lat.Nanoseconds())/1e6)
 	case 429:

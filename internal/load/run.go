@@ -11,25 +11,41 @@ import (
 	"time"
 )
 
-// Client targets one server: the base URL (scheme://host:port, no trailing
-// slash) and the http.Client to reach it with. For high-concurrency runs the
-// transport should allow enough idle connections per host (see NewClient).
+// Client targets one or more servers: base URLs (scheme://host:port, no
+// trailing slash) and the http.Client to reach them with. With several
+// bases, requests round-robin over them by stream index — the multi-target
+// mode used to spread a replay over the gatherers of a cluster. For
+// high-concurrency runs the transport should allow enough idle connections
+// per host (see NewClient).
 type Client struct {
-	Base string
-	HTTP *http.Client
+	Bases []string
+	HTTP  *http.Client
 }
 
 // NewClient returns a Client whose transport keeps enough idle connections
 // for maxConcurrent parallel requests, avoiding the default transport's
 // two-connections-per-host churn under load.
 func NewClient(base string, maxConcurrent int) Client {
+	return NewMultiClient([]string{base}, maxConcurrent)
+}
+
+// NewMultiClient is NewClient over several targets, round-robinned per
+// request. The idle-connection budget applies to each host.
+func NewMultiClient(bases []string, maxConcurrent int) Client {
 	if maxConcurrent < 16 {
 		maxConcurrent = 16
 	}
 	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = maxConcurrent
+	tr.MaxIdleConns = maxConcurrent * len(bases)
 	tr.MaxIdleConnsPerHost = maxConcurrent
-	return Client{Base: base, HTTP: &http.Client{Transport: tr}}
+	return Client{Bases: bases, HTTP: &http.Client{Transport: tr}}
+}
+
+// base returns the target for the i-th request of a stream. Round-robin by
+// stream index (not by a shared counter) keeps the assignment deterministic
+// for a given stream, replay included.
+func (c Client) base(i int) string {
+	return c.Bases[i%len(c.Bases)]
 }
 
 // Options tunes Run.
@@ -57,9 +73,11 @@ type queryBody struct {
 	Strategy string `json:"strategy,omitempty"`
 }
 
-// cachedProbe is the one /query response field the harness reads.
+// cachedProbe holds the /query response fields the harness reads: the
+// result-cache marker and, from a gatherer, the degraded-ranking marker.
 type cachedProbe struct {
-	Cached bool `json:"cached"`
+	Cached  bool `json:"cached"`
+	Partial bool `json:"partial"`
 }
 
 // Run fires the stream at the client's server and aggregates a Report. It
@@ -92,7 +110,7 @@ func runOpen(ctx context.Context, c Client, stream []Item, o Options, col *colle
 	if !timer.Stop() {
 		<-timer.C
 	}
-	for _, it := range stream {
+	for i, it := range stream {
 		sched := start.Add(time.Duration(it.AtMS) * time.Millisecond)
 		if wait := time.Until(sched); wait > 0 {
 			timer.Reset(wait)
@@ -106,11 +124,11 @@ func runOpen(ctx context.Context, c Client, stream []Item, o Options, col *colle
 			break
 		}
 		wg.Add(1)
-		go func(it Item, sched time.Time) {
+		go func(i int, it Item, sched time.Time) {
 			defer wg.Done()
-			status, cached, err := fire(ctx, c, it, o.Timeout)
-			col.observe(status, cached, time.Since(sched), err)
-		}(it, sched)
+			status, probe, err := fire(ctx, c, i, it, o.Timeout)
+			col.observe(status, probe, time.Since(sched), err)
+		}(i, it, sched)
 	}
 	wg.Wait()
 }
@@ -142,40 +160,37 @@ func runClosed(ctx context.Context, c Client, stream []Item, o Options, col *col
 				}
 				it := stream[i%int64(len(stream))]
 				sent := time.Now()
-				status, cached, err := fire(ctx, c, it, o.Timeout)
-				col.observe(status, cached, time.Since(sent), err)
+				status, probe, err := fire(ctx, c, int(i%int64(len(stream))), it, o.Timeout)
+				col.observe(status, probe, time.Since(sent), err)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// fire issues one /query request. The returned status is 0 on transport
-// errors.
-func fire(ctx context.Context, c Client, it Item, timeout time.Duration) (status int, cached bool, err error) {
+// fire issues the stream's i-th request. The returned status is 0 on
+// transport errors.
+func fire(ctx context.Context, c Client, i int, it Item, timeout time.Duration) (status int, probe cachedProbe, err error) {
 	body, err := json.Marshal(queryBody{Query: it.Query, N: it.N, Strategy: it.Strategy})
 	if err != nil {
-		return 0, false, err
+		return 0, probe, err
 	}
 	rctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Base+"/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.base(i)+"/query", bytes.NewReader(body))
 	if err != nil {
-		return 0, false, err
+		return 0, probe, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return 0, false, err
+		return 0, probe, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
-		var probe cachedProbe
-		if derr := json.NewDecoder(resp.Body).Decode(&probe); derr == nil {
-			cached = probe.Cached
-		}
+		_ = json.NewDecoder(resp.Body).Decode(&probe)
 	}
 	// Drain so the connection is reusable.
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, cached, nil
+	return resp.StatusCode, probe, nil
 }

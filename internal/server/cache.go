@@ -34,6 +34,10 @@ type resultCache struct {
 // produced it, so a hit reproduces the cold path's planner fields too.
 type cachedRanking struct {
 	results []approxql.Hit // never mutated after insertion
+	// cluster replaces results on a gatherer: gathered hits carry their
+	// node-resolved presentation fields (and, with render, subtrees — the
+	// cache key then includes render). Never a partial gather.
+	cluster []approxql.ShardHit
 	// strategy is the effective strategy that produced the ranking;
 	// planner is "auto" or "forced"; estimate is the planner's
 	// approximate-result-count estimate.

@@ -75,8 +75,34 @@ type QueryResponse struct {
 	Cached bool `json:"cached"`
 	// TookMS is the server-side handling time in milliseconds.
 	TookMS float64 `json:"took_ms"`
+	// Partial reports a degraded cluster gather: at least one shard node
+	// failed, and its documents are missing from the ranking. Only a
+	// gatherer sets it; partial rankings are never cached.
+	Partial bool `json:"partial,omitempty"`
+	// Nodes is the per-node detail of a cluster gather, failed nodes
+	// included. Cache hits omit it — the detail describes one wire
+	// exchange, not the cached ranking.
+	Nodes []QueryNode `json:"nodes,omitempty"`
 	// Results is the ranking, ascending by cost.
 	Results []QueryResult `json:"results"`
+}
+
+// QueryNode is one shard node's part of a cluster gather.
+type QueryNode struct {
+	// Node is the node's base URL ("local" for the gatherer's own
+	// corpus); Error its failure, when it had one.
+	Node  string `json:"node"`
+	Error string `json:"error,omitempty"`
+	// Hits counts hits the node delivered into the merge; Stopped
+	// reports the gatherer cut the node short once its stream could no
+	// longer improve the ranking.
+	Hits    int  `json:"hits"`
+	Stopped bool `json:"stopped,omitempty"`
+	// Retries counts wire-level re-issues, BoundPushes mid-stream cutoff
+	// updates delivered to the node.
+	Retries     int     `json:"retries,omitempty"`
+	BoundPushes int     `json:"bound_pushes,omitempty"`
+	LatencyMS   float64 `json:"latency_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -136,8 +162,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := cacheKey(fingerprint, n, strategy)
+	if s.cluster != nil && req.Render {
+		// A gatherer's cached rankings embed the rendered subtrees the
+		// nodes returned (the gatherer holds no documents to render
+		// from), so render participates in its cache key. The corpus
+		// path renders per response from the shared ranking.
+		key += "/r"
+	}
 	if rk, ok := s.cache.get(key); ok {
-		s.writeRanking(w, r, req, canonical, fingerprint, n, rk, true, start)
+		s.writeRanking(w, r, req, canonical, fingerprint, n, rk, true, start, false, nil)
 		return
 	}
 
@@ -168,6 +201,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var qm approxql.QueryMetrics
 	opts = append(opts, approxql.WithMetrics(&qm))
 
+	if s.cluster != nil {
+		res, err := s.cluster.SearchContext(ctx, req.Query, n, req.Render, opts...)
+		s.metrics.mergeExec(&qm)
+		s.metrics.observeCluster(res.Nodes, res.Partial)
+		if err != nil {
+			var ne *approxql.NodeError
+			switch {
+			case errors.As(err, &ne):
+				// Fail-closed: one dead node breaks the whole query.
+				writeError(w, http.StatusBadGateway, err.Error(), nil)
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("query exceeded its %v deadline", timeout), nil)
+			case errors.Is(err, context.Canceled):
+				writeError(w, 499, "client closed request", nil)
+			default:
+				writeError(w, http.StatusInternalServerError, err.Error(), nil)
+			}
+			return
+		}
+		rk := cachedRanking{cluster: res.Hits}
+		s.plannerFields(&rk, strategy, &qm, req.Query, n, opts)
+		if !res.Partial {
+			// A partial ranking is the degraded answer of this moment;
+			// caching it would keep serving the outage after recovery.
+			s.cache.put(key, rk)
+		}
+		s.writeRanking(w, r, req, canonical, fingerprint, n, rk, false, start, res.Partial, queryNodes(res.Nodes))
+		return
+	}
+
 	results, err := s.corpus.SearchContext(ctx, req.Query, n, opts...)
 	s.metrics.mergeExec(&qm)
 	if err != nil {
@@ -186,6 +250,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	rk := cachedRanking{results: results}
+	s.plannerFields(&rk, strategy, &qm, req.Query, n, opts)
+	s.cache.put(key, rk)
+	s.writeRanking(w, r, req, canonical, fingerprint, n, rk, false, start, false, nil)
+}
+
+// plannerFields fills a ranking's strategy/planner/estimate view: the
+// planner's pick for Auto requests, the forced strategy otherwise.
+func (s *Server) plannerFields(rk *cachedRanking, strategy approxql.Strategy, qm *approxql.QueryMetrics, query string, n int, opts []approxql.QueryOption) {
 	if strategy == approxql.Auto {
 		rk.planner = "auto"
 		rk.strategy = qm.PlannerStrategy
@@ -194,23 +266,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// Every shard was pruned: nothing ran, report the trivial pick.
 			rk.strategy = approxql.Direct.String()
 		}
-	} else {
-		rk.planner = "forced"
-		rk.strategy = strategy.String()
-		// The planner did not run; its estimate is still cheap (count-only
-		// probes) and keeps the response shape uniform.
-		if dec, err := s.corpus.Plan(req.Query, n, opts...); err == nil {
+		return
+	}
+	rk.planner = "forced"
+	rk.strategy = strategy.String()
+	// The planner did not run; its estimate is still cheap (count-only
+	// probes) and keeps the response shape uniform. A gatherer has no
+	// corpus to probe and reports what the nodes' done lines summed.
+	rk.estimate = qm.PlannerEstimate
+	if s.corpus != nil {
+		if dec, err := s.corpus.Plan(query, n, opts...); err == nil {
 			rk.estimate = dec.Estimate
 		}
 	}
-	s.cache.put(key, rk)
-	s.writeRanking(w, r, req, canonical, fingerprint, n, rk, false, start)
+}
+
+// queryNodes converts the facade's per-node statuses to the response
+// shape.
+func queryNodes(nodes []approxql.NodeStatus) []QueryNode {
+	out := make([]QueryNode, len(nodes))
+	for i, st := range nodes {
+		out[i] = QueryNode{
+			Node:        st.Node,
+			Error:       st.Err,
+			Hits:        st.Hits,
+			Stopped:     st.Stopped,
+			Retries:     st.Retries,
+			BoundPushes: st.BoundPushes,
+			LatencyMS:   st.LatencyMS,
+		}
+	}
+	return out
 }
 
 func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryRequest,
-	canonical, fingerprint string, n int, rk cachedRanking, cached bool, start time.Time) {
+	canonical, fingerprint string, n int, rk cachedRanking, cached bool, start time.Time,
+	partial bool, nodes []QueryNode) {
 
-	results := rk.results
 	resp := QueryResponse{
 		Query:          canonical,
 		Fingerprint:    fingerprint,
@@ -220,8 +312,29 @@ func (s *Server) writeRanking(w http.ResponseWriter, _ *http.Request, req QueryR
 		EstimatedCount: rk.estimate,
 		Cached:         cached,
 		TookMS:         float64(time.Since(start).Microseconds()) / 1000,
-		Results:        make([]QueryResult, len(results)),
+		Partial:        partial,
+		Nodes:          nodes,
 	}
+	if s.cluster != nil {
+		// Gathered hits carry their presentation fields from the owning
+		// nodes; there is no local corpus to resolve them against.
+		resp.Results = make([]QueryResult, len(rk.cluster))
+		for i, res := range rk.cluster {
+			resp.Results[i] = QueryResult{
+				Rank:    i + 1,
+				Doc:     res.Doc,
+				DocName: res.DocName,
+				Root:    res.Root,
+				Cost:    int64(res.Cost),
+				Path:    res.Path,
+				Subtree: res.Subtree,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	results := rk.results
+	resp.Results = make([]QueryResult, len(results))
 	for i, res := range results {
 		doc := s.corpus.Doc(res.Doc)
 		qr := QueryResult{
@@ -255,9 +368,27 @@ type HealthResponse struct {
 	// planner's O(log n) count probes rely on.
 	BundleVersion  int  `json:"bundle_version"`
 	StorageCounted bool `json:"storage_counted"`
+	// ClusterNodes is a gatherer's per-node probe detail; Status is then
+	// "degraded" when any node is unreachable. The aggregate fields above
+	// sum over the reachable nodes.
+	ClusterNodes []NodeHealth `json:"cluster_nodes,omitempty"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// NodeHealth is one shard node's health-probe outcome in a gatherer's
+// /healthz response.
+type NodeHealth struct {
+	Node   string `json:"node"`
+	Status string `json:"status"` // "ok" or "unreachable"
+	Error  string `json:"error,omitempty"`
+	Docs   int    `json:"docs"`
+	Shards int    `json:"shards"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		s.handleClusterHealthz(w, r)
+		return
+	}
 	st := s.corpus.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:         "ok",
@@ -268,6 +399,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		BundleVersion:  st.BundleVersion,
 		StorageCounted: st.StorageCounted,
 	})
+}
+
+// handleClusterHealthz probes every shard node and reports the aggregate
+// plus per-node detail: "ok" with every node reachable, "degraded"
+// otherwise (queries still answer, flagged partial).
+func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
+	probes := s.cluster.Health(r.Context(), 0)
+	resp := HealthResponse{
+		Status:         "ok",
+		Inflight:       s.admission.inflight.Load(),
+		StorageCounted: true,
+	}
+	reachable := 0
+	for _, p := range probes {
+		nh := NodeHealth{Node: p.Node, Status: "ok", Docs: p.Docs, Shards: p.Shards}
+		if p.Err != "" {
+			nh.Status = "unreachable"
+			nh.Error = p.Err
+			resp.Status = "degraded"
+		} else {
+			reachable++
+			resp.Docs += p.Docs
+			resp.Shards += p.Shards
+			resp.Nodes += p.TreeNodes
+			if p.BundleVersion > resp.BundleVersion {
+				resp.BundleVersion = p.BundleVersion
+			}
+			if !p.StorageCounted {
+				resp.StorageCounted = false
+			}
+		}
+		resp.ClusterNodes = append(resp.ClusterNodes, nh)
+	}
+	if reachable == 0 {
+		resp.StorageCounted = false
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func parseStrategy(name string) (approxql.Strategy, error) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"approxql"
 	"approxql/internal/exec"
 )
 
@@ -44,6 +45,20 @@ type metrics struct {
 	latencies map[string]*histogram
 	exec      exec.Metrics
 	queries   int64
+	// nodes accumulates a gatherer's per-shard-node counters; partials
+	// counts degraded (fail-open) gathers.
+	nodes    map[string]*nodeCounters
+	partials int64
+}
+
+// nodeCounters aggregates one shard node's share of the cluster searches
+// this gatherer ran. Guarded by the owning metrics mutex.
+type nodeCounters struct {
+	requests   int64
+	errors     int64
+	retries    int64
+	boundStops int64
+	latencySum float64 // seconds
 }
 
 func newMetrics() *metrics {
@@ -51,6 +66,33 @@ func newMetrics() *metrics {
 		started:   time.Now(),
 		requests:  make(map[string]int64),
 		latencies: make(map[string]*histogram),
+		nodes:     make(map[string]*nodeCounters),
+	}
+}
+
+// observeCluster folds one cluster search's per-node outcomes into the
+// aggregate.
+func (m *metrics) observeCluster(nodes []approxql.NodeStatus, partial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if partial {
+		m.partials++
+	}
+	for _, st := range nodes {
+		nc, ok := m.nodes[st.Node]
+		if !ok {
+			nc = &nodeCounters{}
+			m.nodes[st.Node] = nc
+		}
+		nc.requests++
+		if st.Err != "" {
+			nc.errors++
+		}
+		if st.Stopped {
+			nc.boundStops++
+		}
+		nc.retries += int64(st.Retries)
+		nc.latencySum += st.LatencyMS / 1000
 	}
 }
 
@@ -93,6 +135,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	ex := m.exec.Snapshot()
 	queries := m.queries
+	nodes := make(map[string]nodeCounters, len(m.nodes))
+	for k, v := range m.nodes {
+		nodes[k] = *v
+	}
+	partials := m.partials
 	uptime := time.Since(m.started).Seconds()
 	m.mu.Unlock()
 
@@ -146,6 +193,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP axql_queries_evaluated_total Queries that ran the evaluation engine (cache misses).")
 	p("# TYPE axql_queries_evaluated_total counter")
 	p("axql_queries_evaluated_total %d", queries)
+
+	if len(nodes) > 0 {
+		p("# HELP axql_cluster_partial_total Cluster gathers answered degraded (at least one node failed).")
+		p("# TYPE axql_cluster_partial_total counter")
+		p("axql_cluster_partial_total %d", partials)
+		nodeCols := []struct {
+			name, help string
+			value      func(nodeCounters) string
+		}{
+			{"axql_cluster_node_requests_total", "Cluster searches that queried the node.",
+				func(nc nodeCounters) string { return fmt.Sprintf("%d", nc.requests) }},
+			{"axql_cluster_node_errors_total", "Node queries that failed after retries.",
+				func(nc nodeCounters) string { return fmt.Sprintf("%d", nc.errors) }},
+			{"axql_cluster_node_retries_total", "Wire-level re-issues of node queries.",
+				func(nc nodeCounters) string { return fmt.Sprintf("%d", nc.retries) }},
+			{"axql_cluster_node_bound_stops_total", "Node streams cut short by the gatherer's cost bound.",
+				func(nc nodeCounters) string { return fmt.Sprintf("%d", nc.boundStops) }},
+			{"axql_cluster_node_latency_seconds_total", "Total node stream time, first byte to done line.",
+				func(nc nodeCounters) string { return fmt.Sprintf("%g", nc.latencySum) }},
+		}
+		for _, c := range nodeCols {
+			p("# HELP %s %s", c.name, c.help)
+			p("# TYPE %s counter", c.name)
+			for _, node := range sortedKeys(nodes) {
+				p("%s{node=%q} %s", c.name, node, c.value(nodes[node]))
+			}
+		}
+	}
 
 	execCounters := []struct {
 		name, help string

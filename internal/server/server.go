@@ -13,6 +13,15 @@
 //	                   aggregated execution metrics
 //	GET  /debug/pprof  the standard Go profiling endpoints
 //
+// A server can also take part in a cluster (docs/CLUSTER.md). In
+// shard-node mode (Config.ShardNode) it additionally serves the cluster
+// wire protocol — POST /shard/query streaming ascending-cost hits as
+// ndjson, POST /shard/bound accepting mid-stream cutoff updates, and
+// GET /shard/stats — over its slice of a corpus bundle. As a gatherer
+// (Config.Cluster) its /query fans out over remote shard nodes and merges
+// their streams into one exact global ranking, answering degraded
+// ("partial": true) instead of failing when a node dies.
+//
 // Hardening for real traffic: per-request context deadlines wired into
 // SearchContext, a semaphore-based admission controller that answers 429
 // with Retry-After at saturation, a normalized-query result LRU keyed by
@@ -48,6 +57,16 @@ type Config struct {
 	// Corpus is the shared sharded corpus queries run against. Responses
 	// carry each hit's document id and name.
 	Corpus *approxql.Corpus
+	// Cluster makes the server a gatherer: /query fans over the
+	// cluster's shard nodes and merges their streams, carrying partial
+	// and per-node detail in the response. Exactly one of DB, Corpus,
+	// and Cluster must be set.
+	Cluster *approxql.Cluster
+	// ShardNode additionally exposes the cluster wire protocol —
+	// POST /shard/query (ndjson hit stream), POST /shard/bound, and
+	// GET /shard/stats — so a gatherer can use this server as one node.
+	// It requires a DB or Corpus target.
+	ShardNode bool
 	// Model supplies the delete/rename costs applied to every query; nil
 	// allows insertions only (exact containment with context ranking).
 	Model *approxql.CostModel
@@ -117,8 +136,11 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	// corpus is the resolved evaluation target: Config.Corpus, or
-	// Config.DB wrapped as a one-shard corpus.
+	// Config.DB wrapped as a one-shard corpus. It is nil on a gatherer,
+	// whose target is cluster instead.
 	corpus    *approxql.Corpus
+	cluster   *approxql.Cluster
+	bounds    *boundRegistry
 	admission *admission
 	cache     *resultCache
 	metrics   *metrics
@@ -137,15 +159,22 @@ type Server struct {
 }
 
 // New returns a Server for cfg. It fails when no evaluation target is
-// configured, or both are.
+// configured, or more than one.
 func New(cfg Config) (*Server, error) {
+	targets := 0
+	for _, set := range []bool{cfg.DB != nil, cfg.Corpus != nil, cfg.Cluster != nil} {
+		if set {
+			targets++
+		}
+	}
+	if targets != 1 {
+		return nil, errors.New("server: exactly one of Config.DB, Config.Corpus, and Config.Cluster is required")
+	}
+	if cfg.ShardNode && cfg.Cluster != nil {
+		return nil, errors.New("server: Config.ShardNode needs a DB or Corpus target, not a Cluster")
+	}
 	corpus := cfg.Corpus
-	switch {
-	case cfg.DB == nil && corpus == nil:
-		return nil, errors.New("server: one of Config.DB and Config.Corpus is required")
-	case cfg.DB != nil && corpus != nil:
-		return nil, errors.New("server: Config.DB and Config.Corpus are mutually exclusive")
-	case corpus == nil:
+	if cfg.DB != nil {
 		var err error
 		if corpus, err = cfg.DB.Corpus(); err != nil {
 			return nil, err
@@ -155,6 +184,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		corpus:    corpus,
+		cluster:   cfg.Cluster,
+		bounds:    newBoundRegistry(),
 		admission: newAdmission(cfg.MaxInflight),
 		cache:     newResultCache(cfg.CacheEntries),
 		metrics:   newMetrics(),
@@ -185,6 +216,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.instrument("/query", s.handleQuery))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.cfg.ShardNode {
+		mux.HandleFunc("POST /shard/query", s.instrument("/shard/query", s.handleShardQuery))
+		mux.HandleFunc("POST /shard/bound", s.instrument("/shard/bound", s.handleShardBound))
+		mux.HandleFunc("GET /shard/stats", s.instrument("/shard/stats", s.handleShardStats))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -12,6 +12,11 @@ cleanup() {
     if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
         kill -9 "$server_pid" 2>/dev/null || true
     fi
+    # CI sets SMOKE_LOG_DIR to keep the server logs as workflow artifacts.
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR"
+        cp "$workdir"/*.log "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT

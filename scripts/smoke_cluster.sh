@@ -1,0 +1,184 @@
+#!/usr/bin/env bash
+# Cluster smoke test: index a corpus bundle, serve its shards from three
+# shard-node processes behind a gatherer, and check the distributed ranking
+# is identical to single-process serving — then kill a node and check the
+# gatherer degrades to a well-formed partial answer instead of failing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    # CI sets SMOKE_LOG_DIR to keep the server logs as workflow artifacts.
+    if [ -n "${SMOKE_LOG_DIR:-}" ]; then
+        mkdir -p "$SMOKE_LOG_DIR"
+        cp "$workdir"/*.log "$SMOKE_LOG_DIR"/ 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke-cluster: FAIL: $1" >&2
+    for log in "$workdir"/*.log; do
+        [ -f "$log" ] && sed "s|^|smoke-cluster: $(basename "$log"): |" "$log" >&2
+    done
+    exit 1
+}
+
+# wait_ready LOGFILE PID — block until the server logs its address, echo the
+# base URL.
+wait_ready() {
+    local log=$1 pid=$2 addr=""
+    for _ in $(seq 1 100); do
+        if addr=$(grep -o 'listening on [^ ]*' "$log" 2>/dev/null | head -1); then
+            echo "http://${addr#listening on }"
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || return 1
+        sleep 0.1
+    done
+    return 1
+}
+
+# rank_tuples RESPONSE — normalize a /query body to "doc root cost" lines,
+# the exact-ranking signature parity is asserted on.
+rank_tuples() {
+    paste -d' ' \
+        <(grep -o '"doc":[0-9]*' <<<"$1" | cut -d: -f2) \
+        <(grep -o '"root":[0-9]*' <<<"$1" | cut -d: -f2) \
+        <(grep -o '"cost":[0-9]*' <<<"$1" | cut -d: -f2)
+}
+
+query() { # query BASE BODY
+    curl -sSf -X POST -H 'Content-Type: application/json' -d "$2" "$1/query"
+}
+
+echo "smoke-cluster: building binaries"
+go build -o "$workdir" ./cmd/axqlgen ./cmd/axqlindex ./cmd/axqlserve
+
+echo "smoke-cluster: generating six documents"
+docs=()
+for i in 1 2 3 4 5 6; do
+    "$workdir/axqlgen" -seed $((i + 30)) -elements 800 -words 3000 -names 20 \
+        -vocab 200 -out "$workdir/doc$i.xml" -q
+    docs+=("$workdir/doc$i.xml")
+done
+
+name=$(grep -o '<n[0-9]*' "$workdir/doc1.xml" | sort | uniq -c | sort -rn |
+    head -1 | tr -d ' <' | sed 's/^[0-9]*//')
+[ -n "$name" ] || fail "no element names found in generated data"
+echo "smoke-cluster: querying for element <$name>"
+
+echo "smoke-cluster: indexing into a six-shard corpus bundle"
+"$workdir/axqlindex" -out "$workdir/corpus.axql" -shard-docs 1 -q "${docs[@]}"
+[ -f "$workdir/corpus.axql" ] || fail "corpus bundle not written"
+
+echo "smoke-cluster: starting the single-process reference server"
+"$workdir/axqlserve" -db "$workdir/corpus.axql" -addr 127.0.0.1:0 -log off \
+    >/dev/null 2>"$workdir/ref.log" &
+disown
+pids+=($!)
+ref=$(wait_ready "$workdir/ref.log" $!) || fail "reference server never came up"
+
+echo "smoke-cluster: starting three shard nodes"
+node_urls=()
+node_pids=()
+i=0
+for shards in 0,3 1,4 2,5; do
+    i=$((i + 1))
+    "$workdir/axqlserve" -db "$workdir/corpus.axql" -shard-node -shards "$shards" \
+        -addr 127.0.0.1:0 -log off >/dev/null 2>"$workdir/node$i.log" &
+    disown
+    pid=$!
+    pids+=("$pid")
+    node_pids+=("$pid")
+    url=$(wait_ready "$workdir/node$i.log" "$pid") || fail "shard node $i never came up"
+    node_urls+=("$url")
+done
+
+echo "smoke-cluster: checking /shard/stats on node 1"
+stats=$(curl -sSf "${node_urls[0]}/shard/stats")
+grep -q '"shards":2' <<<"$stats" || fail "node 1 stats wrong: $stats"
+
+echo "smoke-cluster: starting the gatherer"
+nodes_flag=$(IFS=,; echo "${node_urls[*]}")
+# Not disowned: the drain check at the end waits on this job.
+"$workdir/axqlserve" -nodes "$nodes_flag" -addr 127.0.0.1:0 -log off \
+    >/dev/null 2>"$workdir/gatherer.log" &
+gatherer_pid=$!
+pids+=("$gatherer_pid")
+gatherer=$(wait_ready "$workdir/gatherer.log" "$gatherer_pid") ||
+    fail "gatherer never came up"
+
+echo "smoke-cluster: gatherer /healthz aggregates the cluster"
+health=$(curl -sSf "$gatherer/healthz")
+grep -q '"status":"ok"' <<<"$health" || fail "gatherer not healthy: $health"
+grep -q '"docs":6' <<<"$health" || fail "gatherer healthz docs wrong: $health"
+grep -q '"cluster_nodes"' <<<"$health" || fail "no nodes section in: $health"
+
+echo "smoke-cluster: ranking parity with single-process serving"
+for body in "{\"query\":\"$name\",\"n\":5}" "{\"query\":\"$name\",\"n\":50}"; do
+    want=$(query "$ref" "$body") || fail "reference query failed"
+    got=$(query "$gatherer" "$body") || fail "gather query failed"
+    grep -q '"partial":true' <<<"$got" && fail "healthy cluster answered partial: $got"
+    grep -q '"rank":1' <<<"$got" || fail "no ranked results in: $got"
+    if [ "$(rank_tuples "$want")" != "$(rank_tuples "$got")" ]; then
+        fail "ranking mismatch for $body
+ref:    $(rank_tuples "$want" | tr '\n' ';')
+gather: $(rank_tuples "$got" | tr '\n' ';')"
+    fi
+done
+
+echo "smoke-cluster: gatherer /metrics exposes per-node counters"
+metrics=$(curl -sSf "$gatherer/metrics")
+grep -q 'axql_cluster_node_requests_total' <<<"$metrics" ||
+    fail "no per-node counters in gatherer /metrics"
+
+echo "smoke-cluster: killing shard node 3 (SIGKILL)"
+kill -9 "${node_pids[2]}"
+for _ in $(seq 1 50); do
+    kill -0 "${node_pids[2]}" 2>/dev/null || break
+    sleep 0.1
+done
+
+echo "smoke-cluster: degraded gather answers partial, not 5xx"
+# A fresh query shape so the result cannot come from the gatherer's cache.
+body="{\"query\":\"$name[$name]\",\"n\":5}"
+status=$(curl -s -o "$workdir/partial.json" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$body" "$gatherer/query")
+[ "$status" = "200" ] || fail "query with a dead node returned $status: $(cat "$workdir/partial.json")"
+grep -q '"partial":true' "$workdir/partial.json" ||
+    fail "degraded answer not marked partial: $(cat "$workdir/partial.json")"
+grep -q '"error":' "$workdir/partial.json" ||
+    fail "no per-node error detail: $(cat "$workdir/partial.json")"
+
+echo "smoke-cluster: degraded gatherer /healthz reports it"
+health=$(curl -sSf "$gatherer/healthz")
+grep -q '"status":"degraded"' <<<"$health" || fail "healthz not degraded: $health"
+grep -q '"unreachable"' <<<"$health" || fail "dead node not flagged: $health"
+
+echo "smoke-cluster: a fail-closed gatherer refuses instead"
+"$workdir/axqlserve" -nodes "$nodes_flag" -fail-closed -node-retries 0 \
+    -addr 127.0.0.1:0 -log off >/dev/null 2>"$workdir/failclosed.log" &
+disown
+pids+=($!)
+strict=$(wait_ready "$workdir/failclosed.log" $!) || fail "fail-closed gatherer never came up"
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d "$body" "$strict/query")
+[ "$status" = "502" ] || fail "fail-closed query returned $status, want 502"
+
+echo "smoke-cluster: graceful shutdown on SIGTERM"
+kill -TERM "$gatherer_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$gatherer_pid" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$gatherer_pid" 2>/dev/null && fail "gatherer still running 10s after SIGTERM"
+wait "$gatherer_pid" || fail "gatherer exited non-zero"
+
+echo "smoke-cluster: OK"
