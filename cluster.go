@@ -2,6 +2,8 @@ package approxql
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -93,8 +95,13 @@ type NodeError = corpus.NodeError
 // makes the merged (cost, doc, root) ranking exact and bit-identical to a
 // single-process search. Safe for concurrent use.
 type Cluster struct {
-	cl  *corpus.Cluster
-	qid atomic.Uint64
+	cl *corpus.Cluster
+	// nonce makes this gatherer's qids globally unique: shard nodes key
+	// their in-flight bound registries by qid alone, so two gatherers
+	// sharing nodes must never collide or one's /shard/bound updates
+	// would tighten the other's cutoff and silently drop valid hits.
+	nonce string
+	qid   atomic.Uint64
 }
 
 // NewCluster assembles a gatherer over the shard nodes at nodeURLs
@@ -125,7 +132,14 @@ func NewCluster(nodeURLs []string, local *Corpus, opts *ClusterOptions) (*Cluste
 	if len(nodes) == 0 {
 		return nil, errors.New("approxql: cluster needs at least one node")
 	}
-	return &Cluster{cl: corpus.NewCluster(nodes, corpus.ClusterConfig{FailClosed: o.FailClosed})}, nil
+	var nb [8]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return nil, fmt.Errorf("approxql: cluster qid nonce: %w", err)
+	}
+	return &Cluster{
+		cl:    corpus.NewCluster(nodes, corpus.ClusterConfig{FailClosed: o.FailClosed}),
+		nonce: hex.EncodeToString(nb[:]),
+	}, nil
 }
 
 // NodeStatus details one node's part of a cluster search.
@@ -180,7 +194,7 @@ func (cl *Cluster) SearchContext(ctx context.Context, query string, n int, rende
 		return ClusterResult{}, fmt.Errorf("approxql: unknown strategy %d", strategy)
 	}
 	cq := corpus.ClusterQuery{
-		ID:       fmt.Sprintf("q%d", cl.qid.Add(1)),
+		ID:       fmt.Sprintf("%s.q%d", cl.nonce, cl.qid.Add(1)),
 		Query:    query,
 		X:        x,
 		N:        n,

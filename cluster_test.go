@@ -6,9 +6,13 @@ package approxql_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -290,6 +294,68 @@ func TestOpenShardSubset(t *testing.T) {
 	for _, bad := range [][]int{{-1}, {0, 0}, {numShards}} {
 		if _, err := approxql.Open(bundle, &approxql.OpenOptions{Shards: bad}); err == nil {
 			t.Fatalf("Open with Shards=%v succeeded, want error", bad)
+		}
+	}
+
+	// Stale or wire-derived DocIDs outside the bundle's document table
+	// answer false, never panic.
+	for _, bad := range []approxql.DocID{-1, approxql.DocID(full.NumDocs()), 1 << 30} {
+		if sub.Owns(bad) || full.Owns(bad) {
+			t.Fatalf("Owns(%d) = true for an out-of-range DocID", bad)
+		}
+	}
+}
+
+// TestClusterQIDsGloballyUnique pins the wire contract shard-node bound
+// registries depend on: nodes key in-flight queries by qid alone, so
+// gatherer processes sharing a node must never emit colliding qids — a
+// collision would land one gatherer's /shard/bound pushes on the other's
+// query and silently drop valid hits. Every Cluster therefore prefixes
+// its qids with a fresh random nonce.
+func TestClusterQIDsGloballyUnique(t *testing.T) {
+	var mu sync.Mutex
+	var qids []string
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/shard/query" {
+			http.NotFound(w, r)
+			return
+		}
+		var req struct {
+			QID string `json:"qid"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode shard query: %v", err)
+		}
+		mu.Lock()
+		qids = append(qids, req.QID)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"done":true,"hits":0}`)
+	}))
+	defer node.Close()
+
+	// Two gatherer processes each issue their first query to the shared
+	// node; a per-process counter alone would name both "q1".
+	for i := 0; i < 2; i++ {
+		cl, err := approxql.NewCluster([]string{node.URL}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Search(`cd[title]`, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(qids) != 2 {
+		t.Fatalf("node saw %d queries, want 2", len(qids))
+	}
+	if qids[0] == qids[1] {
+		t.Fatalf("two gatherers emitted the same qid %q", qids[0])
+	}
+	for _, q := range qids {
+		if strings.HasPrefix(q, "q1.") {
+			t.Fatalf("qid %q has no gatherer-unique prefix", q)
 		}
 	}
 }

@@ -201,9 +201,13 @@ func (c *Corpus) NumOwnedDocs() int {
 	return n
 }
 
-// Owns reports whether doc lives on one of this corpus's shards. ShardOf
-// and DocRoot must only be called for owned documents.
-func (c *Corpus) Owns(doc DocID) bool { return c.docShard[doc] >= 0 }
+// Owns reports whether doc lives on one of this corpus's shards — false,
+// not a panic, for DocIDs outside the bundle's document table (stale or
+// wire-derived IDs). ShardOf and DocRoot must only be called for owned
+// documents.
+func (c *Corpus) Owns(doc DocID) bool {
+	return doc >= 0 && int(doc) < len(c.docShard) && c.docShard[doc] >= 0
+}
 
 // Shards exposes the shard list (read-only) for persistence and cache
 // administration.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -106,6 +107,71 @@ func TestShardQueryStream(t *testing.T) {
 		if h.Path == "" || h.Subtree == "" {
 			t.Fatalf("hit %d misses presentation fields: %+v", i, h)
 		}
+	}
+}
+
+// TestShardQueryHeadersBeforeEvaluation pins the streaming contract the
+// gatherer's connect timeout depends on: a shard node commits its 200 and
+// content type to the wire before evaluation runs — through the full
+// instrumented handler chain, whose statusWriter wrapper must forward
+// flushes to the connection (a regression here makes every shard query
+// slower than the gatherer's ConnectTimeout fail on a healthy node).
+func TestShardQueryHeadersBeforeEvaluation(t *testing.T) {
+	s, ts := newShardNode(t)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	s.testHookSearch = func() { <-release }
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+
+	body, err := json.Marshal(corpus.ShardQueryRequest{
+		QID: "t.0", Query: `cd[title["concerto"]]`, N: 0, Bound: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/shard/query", "application/json", bytes.NewReader(body))
+		got <- result{resp, err}
+	}()
+
+	// http.Post returns once response headers arrive; evaluation is still
+	// parked in the hook, so headers reaching the client proves the
+	// pre-evaluation flush crossed the instrument() wrapper.
+	var r result
+	select {
+	case r = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("headers not flushed before evaluation: response blocked behind the search hook")
+	}
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.resp.Body.Close()
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", r.resp.StatusCode)
+	}
+	if ct := r.resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	// Released, the stream must still complete normally: hits then done.
+	releaseOnce.Do(func() { close(release) })
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var done corpus.ShardDoneLine
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &done); err != nil {
+		t.Fatalf("terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if !done.Done || done.Error != "" || done.Hits == 0 {
+		t.Fatalf("done = %+v, want a clean non-empty stream", done)
 	}
 }
 

@@ -289,6 +289,20 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards streaming flushes to the wrapped writer: the shard-query
+// handler commits its headers and tier boundaries mid-evaluation, and the
+// gatherer's connect timeout only tolerates that when flushes actually
+// reach the connection through this wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach the connection's controls through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // discardHandler is a slog.Handler that drops everything; it stands in for
 // slog.DiscardHandler, which needs go 1.24.
 type discardHandler struct{}

@@ -128,10 +128,6 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	if s.testHookSearch != nil {
-		s.testHookSearch()
-	}
-
 	bv := newBoundVar(req.Bound)
 	if req.QID != "" {
 		s.bounds.register(req.QID, bv)
@@ -141,16 +137,17 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	// Commit the status and flush headers before evaluating: the
 	// gatherer's connect timeout covers time-to-headers, so a healthy
 	// node on a slow query must answer 200 immediately and report any
-	// later failure on the done line.
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	// later failure on the done line. The ResponseController resolves
+	// the real connection through instrument()'s wrapper via Unwrap.
+	rc := http.NewResponseController(w)
+	flush := func() { _ = rc.Flush() }
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flush()
+
+	if s.testHookSearch != nil {
+		s.testHookSearch()
+	}
 
 	opts := []approxql.QueryOption{approxql.WithStrategy(strategy)}
 	if s.cfg.Model != nil {
