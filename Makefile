@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-full fmt-check staticcheck vuln smoke smoke-cluster check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke planner-smoke fuzz-smoke
+.PHONY: all vet build test race race-full fmt-check staticcheck vuln smoke smoke-cluster check bench bench-backends bench-eval bench-corpus bench-serve bench-serve-smoke bench-smoke bench-smoke-baseline planner-smoke fuzz-smoke
 
 all: check
 
@@ -54,15 +54,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Figure 7 series over both posting backends; each run appends an entry to
-# BENCH_backends.json.
+# BENCH_backends.json. The third leg serves the stored indexes from memory
+# mappings with the posting cache disabled, pinning the raw storage path.
 bench-backends:
 	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend memory -json BENCH_backends.json
 	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend stored -json BENCH_backends.json
+	$(GO) run ./cmd/axqlbench -scale 0.01 -queries 5 -backend stored -mmap -cache -1 -json BENCH_backends.json
 
 # Direct-evaluation time/allocation suite (docs/PERFORMANCE.md); each run
-# appends an entry to BENCH_eval.json.
+# appends entries to BENCH_eval.json: the memory backend at 0.1 scale, then
+# the stored backend cold (posting cache disabled) through the pager and
+# through memory mappings — the two storage configurations the fetch-suite
+# rows compare.
 bench-eval:
 	$(GO) run ./cmd/axqlbench -suite eval -scale 0.1 -json BENCH_eval.json
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.05 -backend stored -cache -1 -json BENCH_eval.json
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.05 -backend stored -cache -1 -mmap -json BENCH_eval.json
 
 # Sharded-corpus scatter-gather suite (docs/CORPUS.md): shard-count and
 # fan-out parallelism sweep; each run appends an entry to BENCH_corpus.json.
@@ -105,9 +112,18 @@ fuzz-smoke:
 planner-smoke:
 	$(GO) run ./cmd/axqlbench -suite eval -scale 0.01 -plannercheck
 
-# Fast benchmark pass for CI: a fixed small iteration count just proves the
-# benchmarks still compile and run; timings are not meaningful.
+# Fast benchmark pass for CI: a fixed small iteration count proves the
+# benchmarks still compile and run, and the eval leg doubles as a regression
+# gate — the run must stay within 1.3x of the latest committed same-scale
+# BENCH_eval.json entry on time (points over 200µs) and allocations on every
+# paper point. After an intentional performance change, refresh the baseline
+# with bench-smoke-baseline and commit the updated BENCH_eval.json.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./internal/eval/ ./internal/index/
-	$(GO) run ./cmd/axqlbench -suite eval -scale 0.002
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.002 -regress BENCH_eval.json
 	$(GO) run ./cmd/axqlbench -suite corpus -scale 0.005
+
+# Record a fresh bench-smoke baseline entry in BENCH_eval.json for the
+# bench-smoke regression gate to compare against.
+bench-smoke-baseline:
+	$(GO) run ./cmd/axqlbench -suite eval -scale 0.002 -json BENCH_eval.json

@@ -270,6 +270,29 @@ func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
 	return db, nil
 }
 
+// OpenDatabaseFileOptions is OpenDatabaseFile honoring the OpenOptions that
+// apply to a single-database artifact: Model, CacheEntries, and MMap.
+// Shards is rejected (it requires a multi-shard corpus bundle — use Open).
+// MMap and CacheEntries only affect bundle (stored) artifacts; a plain
+// collection file loads into memory and ignores both.
+func OpenDatabaseFileOptions(path string, opts *OpenOptions) (*Database, error) {
+	var o OpenOptions
+	if opts != nil {
+		o = *opts
+	}
+	if len(o.Shards) > 0 {
+		return nil, fmt.Errorf("approxql: Shards requires a multi-shard corpus bundle; use Open")
+	}
+	if !backend.IsBundle(path) {
+		return OpenDatabaseFile(path, o.Model)
+	}
+	ce := o.CacheEntries
+	if ce == 0 {
+		ce = backend.DefaultCacheEntries
+	}
+	return openBundle(path, o.Model, backend.StoredOptions{CacheEntries: ce, MMap: o.MMap})
+}
+
 // OpenStored opens a collection over its persisted indexes: collection is
 // the file written by WriteTo (or axqlindex -out), postings the B+tree
 // holding I_struct/I_text, secondary the B+tree holding I_sec (both written
@@ -281,6 +304,11 @@ func OpenDatabaseFile(path string, model *CostModel) (*Database, error) {
 // with the tree encoding. Close the returned database to release the index
 // files.
 func OpenStored(collection, postings, secondary string, model *CostModel) (*Database, error) {
+	return openStored(collection, postings, secondary, model,
+		backend.StoredOptions{CacheEntries: backend.DefaultCacheEntries})
+}
+
+func openStored(collection, postings, secondary string, model *CostModel, sopts backend.StoredOptions) (*Database, error) {
 	f, err := os.Open(collection)
 	if err != nil {
 		return nil, err
@@ -290,7 +318,7 @@ func OpenStored(collection, postings, secondary string, model *CostModel) (*Data
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", collection, err)
 	}
-	be, err := backend.OpenStored(tree, postings, secondary, backend.DefaultCacheEntries)
+	be, err := backend.OpenStoredOptions(tree, postings, secondary, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -302,11 +330,16 @@ func OpenStored(collection, postings, secondary string, model *CostModel) (*Data
 // WriteBundle and by axqlindex when it persists both index files. It is a
 // special case of Open, which also accepts multi-shard corpus bundles.
 func OpenBundle(path string, model *CostModel) (*Database, error) {
+	return openBundle(path, model,
+		backend.StoredOptions{CacheEntries: backend.DefaultCacheEntries})
+}
+
+func openBundle(path string, model *CostModel, sopts backend.StoredOptions) (*Database, error) {
 	b, err := backend.ReadBundle(path)
 	if err != nil {
 		return nil, err
 	}
-	db, err := OpenStored(b.Collection, b.Postings, b.Secondary, model)
+	db, err := openStored(b.Collection, b.Postings, b.Secondary, model, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +390,14 @@ func persistInto(path string, save func(*storage.DB) error) error {
 		return err
 	}
 	return s.Close()
+}
+
+// MMapped reports whether the database serves its stored indexes from
+// read-only memory mappings (OpenOptions.MMap honored); always false for
+// in-memory databases and for platforms without mmap support.
+func (db *Database) MMapped() bool {
+	s, ok := db.be.(*backend.Stored)
+	return ok && s.MMapped()
 }
 
 // Fingerprint parses a query and returns a compact, stable identifier of

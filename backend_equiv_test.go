@@ -3,10 +3,13 @@ package approxql
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
+	"approxql/internal/backend"
 	"approxql/internal/datagen"
+	"approxql/internal/index"
 	"approxql/internal/querygen"
 )
 
@@ -42,8 +45,9 @@ func persistBundle(t *testing.T, db *Database) string {
 // TestBackendEquivalence is the cross-backend contract: Search,
 // SearchExplained, and Explain return identical answers whether the postings
 // come from the in-memory indexes or from the persisted B+tree files, for
-// every strategy (planner-resolved Auto included) and for sequential and
-// parallel secondary execution.
+// every strategy (planner-resolved Auto included), for sequential and
+// parallel secondary execution, across the page-cache and mmap read paths,
+// and across the v2 (blocked varint) and v3 (group varint) posting codecs.
 func TestBackendEquivalence(t *testing.T) {
 	cfg := datagen.Config{
 		Seed: 42, NumElementNames: 25, VocabularySize: 500,
@@ -56,12 +60,37 @@ func TestBackendEquivalence(t *testing.T) {
 	}
 	mem := newDatabase(tree)
 	bundle := persistBundle(t, mem)
+	// A second copy of the bundle with every posting re-encoded in the v2
+	// codec, as a pre-v5 writer would have left it.
+	bundleV2 := persistBundle(t, mem)
+	downgradeStore(t, strings.TrimSuffix(bundleV2, ".bundle")+".post", index.EncodePostingV2)
+	downgradeStore(t, strings.TrimSuffix(bundleV2, ".bundle")+".sec", index.EncodePostingV2)
 
-	stored, err := OpenBundle(bundle, nil)
-	if err != nil {
-		t.Fatal(err)
+	variants := []struct {
+		name string
+		path string
+		mmap bool
+	}{
+		{"pager-v3", bundle, false},
+		{"mmap-v3", bundle, true},
+		{"pager-v2", bundleV2, false},
+		{"mmap-v2", bundleV2, true},
 	}
-	defer stored.Close()
+	storedDBs := make([]*Database, len(variants))
+	for i, v := range variants {
+		db, err := openBundle(v.path, nil, backend.StoredOptions{
+			CacheEntries: backend.DefaultCacheEntries, MMap: v.mmap,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		defer db.Close()
+		if v.mmap && !db.be.(*backend.Stored).MMapped() {
+			t.Logf("%s: mmap unavailable on this platform, exercising the pager fallback", v.name)
+		}
+		storedDBs[i] = db
+	}
+	stored := storedDBs[0]
 	if stored.Index() != nil {
 		t.Fatal("stored database exposes in-memory indexes")
 	}
@@ -96,13 +125,15 @@ func TestBackendEquivalence(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						got, err := stored.Search(query, n, opts...)
-						if err != nil {
-							t.Fatal(err)
-						}
-						if !sameResults(want, got) {
-							t.Fatalf("%s (strategy=%v workers=%d): memory %v vs stored %v",
-								query, strategy, workers, want, got)
+						for vi, db := range storedDBs {
+							got, err := db.Search(query, n, opts...)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !sameResults(want, got) {
+								t.Fatalf("%s (strategy=%v workers=%d): memory %v vs %s %v",
+									query, strategy, workers, want, variants[vi].name, got)
+							}
 						}
 					}
 				}
@@ -148,7 +179,10 @@ func TestBackendEquivalence(t *testing.T) {
 		}
 	}
 
-	// The stored path must actually account its fetches.
+	// The stored path must actually account its fetches, down to the page
+	// level. Disabling the posting cache forces every fetch to storage so
+	// the page counter cannot be masked by earlier runs.
+	stored.SetStoredCacheSize(0)
 	var m QueryMetrics
 	if _, err := stored.Search(lastQuery, n,
 		WithCostModel(lastModel), WithStrategy(SchemaDriven), WithMetrics(&m)); err != nil {
@@ -156,6 +190,9 @@ func TestBackendEquivalence(t *testing.T) {
 	}
 	if m.BackendFetches == 0 {
 		t.Error("stored query reported zero backend fetches")
+	}
+	if m.PageReads == 0 {
+		t.Error("stored query reported zero page reads")
 	}
 }
 

@@ -10,10 +10,11 @@ import (
 )
 
 // downgradeStore rewrites every posting in a B+tree store from the current
-// codec to the v1 flat-varint format, producing a store byte-compatible with
-// pre-v2 writers. Both index stores hold nothing but encoded postings, so
-// the rewrite is key-agnostic.
-func downgradeStore(t *testing.T, path string) {
+// codec to an older posting format (encode EncodePostingV1 for flat varint,
+// EncodePostingV2 for blocked varint), producing a store byte-compatible
+// with earlier writers. Both index stores hold nothing but encoded
+// postings, so the rewrite is key-agnostic.
+func downgradeStore(t *testing.T, path string, encode func([]NodeID) []byte) {
 	t.Helper()
 	db, err := storage.Open(path, nil)
 	if err != nil {
@@ -37,7 +38,7 @@ func downgradeStore(t *testing.T, path string) {
 		if err != nil {
 			t.Fatalf("store %s key %q holds a non-posting value: %v", path, p.k, err)
 		}
-		if err := db.Put(p.k, index.EncodePostingV1(post)); err != nil {
+		if err := db.Put(p.k, encode(post)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,18 +60,47 @@ func TestV1BundleStillOpens(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.SplitN(string(manifest), "\n", 2)
-	if lines[0] != "axql-bundle v4" {
-		t.Fatalf("fresh bundle manifest starts with %q, want axql-bundle v4", lines[0])
+	if lines[0] != "axql-bundle v5" {
+		t.Fatalf("fresh bundle manifest starts with %q, want axql-bundle v5", lines[0])
 	}
 	if err := os.WriteFile(bundle, []byte("axql-bundle v1\n"+lines[1]), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".post")
-	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".sec")
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".post", index.EncodePostingV1)
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".sec", index.EncodePostingV1)
 
+	assertBundleMatchesMemory(t, mem, bundle, "v1")
+}
+
+// TestV4BundleStillOpens pins the previous generation: a v4 manifest over
+// blocked-varint (v2 codec) postings must keep opening and answering
+// identically now that fresh bundles write v5 manifests with group-varint
+// postings and front-coded dictionaries.
+func TestV4BundleStillOpens(t *testing.T) {
+	mem := buildDB(t)
+	bundle := persistBundle(t, mem)
+
+	manifest, err := os.ReadFile(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(manifest), "\n", 2)
+	if err := os.WriteFile(bundle, []byte("axql-bundle v4\n"+lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".post", index.EncodePostingV2)
+	downgradeStore(t, strings.TrimSuffix(bundle, ".bundle")+".sec", index.EncodePostingV2)
+
+	assertBundleMatchesMemory(t, mem, bundle, "v4")
+}
+
+// assertBundleMatchesMemory opens a (possibly downgraded) bundle and checks
+// both strategies rank identically to the in-memory database.
+func assertBundleMatchesMemory(t *testing.T, mem *Database, bundle, label string) {
+	t.Helper()
 	stored, err := OpenBundle(bundle, PaperCostModel())
 	if err != nil {
-		t.Fatalf("opening v1 bundle: %v", err)
+		t.Fatalf("opening %s bundle: %v", label, err)
 	}
 	defer stored.Close()
 
@@ -88,10 +118,10 @@ func TestV1BundleStillOpens(t *testing.T) {
 		for _, strategy := range []Strategy{Direct, SchemaDriven} {
 			got, err := stored.Search(query, 0, WithCostModel(model), WithStrategy(strategy))
 			if err != nil {
-				t.Fatalf("%s (%v) on v1 bundle: %v", query, strategy, err)
+				t.Fatalf("%s (%v) on %s bundle: %v", query, strategy, label, err)
 			}
 			if !sameResults(want, got) {
-				t.Errorf("%s (%v): v1 bundle returned %v, memory %v", query, strategy, got, want)
+				t.Errorf("%s (%v): %s bundle returned %v, memory %v", query, strategy, label, got, want)
 			}
 		}
 	}

@@ -546,6 +546,12 @@ type OpenOptions struct {
 	// bundle stay comparable. Empty opens every shard; non-bundle
 	// artifacts reject the option.
 	Shards []int
+	// MMap serves stored shards' index pages straight out of read-only
+	// memory mappings instead of per-shard page caches. Advisory: where
+	// mapping is unavailable the pager is used silently, and in-memory
+	// artifacts (plain collection files) ignore it. Results are identical
+	// either way.
+	MMap bool
 }
 
 // Open opens any persisted approXQL artifact at path as a Corpus — the
@@ -571,7 +577,9 @@ func Open(path string, opts *OpenOptions) (*Corpus, error) {
 	case len(o.Shards) > 0:
 		return nil, fmt.Errorf("approxql: %s is not a multi-shard corpus bundle; Shards requires one", path)
 	case backend.IsBundle(path):
-		db, err := OpenBundle(path, o.Model)
+		db, err := openBundle(path, o.Model, backend.StoredOptions{
+			CacheEntries: backend.DefaultCacheEntries, MMap: o.MMap,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -648,7 +656,8 @@ func openCorpusBundle(path string, o OpenOptions) (*Corpus, error) {
 			closeAll()
 			return nil, fmt.Errorf("%s: %w", cs.Collection, err)
 		}
-		be, err := backend.OpenStored(tree, cs.Postings, cs.Secondary, perShard)
+		be, err := backend.OpenStoredOptions(tree, cs.Postings, cs.Secondary,
+			backend.StoredOptions{CacheEntries: perShard, MMap: o.MMap})
 		if err != nil {
 			closeAll()
 			return nil, err

@@ -17,20 +17,24 @@ import (
 //	v3  multi-shard corpus manifest (JSON body, see CorpusManifest)
 //	v4  index stores carry per-subtree counters (both manifest shapes:
 //	    a text body is a single-shard bundle, a JSON body a corpus)
+//	v5  group-varint posting codec and front-coded collection
+//	    dictionaries (AXQLTREE2)
 //
-// The posting codec and the storage meta page are self-describing, so the
-// manifest version is observability (CorpusStats, /healthz), not dispatch.
+// The posting codec, the storage meta page, and the collection file are
+// self-describing, so the manifest version is observability (CorpusStats,
+// /healthz), not dispatch.
 const (
 	bundleMagicPrefix = "axql-bundle v"
-	bundleMagic       = "axql-bundle v4"
+	bundleMagic       = "axql-bundle v5"
 	bundleMagicV1     = "axql-bundle v1"
 	bundleMagicV2     = "axql-bundle v2"
 	bundleMagicV3     = "axql-bundle v3"
 	bundleMagicV4     = "axql-bundle v4"
+	bundleMagicV5     = "axql-bundle v5"
 )
 
 // BundleVersion is the manifest version new bundles are written with.
-const BundleVersion = 4
+const BundleVersion = 5
 
 // Bundle names the three files of a persisted collection: the collection
 // file (tree dictionaries and structure, xmltree.WriteTo format), the
@@ -49,8 +53,8 @@ type Bundle struct {
 	Collection string
 	Postings   string
 	Secondary  string
-	// Version is the manifest version the bundle was read from (1, 2, or
-	// 4); WriteBundle always writes the current BundleVersion.
+	// Version is the manifest version the bundle was read from (1, 2, 4,
+	// or 5); WriteBundle always writes the current BundleVersion.
 	Version int
 }
 
@@ -111,6 +115,8 @@ func ReadBundle(path string) (Bundle, error) {
 		b.Version = 2
 	case bundleMagicV4:
 		b.Version = 4
+	case bundleMagicV5:
+		b.Version = 5
 	case bundleMagicV3:
 		return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
 	default:
@@ -122,7 +128,7 @@ func ReadBundle(path string) (Bundle, error) {
 			continue
 		}
 		if strings.HasPrefix(line, "{") {
-			// A v4 magic over a JSON body is the corpus manifest shape.
+			// A v4/v5 magic over a JSON body is the corpus manifest shape.
 			return Bundle{}, fmt.Errorf("backend: %s is a multi-shard corpus bundle; open it with approxql.Open", path)
 		}
 		key, val, ok := strings.Cut(line, " ")

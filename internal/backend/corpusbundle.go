@@ -21,7 +21,7 @@ const maxManifestSize = 64 << 20
 // directory (absolute paths are kept verbatim), so a corpus directory moves
 // as a unit:
 //
-//	axql-bundle v4
+//	axql-bundle v5
 //	{
 //	  "shards": [
 //	    {"collection": "c.s0.axql", "postings": "c.s0.post",
@@ -38,7 +38,7 @@ const maxManifestSize = 64 << 20
 type CorpusManifest struct {
 	Shards []CorpusShard `json:"shards"`
 	Docs   []CorpusDoc   `json:"docs"`
-	// Version is the manifest version the bundle was read from (3 or 4);
+	// Version is the manifest version the bundle was read from (3, 4, or 5);
 	// WriteCorpusBundle always writes the current BundleVersion. It is not
 	// part of the JSON body — the magic line carries it.
 	Version int `json:"-"`
@@ -61,22 +61,24 @@ type CorpusDoc struct {
 }
 
 // IsCorpusBundle reports whether the file at path is a multi-shard bundle
-// manifest: a v3 magic line, or a v4 magic line followed by a JSON body
-// (under the v4 magic a text body is a single-shard bundle instead).
+// manifest: a v3 magic line, or a v4/v5 magic line followed by a JSON body
+// (under those magics a text body is a single-shard bundle instead).
 func IsCorpusBundle(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
 		return false
 	}
 	defer f.Close()
-	buf := make([]byte, len(bundleMagicV4)+1+64)
+	buf := make([]byte, len(bundleMagicV5)+1+64)
 	n, _ := f.Read(buf)
 	head := string(buf[:n])
 	if strings.HasPrefix(head, bundleMagicV3+"\n") {
 		return true
 	}
-	if body, ok := strings.CutPrefix(head, bundleMagicV4+"\n"); ok {
-		return strings.HasPrefix(strings.TrimLeft(body, " \t\r\n"), "{")
+	for _, magic := range []string{bundleMagicV4, bundleMagicV5} {
+		if body, ok := strings.CutPrefix(head, magic+"\n"); ok {
+			return strings.HasPrefix(strings.TrimLeft(body, " \t\r\n"), "{")
+		}
 	}
 	return false
 }
@@ -141,8 +143,8 @@ func ReadCorpusBundle(path string) (CorpusManifest, error) {
 	return m, nil
 }
 
-// ParseCorpusManifest parses a v3 or v4 corpus manifest from its raw bytes,
-// resolving relative shard paths against dir. It is the validation core of
+// ParseCorpusManifest parses a v3, v4, or v5 corpus manifest from its raw
+// bytes, resolving relative shard paths against dir. It is the validation core of
 // ReadCorpusBundle, exposed for the manifest fuzzer: every manifest it
 // accepts has a complete, in-range shard table.
 func ParseCorpusManifest(data []byte, dir string) (CorpusManifest, error) {
@@ -153,6 +155,8 @@ func ParseCorpusManifest(data []byte, dir string) (CorpusManifest, error) {
 		version = 3
 	case ok && string(magic) == bundleMagicV4:
 		version = 4
+	case ok && string(magic) == bundleMagicV5:
+		version = 5
 	default:
 		return CorpusManifest{}, fmt.Errorf("not an axql corpus bundle (magic %q)", truncate(string(magic), 32))
 	}

@@ -11,11 +11,18 @@ import (
 // fetch-level instrumentation of a storage backend. Fetches counts every
 // posting lookup that went through the cache (hits and misses); Hits the
 // lookups served without touching storage; BytesDecoded the raw bytes
-// decoded from storage on misses that found a posting.
+// decoded from storage on misses that found a posting. PageReads and
+// PageEvictions are the page-level counters underneath: logical page
+// accesses against the store (cache and mapping hits included) and pages
+// evicted from the page cache. A bare LRU leaves them zero; Stored fills
+// them from its storage files (evictions stay zero under mmap, where pages
+// are served from the mapping without a page cache).
 type CacheStats struct {
-	Fetches      int64
-	Hits         int64
-	BytesDecoded int64
+	Fetches       int64
+	Hits          int64
+	BytesDecoded  int64
+	PageReads     int64
+	PageEvictions int64
 }
 
 // LRU is a mutex-guarded, entry-bounded cache for decoded postings, shared

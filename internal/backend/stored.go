@@ -33,21 +33,42 @@ type Stored struct {
 	closeErr  error
 }
 
+// StoredOptions tune OpenStoredOptions. The zero value matches the legacy
+// OpenStored defaults except for the cache size, which callers set
+// explicitly (DefaultCacheEntries is the usual choice; <= 0 disables
+// caching).
+type StoredOptions struct {
+	// CacheEntries bounds the shared LRU of decoded postings.
+	CacheEntries int
+	// MMap asks storage to serve pages straight out of a read-only memory
+	// mapping instead of the page cache. It is advisory: platforms or
+	// files where mapping fails fall back to the pager silently (check
+	// MMapped). Query results are identical either way.
+	MMap bool
+}
+
 // OpenStored opens the stored backend over tree: postings is the B+tree
 // file holding I_struct/I_text (index.Save), secondary the file holding
 // I_sec (Schema.SaveSec). Both files are opened read-only and shared
 // through one LRU bounded to cacheEntries decoded postings (<= 0 disables
 // caching; DefaultCacheEntries is the usual choice).
 func OpenStored(tree *xmltree.Tree, postings, secondary string, cacheEntries int) (*Stored, error) {
-	postDB, err := storage.Open(postings, &storage.Options{ReadOnly: true})
+	return OpenStoredOptions(tree, postings, secondary, StoredOptions{CacheEntries: cacheEntries})
+}
+
+// OpenStoredOptions is OpenStored with the full option set.
+func OpenStoredOptions(tree *xmltree.Tree, postings, secondary string, opts StoredOptions) (*Stored, error) {
+	sopts := &storage.Options{ReadOnly: true, MMap: opts.MMap}
+	postDB, err := storage.Open(postings, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("backend: postings %s: %w", postings, err)
 	}
-	secDB, err := storage.Open(secondary, &storage.Options{ReadOnly: true})
+	secDB, err := storage.Open(secondary, sopts)
 	if err != nil {
 		postDB.Close()
 		return nil, fmt.Errorf("backend: secondary %s: %w", secondary, err)
 	}
+	cacheEntries := opts.CacheEntries
 	lru := NewLRU(cacheEntries)
 	post := index.OpenStored(postDB)
 	post.SetCache(lru)
@@ -130,8 +151,22 @@ func (s *Stored) SecTermInstanceCount(c schema.NodeID, term string) (int, error)
 	return s.sec.SecTermInstanceCount(c, term)
 }
 
-// CacheStats implements Backend: the counters of the shared LRU.
-func (s *Stored) CacheStats() CacheStats { return s.lru.Stats() }
+// MMapped reports whether both index files are served from read-only
+// memory mappings (storage.Options.MMap honored on this platform).
+func (s *Stored) MMapped() bool {
+	return s.postDB.MMapped() && s.secDB.MMapped()
+}
+
+// CacheStats implements Backend: the counters of the shared LRU plus the
+// page-level counters of both underlying stores.
+func (s *Stored) CacheStats() CacheStats {
+	st := s.lru.Stats()
+	pr, pe := s.postDB.PageStats()
+	sr, se := s.secDB.PageStats()
+	st.PageReads = int64(pr + sr)
+	st.PageEvictions = int64(pe + se)
+	return st
+}
 
 // SetCacheCapacity resizes the shared posting cache to n entries.
 func (s *Stored) SetCacheCapacity(n int) { s.lru.SetCapacity(n) }

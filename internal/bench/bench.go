@@ -50,6 +50,15 @@ type Config struct {
 	// Dir is the directory for the stored backend's index files; empty
 	// uses a temporary directory removed by Close.
 	Dir string
+	// MMap serves the stored backend's index pages from read-only memory
+	// mappings instead of the page cache (ignored for the memory backend;
+	// falls back to the pager where mapping is unavailable).
+	MMap bool
+	// CacheEntries bounds the stored backend's decoded-posting LRU: zero
+	// means backend.DefaultCacheEntries, negative disables caching so every
+	// fetch pays the full storage read — the configuration that isolates
+	// raw storage speed.
+	CacheEntries int
 }
 
 // Default returns the paper's experimental design over a collection scaled
@@ -171,7 +180,13 @@ func (r *Runner) openStored(tree *xmltree.Tree) error {
 	if err := persist(secPath, sch.SaveSec); err != nil {
 		return err
 	}
-	be, err := backend.OpenStored(tree, postPath, secPath, backend.DefaultCacheEntries)
+	ce := r.cfg.CacheEntries
+	if ce == 0 {
+		ce = backend.DefaultCacheEntries
+	}
+	be, err := backend.OpenStoredOptions(tree, postPath, secPath, backend.StoredOptions{
+		CacheEntries: ce, MMap: r.cfg.MMap,
+	})
 	if err != nil {
 		return err
 	}

@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"approxql/internal/backend"
+	"approxql/internal/cost"
 	"approxql/internal/eval"
 	"approxql/internal/kbest"
 	"approxql/internal/lang"
 	"approxql/internal/plan"
+	"approxql/internal/xmltree"
 )
 
 // EvalMeasurement is one point of the direct-evaluation suite (`axqlbench
@@ -161,6 +163,115 @@ func (r *Runner) EvalSuite(n int, workersList []int, minTime time.Duration) ([]E
 				}
 				out = append(out, m)
 			}
+		}
+	}
+	return out, nil
+}
+
+// MeasureFetch times the raw posting-read path of one (pattern, renamings)
+// point: every distinct (label, kind) the query set's expanded
+// representations name — base labels and renaming targets — is fetched and
+// decoded through the backend, with no evaluation on top. Against a stored
+// backend with the posting cache disabled this isolates exactly the layer
+// the storage format determines: B+tree descent, page reads, and posting
+// decode. MeanResults reports the mean posting entries decoded per query.
+func (r *Runner) MeasureFetch(pattern string, renamings int, minTime time.Duration) (EvalMeasurement, error) {
+	set, ok := r.sets[pattern][renamings]
+	if !ok || len(set) == 0 {
+		return EvalMeasurement{}, fmt.Errorf("bench: no query set for %s/%d", pattern, renamings)
+	}
+	type fetchKey struct {
+		label string
+		kind  cost.Kind
+	}
+	fetchSets := make([][]fetchKey, len(set))
+	for i, g := range set {
+		x := lang.Expand(g.Query, g.Model)
+		seen := make(map[fetchKey]bool)
+		for _, n := range x.Nodes {
+			if n.Rep != lang.RepNode && n.Rep != lang.RepLeaf {
+				continue
+			}
+			k := fetchKey{n.Label, n.Kind}
+			if !seen[k] {
+				seen[k] = true
+				fetchSets[i] = append(fetchSets[i], k)
+			}
+			for _, rn := range n.Renamings {
+				k := fetchKey{rn.To, n.Kind}
+				if !seen[k] {
+					seen[k] = true
+					fetchSets[i] = append(fetchSets[i], k)
+				}
+			}
+		}
+	}
+	runSet := func() (int, error) {
+		entries := 0
+		for _, fs := range fetchSets {
+			for _, k := range fs {
+				var post []xmltree.NodeID
+				var err error
+				if k.kind == cost.Text {
+					post, err = r.be.Text(k.label)
+				} else {
+					post, err = r.be.Struct(k.label)
+				}
+				if err != nil {
+					return 0, err
+				}
+				entries += len(post)
+			}
+		}
+		return entries, nil
+	}
+	entries, err := runSet() // warm-up, untimed
+	if err != nil {
+		return EvalMeasurement{}, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < minTime || iters < 2 {
+		if _, err := runSet(); err != nil {
+			return EvalMeasurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	evals := float64(iters * len(set))
+	return EvalMeasurement{
+		Pattern:        pattern,
+		Renamings:      renamings,
+		Strategy:       "fetch",
+		Workers:        1,
+		Queries:        len(set),
+		Iterations:     iters,
+		NsPerQuery:     float64(elapsed.Nanoseconds()) / evals,
+		AllocsPerQuery: float64(after.Mallocs-before.Mallocs) / evals,
+		BytesPerQuery:  float64(after.TotalAlloc-before.TotalAlloc) / evals,
+		MeanResults:    float64(entries) / float64(len(set)),
+	}, nil
+}
+
+// FetchSuite measures the posting-read path over every (pattern, renamings)
+// paper point (see MeasureFetch).
+func (r *Runner) FetchSuite(minTime time.Duration) ([]EvalMeasurement, error) {
+	var out []EvalMeasurement
+	for _, pattern := range []string{"pattern1", "pattern2", "pattern3"} {
+		if _, ok := r.sets[pattern]; !ok {
+			continue
+		}
+		for _, ren := range r.cfg.Renamings {
+			m, err := r.MeasureFetch(pattern, ren, minTime)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
 		}
 	}
 	return out, nil

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkStoredCold pins the raw storage read path: pattern3 at five
+// renamings per label over the stored backend with the decoded-posting
+// cache disabled, so every evaluation pays the full B+tree fetch and
+// posting decode. This is the configuration the mmap and group-varint
+// work targets; run it with -cpuprofile to see the storage fraction.
+func BenchmarkStoredCold(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mmap bool
+	}{{"pager", false}, {"mmap", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Default(0.05)
+			cfg.Backend = "stored"
+			cfg.CacheEntries = -1
+			cfg.MMap = mode.mmap
+			cfg.Renamings = []int{5}
+			r, err := NewRunner(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			set := r.Set("pattern3", 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, g := range set {
+					if _, err := r.Evaluate(g, 10, Direct); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -24,9 +24,12 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 		queries  = fs.Int("queries", 10, "queries averaged per point")
 		seed     = fs.Int64("seed", 2002, "query-generation seed")
 		backendF = fs.String("backend", "memory", "posting source: memory (in-memory indexes) or stored (persisted B+tree indexes)")
+		mmapF    = fs.Bool("mmap", false, "with -backend stored: serve index pages from read-only memory mappings instead of the page cache (falls back to the pager where unavailable)")
+		cacheF   = fs.Int("cache", 0, "with -backend stored: decoded-posting cache entries (0 = default 4096, negative disables caching so every fetch pays the full storage read)")
 		jsonOut  = fs.String("json", "", "append this run as a JSON entry to the given file (e.g. BENCH_backends.json, BENCH_eval.json, BENCH_corpus.json, BENCH_serve.json)")
 		suite    = fs.String("suite", "figure7", "benchmark suite: figure7 (paper series), eval (direct-evaluation time/allocation suite), corpus (sharded scatter-gather sweep), or serve (HTTP serving load harness)")
 		pcheck   = fs.Bool("plannercheck", false, "with -suite eval: fail when the planner's auto pick is 2x or more slower than the best forced strategy on any paper-pattern point")
+		regress  = fs.String("regress", "", "with -suite eval: compare this run against the latest entry for the same backend, scale, and mmap mode in the given BENCH_eval.json and fail on a >1.3x time or allocation regression on any paper point")
 	)
 	sf := registerServeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -40,10 +43,12 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 	cfg.QueriesPerPoint = *queries
 	cfg.QuerySeed = *seed
 	cfg.Backend = *backendF
+	cfg.MMap = *mmapF
+	cfg.CacheEntries = *cacheF
 
 	switch *suite {
 	case "eval":
-		return benchEvalSuite(cfg, *scale, *jsonOut, *pcheck, stdout, stderr)
+		return benchEvalSuite(cfg, *scale, *jsonOut, *pcheck, *regress, stdout, stderr)
 	case "corpus":
 		return benchCorpusSuite(cfg, *scale, *jsonOut, stdout, stderr)
 	case "serve":
@@ -91,7 +96,7 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut != "" {
-		if err := appendBenchJSON(*jsonOut, *backendF, *scale, *queries, all); err != nil {
+		if err := appendBenchJSON(*jsonOut, *backendF, *scale, *mmapF, *cacheF, *queries, all); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(all), *jsonOut)
@@ -103,8 +108,9 @@ func Bench(args []string, stdout, stderr io.Writer) error {
 // every (pattern, renamings, workers) point at n=10, reporting time and
 // allocations per query, optionally appended to BENCH_eval.json. A second
 // planner table compares the Auto pick with both forced strategies on every
-// point; -plannercheck turns that comparison into a hard gate.
-func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, plannerCheck bool, stdout, stderr io.Writer) error {
+// point; -plannercheck turns that comparison into a hard gate, and -regress
+// turns the committed BENCH_eval.json history into a regression gate.
+func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, plannerCheck bool, regress string, stdout, stderr io.Writer) error {
 	cfg.Renamings = []int{0, 5}
 	const (
 		evalN       = 10
@@ -139,6 +145,22 @@ func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, plannerChec
 			m.NsPerQuery, m.AllocsPerQuery, m.BytesPerQuery, m.MeanResults)
 	}
 
+	// Fetch suite: the raw posting-read path (B+tree fetch plus decode, no
+	// evaluation) on every paper point — the row that isolates storage
+	// speed, most meaningful with -backend stored -cache -1.
+	fsug, err := runner.FetchSuite(pointBudget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\n=== fetch suite (posting fetch+decode only) ===\n")
+	fmt.Fprintf(stdout, "%-10s %-10s %14s %12s %12s %14s\n",
+		"pattern", "renamings", "ns/query", "allocs/query", "B/query", "entries/query")
+	for _, m := range fsug {
+		fmt.Fprintf(stdout, "%-10s %-10d %14.0f %12.1f %12.0f %14.1f\n",
+			m.Pattern, m.Renamings, m.NsPerQuery, m.AllocsPerQuery, m.BytesPerQuery, m.MeanResults)
+	}
+	ms = append(ms, fsug...)
+
 	// Planner comparison: the Auto pick vs both forced strategies, serial,
 	// on every paper-pattern point.
 	ps, err := runner.PlannerSuite(evalN, pointBudget)
@@ -167,12 +189,150 @@ func benchEvalSuite(cfg bench.Config, scale float64, jsonOut string, plannerChec
 	}
 
 	if jsonOut != "" {
-		if err := appendEvalJSON(jsonOut, cfg.Backend, scale, ms); err != nil {
+		if err := appendEvalJSON(jsonOut, cfg.Backend, scale, cfg.MMap, cfg.CacheEntries, ms); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "recorded %d measurements to %s\n", len(ms), jsonOut)
 	}
+	if regress != "" {
+		baseline, date, err := loadEvalBaseline(regress, cfg.Backend, scale, cfg.MMap, cfg.CacheEntries)
+		if err != nil {
+			return err
+		}
+		bad, compared := evalRegressions(baseline, ms, stderr)
+		if compared == 0 {
+			return fmt.Errorf("axqlbench: -regress %s: baseline entry of %s shares no points with this run", regress, date)
+		}
+		if bad > 0 {
+			// One re-measurement separates smoke-scale scheduler noise from
+			// real regressions: noise only inflates a point, so the per-point
+			// minimum of two runs must still clear the budget.
+			fmt.Fprintf(stderr, "regression check: %d point(s) over budget on the first pass; re-measuring once\n", bad)
+			ms2, err := runner.EvalSuite(evalN, workers, pointBudget)
+			if err != nil {
+				return err
+			}
+			fs2, err := runner.FetchSuite(pointBudget)
+			if err != nil {
+				return err
+			}
+			ms2 = append(ms2, fs2...)
+			ps2, err := runner.PlannerSuite(evalN, pointBudget)
+			if err != nil {
+				return err
+			}
+			for _, m := range ps2 {
+				if m.Strategy != "direct" {
+					ms2 = append(ms2, m)
+				}
+			}
+			if bad, _ = evalRegressions(baseline, minEvalPoints(ms, ms2), stderr); bad > 0 {
+				return fmt.Errorf("axqlbench: %d point(s) regressed beyond %.1fx of the %s baseline in %s",
+					bad, evalRegressRatio, date, regress)
+			}
+		}
+		fmt.Fprintf(stderr, "regression check passed: %d points within %.1fx of the %s baseline (%s)\n",
+			compared, evalRegressRatio, date, regress)
+	}
 	return nil
+}
+
+// evalRegressRatio is the regression gate's budget: a fresh point may not be
+// more than this factor slower, or allocate more than this factor more, than
+// the latest committed baseline point.
+const evalRegressRatio = 1.3
+
+// evalPointKey identifies one eval-suite point across runs.
+type evalPointKey struct {
+	pattern   string
+	renamings int
+	workers   int
+	strategy  string
+}
+
+// loadEvalBaseline returns the points of the most recent entry in path
+// recorded with the same backend, scale, mmap mode, and cache setting,
+// keyed for cross-run comparison, plus that entry's date.
+func loadEvalBaseline(path, backendName string, scale float64, mmap bool, cache int) (map[evalPointKey]evalPoint, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("axqlbench: -regress: %w", err)
+	}
+	var entries []evalEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, "", fmt.Errorf("axqlbench: -regress %s: not a run array: %w", path, err)
+	}
+	var base *evalEntry
+	for i := range entries {
+		e := &entries[i]
+		if e.Backend == backendName && e.Scale == scale && e.MMap == mmap && e.Cache == cache {
+			base = e
+		}
+	}
+	if base == nil {
+		return nil, "", fmt.Errorf("axqlbench: -regress %s: no baseline entry for backend=%s scale=%g mmap=%v cache=%d (record one with -json first)",
+			path, backendName, scale, mmap, cache)
+	}
+	baseline := make(map[evalPointKey]evalPoint)
+	for _, p := range base.Points {
+		baseline[evalPointKey{p.Pattern, p.Renamings, p.Workers, p.Strategy}] = p
+	}
+	return baseline, base.Date, nil
+}
+
+// evalRegressions compares a fresh run against a baseline, reporting every
+// paper point beyond evalRegressRatio of the baseline's ns/query or
+// allocs/query. Time is only compared on points whose baseline is at least
+// 200µs — below that, scheduler noise at smoke scales dominates the signal —
+// while allocation counts are deterministic and compared everywhere (with a
+// small absolute slack for tiny points).
+func evalRegressions(baseline map[evalPointKey]evalPoint, fresh []bench.EvalMeasurement, stderr io.Writer) (bad, compared int) {
+	const (
+		timeFloorNs = float64(200 * time.Microsecond)
+		allocSlack  = 16.0
+	)
+	for _, m := range fresh {
+		b, ok := baseline[evalPointKey{m.Pattern, m.Renamings, m.Workers, m.Strategy}]
+		if !ok {
+			continue
+		}
+		compared++
+		if b.NsPerQuery >= timeFloorNs && m.NsPerQuery > evalRegressRatio*b.NsPerQuery {
+			bad++
+			fmt.Fprintf(stderr, "regression: %s/%d workers=%d strategy=%q: %.0f ns/query vs baseline %.0f (%.2fx > %.1fx)\n",
+				m.Pattern, m.Renamings, m.Workers, m.Strategy,
+				m.NsPerQuery, b.NsPerQuery, m.NsPerQuery/b.NsPerQuery, evalRegressRatio)
+		}
+		if b.AllocsPerQuery > 0 && m.AllocsPerQuery > evalRegressRatio*b.AllocsPerQuery+allocSlack {
+			bad++
+			fmt.Fprintf(stderr, "regression: %s/%d workers=%d strategy=%q: %.1f allocs/query vs baseline %.1f (%.2fx > %.1fx)\n",
+				m.Pattern, m.Renamings, m.Workers, m.Strategy,
+				m.AllocsPerQuery, b.AllocsPerQuery, m.AllocsPerQuery/b.AllocsPerQuery, evalRegressRatio)
+		}
+	}
+	return bad, compared
+}
+
+// minEvalPoints merges two runs of the same suite, keeping the per-point
+// minimum time and allocation count.
+func minEvalPoints(a, b []bench.EvalMeasurement) []bench.EvalMeasurement {
+	second := make(map[evalPointKey]bench.EvalMeasurement)
+	for _, m := range b {
+		second[evalPointKey{m.Pattern, m.Renamings, m.Workers, m.Strategy}] = m
+	}
+	out := make([]bench.EvalMeasurement, 0, len(a))
+	for _, m := range a {
+		if s, ok := second[evalPointKey{m.Pattern, m.Renamings, m.Workers, m.Strategy}]; ok {
+			if s.NsPerQuery < m.NsPerQuery {
+				m.NsPerQuery = s.NsPerQuery
+			}
+			if s.AllocsPerQuery < m.AllocsPerQuery {
+				m.AllocsPerQuery = s.AllocsPerQuery
+			}
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // checkPlannerSuite gates on the planner suite: on every (pattern,
@@ -319,10 +479,18 @@ func appendCorpusJSON(path string, scale float64, ms []bench.CorpusMeasurement) 
 
 // evalEntry is one recorded `-suite eval` run.
 type evalEntry struct {
-	Date    string      `json:"date"`
-	Backend string      `json:"backend"`
-	Scale   float64     `json:"scale"`
-	Points  []evalPoint `json:"points"`
+	Date    string  `json:"date"`
+	Backend string  `json:"backend"`
+	Scale   float64 `json:"scale"`
+	// MMap records whether the stored backend served its pages from memory
+	// mappings; absent on rows recorded before mmap mode existed, which all
+	// used the pager.
+	MMap bool `json:"mmap,omitempty"`
+	// Cache is the stored backend's decoded-posting cache size; absent
+	// means the default, negative means caching was disabled (every fetch
+	// paid the full storage read).
+	Cache  int         `json:"cache,omitempty"`
+	Points []evalPoint `json:"points"`
 }
 
 type evalPoint struct {
@@ -344,7 +512,7 @@ type evalPoint struct {
 
 // appendEvalJSON appends one eval-suite run to a JSON array file, creating
 // the file on first use.
-func appendEvalJSON(path, backend string, scale float64, ms []bench.EvalMeasurement) error {
+func appendEvalJSON(path, backend string, scale float64, mmap bool, cache int, ms []bench.EvalMeasurement) error {
 	var entries []evalEntry
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &entries); err != nil {
@@ -357,6 +525,8 @@ func appendEvalJSON(path, backend string, scale float64, ms []bench.EvalMeasurem
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Backend: backend,
 		Scale:   scale,
+		MMap:    mmap,
+		Cache:   cache,
 	}
 	for _, m := range ms {
 		e.Points = append(e.Points, evalPoint{
@@ -383,9 +553,15 @@ func appendEvalJSON(path, backend string, scale float64, ms []bench.EvalMeasurem
 
 // benchEntry is one recorded axqlbench run.
 type benchEntry struct {
-	Date    string             `json:"date"`
-	Backend string             `json:"backend"`
-	Scale   float64            `json:"scale"`
+	Date    string  `json:"date"`
+	Backend string  `json:"backend"`
+	Scale   float64 `json:"scale"`
+	// MMap records whether the stored backend served its pages from memory
+	// mappings; absent on rows recorded before mmap mode existed.
+	MMap bool `json:"mmap,omitempty"`
+	// Cache is the stored backend's decoded-posting cache size; absent
+	// means the default, negative means caching was disabled.
+	Cache   int                `json:"cache,omitempty"`
 	Queries int                `json:"queries_per_point"`
 	Points  []benchMeasurement `json:"points"`
 }
@@ -401,7 +577,7 @@ type benchMeasurement struct {
 
 // appendBenchJSON appends one run to a JSON file holding an array of runs,
 // creating the file on first use.
-func appendBenchJSON(path, backend string, scale float64, queries int, ms []bench.Measurement) error {
+func appendBenchJSON(path, backend string, scale float64, mmap bool, cache, queries int, ms []bench.Measurement) error {
 	var entries []benchEntry
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &entries); err != nil {
@@ -414,6 +590,8 @@ func appendBenchJSON(path, backend string, scale float64, queries int, ms []benc
 		Date:    time.Now().UTC().Format(time.RFC3339),
 		Backend: backend,
 		Scale:   scale,
+		MMap:    mmap,
+		Cache:   cache,
 		Queries: queries,
 	}
 	for _, m := range ms {

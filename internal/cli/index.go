@@ -30,6 +30,7 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		bundle    = fs.String("bundle", "", "bundle manifest path (default <out>.bundle when -postings and -secondary are both set)")
 		costs     = fs.String("costs", "", "optional: cost file fixing node-insertion costs")
 		shardDocs = fs.Int("shard-docs", 0, "index as a sharded corpus with up to this many documents per shard")
+		mmap      = fs.Bool("mmap", false, "after writing a bundle, reopen it with memory-mapped stored indexes to verify it serves (requires -postings and -secondary)")
 		quiet     = fs.Bool("q", false, "suppress the summary")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +88,26 @@ func Index(args []string, stdout, stderr io.Writer) error {
 		}
 		if err := approxql.WriteBundle(*bundle, *out, *postings, *secIdx); err != nil {
 			return err
+		}
+	}
+	if *mmap {
+		if *bundle == "" {
+			return fmt.Errorf("axqlindex: -mmap verification requires -postings and -secondary (a bundle to reopen)")
+		}
+		check, err := approxql.OpenDatabaseFileOptions(*bundle, &approxql.OpenOptions{Model: model, MMap: true})
+		if err != nil {
+			return fmt.Errorf("axqlindex: reopening %s: %w", *bundle, err)
+		}
+		mapped := check.MMapped()
+		got := check.Len()
+		if cerr := check.Close(); cerr != nil {
+			return cerr
+		}
+		if got != db.Len() {
+			return fmt.Errorf("axqlindex: bundle %s reopened with %d nodes, indexed %d", *bundle, got, db.Len())
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "verified: bundle reopens with %d nodes (mmap=%v)\n", got, mapped)
 		}
 	}
 

@@ -19,7 +19,8 @@ func Query(args []string, stdout, stderr io.Writer) error {
 	var (
 		dbPath    = fs.String("db", "", "collection file or bundle manifest built by axqlindex (a bundle queries the stored indexes)")
 		xml       = fs.String("xml", "", "comma-separated XML files to index on the fly")
-		cache     = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096)")
+		cache     = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096, negative disables caching)")
+		mmap      = fs.Bool("mmap", false, "serve stored index pages from read-only memory mappings (falls back to the page cache where unavailable)")
 		costs     = fs.String("costs", "", "cost file with delete/rename costs")
 		paper     = fs.Bool("papercosts", false, "use the paper's Section 6 example cost table")
 		auto      = fs.Bool("autocosts", false, "derive delete/rename costs from the collection structure")
@@ -40,6 +41,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		return queryCorpus(corpusQueryFlags{
 			dbPath:    *dbPath,
 			cache:     *cache,
+			mmap:      *mmap,
 			costs:     *costs,
 			paper:     *paper,
 			auto:      *auto,
@@ -55,7 +57,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		}, fs.Args(), stdout)
 	}
 	if *stats && fs.NArg() == 0 {
-		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel(), *cache)
+		db, err := openDatabase(*dbPath, *xml, approxql.NewCostModel(), *cache, *mmap)
 		if err != nil {
 			return err
 		}
@@ -83,7 +85,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	db, err := openDatabase(*dbPath, *xml, model, *cache)
+	db, err := openDatabase(*dbPath, *xml, model, *cache, *mmap)
 	if err != nil {
 		return err
 	}
@@ -165,6 +167,7 @@ func Query(args []string, stdout, stderr io.Writer) error {
 type corpusQueryFlags struct {
 	dbPath    string
 	cache     int
+	mmap      bool
 	costs     string
 	paper     bool
 	auto      bool
@@ -199,7 +202,7 @@ func queryCorpus(f corpusQueryFlags, args []string, stdout io.Writer) error {
 		return err
 	}
 
-	c, err := approxql.Open(f.dbPath, &approxql.OpenOptions{Model: model, CacheEntries: f.cache})
+	c, err := approxql.Open(f.dbPath, &approxql.OpenOptions{Model: model, CacheEntries: f.cache, MMap: f.mmap})
 	if err != nil {
 		return err
 	}
@@ -348,17 +351,12 @@ func printStats(w io.Writer, db *approxql.Database) error {
 	return nil
 }
 
-func openDatabase(dbPath, xml string, model *approxql.CostModel, cache int) (*approxql.Database, error) {
+func openDatabase(dbPath, xml string, model *approxql.CostModel, cache int, mmap bool) (*approxql.Database, error) {
 	switch {
 	case dbPath != "":
-		db, err := approxql.OpenDatabaseFile(dbPath, model)
-		if err != nil {
-			return nil, err
-		}
-		if cache > 0 {
-			db.SetStoredCacheSize(cache)
-		}
-		return db, nil
+		return approxql.OpenDatabaseFileOptions(dbPath, &approxql.OpenOptions{
+			Model: model, CacheEntries: cache, MMap: mmap,
+		})
 	case xml != "":
 		b := approxql.NewBuilder(model)
 		for _, path := range strings.Split(xml, ",") {

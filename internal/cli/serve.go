@@ -42,7 +42,8 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 	var (
 		dbPath      = fs.String("db", "", "collection file or bundle manifest built by axqlindex (a bundle serves the stored indexes)")
 		xml         = fs.String("xml", "", "comma-separated XML files to index on the fly")
-		cache       = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096)")
+		cache       = fs.Int("cache", 0, "posting-cache entries for stored indexes (0 = default 4096, negative disables caching)")
+		mmap        = fs.Bool("mmap", false, "serve stored index pages from read-only memory mappings (falls back to the page cache where unavailable)")
 		costs       = fs.String("costs", "", "cost file with delete/rename costs applied to every query")
 		paper       = fs.Bool("papercosts", false, "use the paper's Section 6 example cost table")
 		addr        = fs.String("addr", ":8080", "listen address")
@@ -123,7 +124,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		urls := splitList(*nodes)
 		var local *approxql.Corpus
 		if *dbPath != "" || *xml != "" {
-			c, err := openCorpus(*dbPath, *xml, model, *cache, shardIdx)
+			c, err := openCorpus(*dbPath, *xml, model, *cache, shardIdx, *mmap)
 			if err != nil {
 				return err
 			}
@@ -150,7 +151,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 		}
 		serving = fmt.Sprintf("gatherer over %d nodes", total)
 	case *dbPath != "" && approxql.IsCorpusBundle(*dbPath):
-		c, err := approxql.Open(*dbPath, &approxql.OpenOptions{Model: model, CacheEntries: *cache, Shards: shardIdx})
+		c, err := approxql.Open(*dbPath, &approxql.OpenOptions{Model: model, CacheEntries: *cache, Shards: shardIdx, MMap: *mmap})
 		if err != nil {
 			return err
 		}
@@ -163,7 +164,7 @@ func ServeContext(ctx context.Context, args []string, stdout, stderr io.Writer) 
 			serving += ", shard node"
 		}
 	default:
-		db, err := openDatabase(*dbPath, *xml, model, *cache)
+		db, err := openDatabase(*dbPath, *xml, model, *cache, *mmap)
 		if err != nil {
 			return err
 		}
@@ -240,11 +241,11 @@ func splitList(s string) []string {
 
 // openCorpus opens any artifact (or on-the-fly XML) as a corpus — the
 // gatherer's local-shards target.
-func openCorpus(dbPath, xml string, model *approxql.CostModel, cache int, shards []int) (*approxql.Corpus, error) {
+func openCorpus(dbPath, xml string, model *approxql.CostModel, cache int, shards []int, mmap bool) (*approxql.Corpus, error) {
 	if dbPath != "" {
-		return approxql.Open(dbPath, &approxql.OpenOptions{Model: model, CacheEntries: cache, Shards: shards})
+		return approxql.Open(dbPath, &approxql.OpenOptions{Model: model, CacheEntries: cache, Shards: shards, MMap: mmap})
 	}
-	db, err := openDatabase("", xml, model, cache)
+	db, err := openDatabase("", xml, model, cache, false)
 	if err != nil {
 		return nil, err
 	}

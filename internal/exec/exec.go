@@ -120,6 +120,8 @@ func (g *Engine) snapshotCacheStats(m *Metrics) func() {
 		m.BackendFetches += int(after.Fetches - before.Fetches)
 		m.BackendHits += int(after.Hits - before.Hits)
 		m.BackendBytesDecoded += after.BytesDecoded - before.BytesDecoded
+		m.PageReads += after.PageReads - before.PageReads
+		m.PageEvictions += after.PageEvictions - before.PageEvictions
 	}
 }
 

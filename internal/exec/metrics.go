@@ -68,6 +68,11 @@ type Metrics struct {
 	BackendHits int
 	// BackendBytesDecoded counts raw posting bytes decoded from storage.
 	BackendBytesDecoded int64
+	// PageReads counts logical page accesses against the stored backend's
+	// B+tree files (page-cache and mmap hits included); PageEvictions the
+	// pages evicted from their page caches (always zero under mmap).
+	PageReads     int64
+	PageEvictions int64
 
 	// The Eval* counters are the allocation-discipline view of the direct
 	// strategy (algorithm primary); they stay zero for schema-driven runs.
@@ -148,6 +153,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.BackendFetches += o.BackendFetches
 	m.BackendHits += o.BackendHits
 	m.BackendBytesDecoded += o.BackendBytesDecoded
+	m.PageReads += o.PageReads
+	m.PageEvictions += o.PageEvictions
 	m.EvalArenaChunks += o.EvalArenaChunks
 	m.EvalArenaEntries += o.EvalArenaEntries
 	m.EvalScratchHits += o.EvalScratchHits
@@ -202,6 +209,9 @@ func (m *Metrics) String() string {
 	if m.BackendFetches > 0 {
 		w("backend fetches   %d  (cache hits %d, %d bytes decoded)",
 			m.BackendFetches, m.BackendHits, m.BackendBytesDecoded)
+	}
+	if m.PageReads > 0 {
+		w("page reads        %d  (%d evictions)", m.PageReads, m.PageEvictions)
 	}
 	if m.EvalArenaEntries > 0 {
 		w("eval arena        %d entries in %d chunks", m.EvalArenaEntries, m.EvalArenaChunks)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"approxql/internal/xmltree"
 )
@@ -25,15 +26,27 @@ import (
 // entry exceeds the bound. Body deltas run from the block's own first entry,
 // which lives in the skip table and is not repeated in the body.
 //
+// The v3 format keeps v2's header and skip table byte for byte but encodes
+// each block body in group-varint form instead of a varint stream:
+//
+//	per group of up to 4 deltas: ctrl | deltas
+//
+// where the control byte holds each delta's byte length minus one in two
+// bits (delta i in bits 2i..2i+1) and the deltas follow little-endian in
+// that many bytes. The decoder reads four fixed-width values per control
+// byte with masked 32-bit loads — no per-byte continuation branch. A final
+// group with fewer than 4 deltas uses only the low bits of its control byte.
+//
 // The leading 0x00 cannot begin a non-empty v1 posting (its first byte is
 // uvarint(count) with count ≥ 1), and a v1 empty posting is the single byte
-// 0x00 with nothing following — so the two formats are self-describing and
-// every reader accepts both.
+// 0x00 with nothing following — so the formats are self-describing and
+// every reader accepts all of them.
 const (
 	formatMarker = 0x00
 	formatV2     = 0x02
+	formatV3     = 0x03
 
-	// BlockSize is the number of entries per v2 block. 128 four-byte IDs
+	// BlockSize is the number of entries per v2/v3 block. 128 four-byte IDs
 	// keep a block body near cache-line-friendly sizes after delta
 	// compression while making the skip table ~1% of the posting.
 	BlockSize = 128
@@ -53,10 +66,77 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// EncodePosting serializes a sorted posting in the blocked v2 format. The
-// buffer is sized exactly by a first measuring pass, so encoding performs a
-// single allocation with no slack. The schema's secondary index shares this
-// codec.
+// varintDeltaSize returns the total uvarint-encoded size of the deltas of
+// post against prev (post[0]-prev, post[1]-post[0], …) — the one sizing
+// function shared by every delta-varint writer.
+func varintDeltaSize(post []xmltree.NodeID, prev xmltree.NodeID) int {
+	size := 0
+	for _, u := range post {
+		size += uvarintLen(uint64(u - prev))
+		prev = u
+	}
+	return size
+}
+
+// gvMask[n] keeps the low n bytes of a little-endian 32-bit load.
+var gvMask = [5]uint32{0, 0xFF, 0xFFFF, 0xFF_FFFF, 0xFFFF_FFFF}
+
+// gvByteLen returns the 1..4-byte group-varint width of v.
+func gvByteLen(v uint32) int {
+	return (bits.Len32(v|1) + 7) / 8
+}
+
+// groupVarintSize returns the encoded body size of blk's deltas: one control
+// byte per group of up to four deltas plus each delta's byte width.
+func groupVarintSize(blk []xmltree.NodeID) int {
+	size := (len(blk) - 1 + 3) / 4
+	prev := blk[0]
+	for _, u := range blk[1:] {
+		size += gvByteLen(uint32(u - prev))
+		prev = u
+	}
+	return size
+}
+
+// appendGroupVarint appends the deltas of blk (from its first entry, which
+// is not repeated) in group-varint form.
+func appendGroupVarint(buf []byte, blk []xmltree.NodeID) []byte {
+	prev := blk[0]
+	deltas := blk[1:]
+	for len(deltas) > 0 {
+		g := deltas
+		if len(g) > 4 {
+			g = g[:4]
+		}
+		ctrlPos := len(buf)
+		buf = append(buf, 0)
+		var ctrl byte
+		for i, u := range g {
+			d := uint32(u - prev)
+			prev = u
+			n := gvByteLen(d)
+			ctrl |= byte(n-1) << (2 * i)
+			switch n {
+			case 1:
+				buf = append(buf, byte(d))
+			case 2:
+				buf = append(buf, byte(d), byte(d>>8))
+			case 3:
+				buf = append(buf, byte(d), byte(d>>8), byte(d>>16))
+			default:
+				buf = append(buf, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+			}
+		}
+		buf[ctrlPos] = ctrl
+		deltas = deltas[len(g):]
+	}
+	return buf
+}
+
+// EncodePosting serializes a sorted posting in the current (v3, group-varint
+// blocked) format. The buffer is sized exactly by a first measuring pass, so
+// encoding performs a single allocation with no slack. The schema's
+// secondary index shares this codec.
 func EncodePosting(post []xmltree.NodeID) []byte {
 	if len(post) == 0 {
 		return []byte{formatMarker} // the (v1) empty posting
@@ -69,18 +149,47 @@ func EncodePosting(post []xmltree.NodeID) []byte {
 	prevFirst := xmltree.NodeID(0)
 	for b := range bodyLens {
 		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
-		bodyLen := 0
-		prev := blk[0]
-		for _, u := range blk[1:] {
-			bodyLen += uvarintLen(uint64(u - prev))
-			prev = u
-		}
-		bodyLens[b] = bodyLen
-		size += uvarintLen(uint64(blk[0]-prevFirst)) + uvarintLen(uint64(bodyLen)) + bodyLen
+		bodyLens[b] = groupVarintSize(blk)
+		size += uvarintLen(uint64(blk[0]-prevFirst)) + uvarintLen(uint64(bodyLens[b])) + bodyLens[b]
 		prevFirst = blk[0]
 	}
 
 	// Pass 2: fill.
+	buf := make([]byte, 0, size)
+	buf = append(buf, formatMarker, formatV3)
+	buf = binary.AppendUvarint(buf, uint64(len(post)))
+	buf = binary.AppendUvarint(buf, BlockSize)
+	prevFirst = 0
+	for b := range bodyLens {
+		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
+		buf = binary.AppendUvarint(buf, uint64(blk[0]-prevFirst))
+		buf = binary.AppendUvarint(buf, uint64(bodyLens[b]))
+		prevFirst = blk[0]
+	}
+	for b := range bodyLens {
+		buf = appendGroupVarint(buf, post[b*BlockSize:min((b+1)*BlockSize, len(post))])
+	}
+	return buf
+}
+
+// EncodePostingV2 serializes a posting in the v2 blocked delta-varint
+// format, for compatibility fixtures and cross-version tests.
+func EncodePostingV2(post []xmltree.NodeID) []byte {
+	if len(post) == 0 {
+		return []byte{formatMarker} // the (v1) empty posting
+	}
+	nBlocks := (len(post) + BlockSize - 1) / BlockSize
+
+	size := 2 + uvarintLen(uint64(len(post))) + uvarintLen(BlockSize)
+	bodyLens := make([]int, nBlocks)
+	prevFirst := xmltree.NodeID(0)
+	for b := range bodyLens {
+		blk := post[b*BlockSize : min((b+1)*BlockSize, len(post))]
+		bodyLens[b] = varintDeltaSize(blk[1:], blk[0])
+		size += uvarintLen(uint64(blk[0]-prevFirst)) + uvarintLen(uint64(bodyLens[b])) + bodyLens[b]
+		prevFirst = blk[0]
+	}
+
 	buf := make([]byte, 0, size)
 	buf = append(buf, formatMarker, formatV2)
 	buf = binary.AppendUvarint(buf, uint64(len(post)))
@@ -106,15 +215,10 @@ func EncodePosting(post []xmltree.NodeID) []byte {
 // EncodePostingV1 serializes a posting in the legacy unblocked format, for
 // compatibility fixtures and tooling that must produce old bundles.
 func EncodePostingV1(post []xmltree.NodeID) []byte {
-	size := uvarintLen(uint64(len(post)))
-	prev := xmltree.NodeID(0)
-	for _, u := range post {
-		size += uvarintLen(uint64(u - prev))
-		prev = u
-	}
+	size := uvarintLen(uint64(len(post))) + varintDeltaSize(post, 0)
 	buf := make([]byte, 0, size)
 	buf = binary.AppendUvarint(buf, uint64(len(post)))
-	prev = 0
+	prev := xmltree.NodeID(0)
 	for _, u := range post {
 		buf = binary.AppendUvarint(buf, uint64(u-prev))
 		prev = u
@@ -122,12 +226,12 @@ func EncodePostingV1(post []xmltree.NodeID) []byte {
 	return buf
 }
 
-// PostingCount reads the entry count of an encoded posting (either format)
+// PostingCount reads the entry count of an encoded posting (any format)
 // without decoding the entries — the count-only fast path used when only a
 // posting's size is wanted.
 func PostingCount(data []byte) (int, error) {
 	if len(data) >= 2 && data[0] == formatMarker {
-		if data[1] != formatV2 {
+		if data[1] != formatV2 && data[1] != formatV3 {
 			return 0, fmt.Errorf("index: unknown posting format %#x", data[1])
 		}
 		data = data[2:]
@@ -163,10 +267,13 @@ func DecodePostingUpTo(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) 
 
 func decodePosting(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
 	if len(data) >= 2 && data[0] == formatMarker {
-		if data[1] != formatV2 {
-			return dst, fmt.Errorf("index: unknown posting format %#x", data[1])
+		switch data[1] {
+		case formatV2:
+			return decodeV2(dst, data[2:], bound)
+		case formatV3:
+			return decodeV3(dst, data[2:], bound)
 		}
-		return decodeV2(dst, data[2:], bound)
+		return dst, fmt.Errorf("index: unknown posting format %#x", data[1])
 	}
 	return decodeV1(dst, data, bound)
 }
@@ -276,6 +383,136 @@ func decodeV2(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltre
 		}
 		if len(body) != 0 {
 			return dst, fmt.Errorf("index: %d trailing bytes in block %d", len(body), b)
+		}
+	}
+	if decoded != count {
+		return dst, fmt.Errorf("index: decoded %d entries, header said %d", decoded, count)
+	}
+	if len(bodies) != 0 {
+		return dst, fmt.Errorf("index: %d trailing bytes after posting", len(bodies))
+	}
+	return dst, nil
+}
+
+// decodeV3 decodes a group-varint blocked posting. The header and skip table
+// are v2's; only the block bodies differ. Full groups of four deltas decode
+// through masked little-endian 32-bit loads with no per-byte branching; the
+// byte-wise path handles block tails and bodies too short for unaligned
+// loads.
+func decodeV3(dst []xmltree.NodeID, data []byte, bound xmltree.NodeID) ([]xmltree.NodeID, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return dst, fmt.Errorf("index: bad posting header")
+	}
+	data = data[n:]
+	bs, n := binary.Uvarint(data)
+	if n <= 0 || bs == 0 {
+		return dst, fmt.Errorf("index: bad posting block size")
+	}
+	data = data[n:]
+	nBlocks := int((count + bs - 1) / bs)
+	// Every entry costs at least one byte (in the skip table, a control
+	// byte, or a delta), so a count beyond the payload is corrupt; checking
+	// before pre-sizing keeps corrupt headers from forcing huge allocations.
+	if count > uint64(len(data)) {
+		return dst, fmt.Errorf("index: posting count %d exceeds payload", count)
+	}
+	if need := len(dst) + int(count); cap(dst) < need {
+		dst = append(make([]xmltree.NodeID, 0, need), dst...)
+	}
+
+	// First walk the skip table to find where the bodies start; then walk
+	// table and bodies with two cursors.
+	p := 0
+	for b := 0; b < nBlocks; b++ {
+		for f := 0; f < 2; f++ {
+			_, n := binary.Uvarint(data[p:])
+			if n <= 0 {
+				return dst, fmt.Errorf("index: truncated skip table at block %d", b)
+			}
+			p += n
+		}
+	}
+	table, bodies := data[:p], data[p:]
+
+	decoded := uint64(0)
+	first := xmltree.NodeID(0)
+	for b := 0; b < nBlocks; b++ {
+		firstDelta, n := binary.Uvarint(table)
+		table = table[n:]
+		bodyLen, n := binary.Uvarint(table)
+		table = table[n:]
+		first += xmltree.NodeID(firstDelta)
+		if first > bound {
+			return dst, nil // later blocks start higher still
+		}
+		if bodyLen > uint64(len(bodies)) {
+			return dst, fmt.Errorf("index: truncated body at block %d", b)
+		}
+		body := bodies[:bodyLen]
+		bodies = bodies[bodyLen:]
+
+		dst = append(dst, first)
+		decoded++
+		rem := min(bs, count-decoded+1) - 1 // deltas left in this block
+		prev := first
+		pos := 0
+		// Fast path: a full group whose maximal 16-byte payload is in
+		// bounds, so every delta reads as one masked unaligned load.
+		for rem >= 4 && pos+17 <= len(body) {
+			ctrl := body[pos]
+			pos++
+			for i := 0; i < 4; i++ {
+				w := int(ctrl&3) + 1
+				ctrl >>= 2
+				prev += xmltree.NodeID(binary.LittleEndian.Uint32(body[pos:]) & gvMask[w])
+				pos += w
+				dst = append(dst, prev)
+			}
+			rem -= 4
+			decoded += 4
+			if prev > bound {
+				// Sorted postings: everything past the bound is a tail of
+				// this group — trim it and stop.
+				for len(dst) > 0 && dst[len(dst)-1] > bound {
+					dst = dst[:len(dst)-1]
+				}
+				return dst, nil
+			}
+		}
+		// Byte-wise tail: short groups and bodies near their end.
+		for rem > 0 {
+			if pos >= len(body) {
+				return dst, fmt.Errorf("index: truncated posting in block %d", b)
+			}
+			ctrl := body[pos]
+			pos++
+			g := rem
+			if g > 4 {
+				g = 4
+			}
+			for i := uint64(0); i < g; i++ {
+				w := int(ctrl&3) + 1
+				ctrl >>= 2
+				if pos+w > len(body) {
+					return dst, fmt.Errorf("index: truncated posting in block %d", b)
+				}
+				var d uint32
+				for j := 0; j < w; j++ {
+					d |= uint32(body[pos+j]) << (8 * j)
+				}
+				pos += w
+				prev += xmltree.NodeID(d)
+				decoded++
+				if prev > bound {
+					return dst, nil
+				}
+				dst = append(dst, prev)
+			}
+			rem -= g
+		}
+		if pos != len(body) {
+			return dst, fmt.Errorf("index: %d trailing bytes in block %d", len(body)-pos, b)
 		}
 	}
 	if decoded != count {

@@ -18,13 +18,18 @@ func randomPosting(rng *rand.Rand, n, maxGap int) []xmltree.NodeID {
 	return post
 }
 
-// TestCodecFormats pins the wire-format discrimination: v2 postings carry the
-// 0x00 marker, v1 postings never start with 0x00 unless empty, and both
-// decode through the same entry points.
+// TestCodecFormats pins the wire-format discrimination: blocked postings
+// carry the 0x00 marker plus a version byte (0x02 varint bodies, 0x03
+// group-varint bodies), v1 postings never start with 0x00 unless empty, and
+// all formats decode through the same entry points.
 func TestCodecFormats(t *testing.T) {
 	post := []xmltree.NodeID{3, 7, 1000, 1001}
 
-	v2 := EncodePosting(post)
+	v3 := EncodePosting(post)
+	if v3[0] != 0x00 || v3[1] != 0x03 {
+		t.Fatalf("v3 header = %#x %#x, want 0x00 0x03", v3[0], v3[1])
+	}
+	v2 := EncodePostingV2(post)
 	if v2[0] != 0x00 || v2[1] != 0x02 {
 		t.Fatalf("v2 header = %#x %#x, want 0x00 0x02", v2[0], v2[1])
 	}
@@ -35,8 +40,11 @@ func TestCodecFormats(t *testing.T) {
 	if empty := EncodePosting(nil); len(empty) != 1 || empty[0] != 0x00 {
 		t.Fatalf("encoded empty posting = %v, want [0x00]", empty)
 	}
+	if empty := EncodePostingV2(nil); len(empty) != 1 || empty[0] != 0x00 {
+		t.Fatalf("encoded empty v2 posting = %v, want [0x00]", empty)
+	}
 
-	for name, data := range map[string][]byte{"v1": v1, "v2": v2} {
+	for name, data := range map[string][]byte{"v1": v1, "v2": v2, "v3": v3} {
 		got, err := DecodePosting(data)
 		if err != nil {
 			t.Fatalf("%s decode: %v", name, err)
@@ -58,7 +66,7 @@ func TestEncodePostingExactSize(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		post := randomPosting(rng, rng.Intn(5*BlockSize), 1<<uint(rng.Intn(20)))
 		for name, enc := range map[string]func([]xmltree.NodeID) []byte{
-			"v2": EncodePosting, "v1": EncodePostingV1,
+			"v3": EncodePosting, "v2": EncodePostingV2, "v1": EncodePostingV1,
 		} {
 			buf := enc(post)
 			if len(buf) != cap(buf) {
@@ -78,7 +86,7 @@ func TestCodecRoundTripBothFormats(t *testing.T) {
 	for _, n := range sizes {
 		post := randomPosting(rng, n, 2000)
 		for name, data := range map[string][]byte{
-			"v1": EncodePostingV1(post), "v2": EncodePosting(post),
+			"v1": EncodePostingV1(post), "v2": EncodePostingV2(post), "v3": EncodePosting(post),
 		} {
 			got, err := DecodePosting(data)
 			if err != nil {
@@ -128,7 +136,7 @@ func TestDecodePostingUpTo(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		post := randomPosting(rng, rng.Intn(4*BlockSize), 50)
 		for name, data := range map[string][]byte{
-			"v1": EncodePostingV1(post), "v2": EncodePosting(post),
+			"v1": EncodePostingV1(post), "v2": EncodePostingV2(post), "v3": EncodePosting(post),
 		} {
 			bounds := []xmltree.NodeID{0, 1, 25, 1000, 1 << 30}
 			if len(post) > 0 {
@@ -205,6 +213,123 @@ func FuzzDecodePostingUpTo(f *testing.F) {
 		if bound < 0 {
 			bound = -bound
 		}
+		full, err := DecodePosting(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(full); i++ {
+			if full[i] < full[i-1] {
+				return
+			}
+		}
+		got, err := DecodePostingUpTo(nil, data, bound)
+		if err != nil {
+			t.Fatalf("bounded decode rejected accepted input: %v", err)
+		}
+		var want []xmltree.NodeID
+		for _, u := range full {
+			if u <= bound {
+				want = append(want, u)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bound %d: got %d entries, want %d", bound, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bound %d: entry %d = %d, want %d", bound, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestGroupVarintMatchesV2 pins the cross-format contract the stored
+// backend relies on: a v3 posting decodes (full and bounded) to exactly
+// what the same posting's v2 encoding decodes to.
+func TestGroupVarintMatchesV2(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		post := randomPosting(rng, rng.Intn(4*BlockSize), 1<<uint(rng.Intn(26)))
+		v2, v3 := EncodePostingV2(post), EncodePosting(post)
+		a, err := DecodePosting(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DecodePosting(v3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: v2 decode %v, v3 decode %v", trial, a, b)
+		}
+		bounds := []xmltree.NodeID{0, 1, 1 << 10, 1 << 30}
+		if len(post) > 0 {
+			mid := post[len(post)/2]
+			bounds = append(bounds, mid-1, mid, mid+1)
+		}
+		for _, bound := range bounds {
+			a, err := DecodePostingUpTo(nil, v2, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := DecodePostingUpTo(nil, v3, bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d bound %d: v2 %v, v3 %v", trial, bound, a, b)
+			}
+		}
+	}
+}
+
+// FuzzGroupVarint throws arbitrary bytes at the v3 decoder under the 0x00
+// 0x03 header: it must never panic or over-allocate, and whatever it accepts
+// must re-encode (v3) and decode to the same entries.
+func FuzzGroupVarint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodePosting([]xmltree.NodeID{1, 2, 3})[2:])
+	rng := rand.New(rand.NewSource(37))
+	f.Add(EncodePosting(randomPosting(rng, 3*BlockSize, 100))[2:])
+	f.Fuzz(func(t *testing.T, body []byte) {
+		data := append([]byte{0x00, 0x03}, body...)
+		post, err := DecodePosting(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(post); i++ {
+			if post[i] < post[i-1] {
+				// Overflowing deltas can wrap NodeID; such postings are
+				// out of the encoder's domain.
+				return
+			}
+		}
+		again, err := DecodePosting(EncodePosting(post))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again) != len(post) {
+			t.Fatalf("re-decode got %d entries, want %d", len(again), len(post))
+		}
+		for i := range post {
+			if again[i] != post[i] {
+				t.Fatalf("re-decode entry %d = %d, want %d", i, again[i], post[i])
+			}
+		}
+	})
+}
+
+// FuzzGroupVarintUpTo checks the v3 bounded decode agrees with filtering the
+// full decode, for arbitrary accepted inputs.
+func FuzzGroupVarintUpTo(f *testing.F) {
+	f.Add(EncodePosting([]xmltree.NodeID{1, 200, 300})[2:], int32(250))
+	rng := rand.New(rand.NewSource(41))
+	f.Add(EncodePosting(randomPosting(rng, 2*BlockSize, 60))[2:], int32(900))
+	f.Fuzz(func(t *testing.T, body []byte, bound int32) {
+		if bound < 0 {
+			bound = -bound
+		}
+		data := append([]byte{0x00, 0x03}, body...)
 		full, err := DecodePosting(data)
 		if err != nil {
 			return

@@ -149,6 +149,9 @@ func (db *DB) ValueHeader(key []byte, max int) ([]byte, bool, error) {
 		if max > len(val) {
 			max = len(val)
 		}
+		if db.mem != nil {
+			return val[:max], true, nil
+		}
 		out := append([]byte(nil), val[:max]...)
 		return out, true, db.pager.trim()
 	}
@@ -165,6 +168,9 @@ func (db *DB) ValueHeader(key []byte, max int) ([]byte, bool, error) {
 	}
 	if max > int(ovfLen) {
 		max = int(ovfLen)
+	}
+	if db.mem != nil {
+		return opg.data[ovfHdrSize : ovfHdrSize+max], true, nil
 	}
 	out := append([]byte(nil), opg.data[ovfHdrSize:ovfHdrSize+max]...)
 	return out, true, db.pager.trim()

@@ -25,6 +25,7 @@ type DB struct {
 	counted  bool // branch pages maintain per-subtree key counters
 	readonly bool
 	closed   bool
+	mem      []byte // read-only mapping of the file; nil in pager mode
 }
 
 // Options configure Open.
@@ -34,6 +35,14 @@ type Options struct {
 	CachePages int
 	// ReadOnly opens the file without write access.
 	ReadOnly bool
+	// MMap memory-maps the file and serves reads zero-copy out of the
+	// mapping, with no page cache and no per-page allocation. It requires
+	// ReadOnly and a non-empty file-backed database; when those conditions
+	// do not hold, or the platform lacks mmap support, Open silently falls
+	// back to the pager read path (check MMapped to see which one is live).
+	// Values returned by Get, ValueHeader, and cursors then alias the
+	// mapping and stay valid until Close.
+	MMap bool
 }
 
 // Open opens (or creates) the database at path. An empty path creates a
@@ -86,7 +95,24 @@ func Open(path string, opts *Options) (*DB, error) {
 		f.Close()
 		return nil, err
 	}
+	if opts.MMap && opts.ReadOnly {
+		// Graceful fallback: mmap failure (platform, filesystem, or an
+		// unmappable size) leaves the pager path fully functional.
+		if mem, err := mmapFile(f, st.Size()); err == nil {
+			db.mem = mem
+			db.pager.setupMmap(mem)
+		}
+	}
 	return db, nil
+}
+
+// MMapped reports whether reads are served zero-copy out of a memory
+// mapping of the file (Options.MMap honored) rather than through the
+// page cache.
+func (db *DB) MMapped() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.mem != nil
 }
 
 func (db *DB) initEmpty() error {
@@ -174,6 +200,13 @@ func (db *DB) Close() error {
 	if db.file == nil {
 		return nil
 	}
+	if db.mem != nil {
+		if err := munmapFile(db.mem); err != nil {
+			db.file.Close()
+			return err
+		}
+		db.mem = nil
+	}
 	if err := db.sync(); err != nil {
 		db.file.Close()
 		return err
@@ -206,8 +239,18 @@ func (db *DB) PageOps() uint64 {
 	return db.pager.reads
 }
 
+// PageStats returns the cumulative logical page accesses (cache hits
+// included) and cache evictions. Memory-mapped databases never evict.
+func (db *DB) PageStats() (reads, evictions uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pager.reads, db.pager.evicts
+}
+
 // Get returns the value stored under key and whether it exists. The returned
-// slice is a copy and may be retained.
+// slice is a copy and may be retained — except on a memory-mapped database
+// (Options.MMap), where inline values alias the mapping and stay valid only
+// until Close.
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -548,10 +591,16 @@ func (db *DB) splitBranch(pg *page, i int, cell []byte) (*splitResult, error) {
 	return res, nil
 }
 
-// readValue materializes the value of leaf cell i, following overflow chains.
+// readValue materializes the value of leaf cell i, following overflow
+// chains. On a memory-mapped database inline values are returned zero-copy
+// as a subslice of the mapping; overflow chains are still assembled into a
+// fresh buffer because their pages are not contiguous.
 func (db *DB) readValue(pg *page, i int) ([]byte, error) {
 	val, ovfLen, ovfPage := leafCellValue(pg, i)
 	if ovfPage == 0 {
+		if db.mem != nil {
+			return val, nil
+		}
 		return append([]byte(nil), val...), nil
 	}
 	out := make([]byte, 0, ovfLen)

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package storage
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("storage: mmap is not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(b []byte) error {
+	return nil
+}

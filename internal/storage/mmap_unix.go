@@ -1,0 +1,22 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned slice stays valid
+// until munmapFile; the file itself may be closed while the mapping lives,
+// but the DB keeps it open anyway for the pager fallback path.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, corruptf("cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -17,7 +17,9 @@ type page struct {
 }
 
 // pager provides cached page access. With a nil file, all pages live in
-// memory and are never evicted.
+// memory and are never evicted. A memory-mapped pager (setupMmap) serves
+// every page as a slice directly into the mapped region: no cache, no
+// eviction, no per-page allocation.
 type pager struct {
 	file     *os.File
 	pages    map[uint32]*page
@@ -26,7 +28,19 @@ type pager struct {
 	nextID   uint32 // next page id to allocate (== page count)
 	freeHead uint32 // head of the free-page list, 0 = empty
 	reads    uint64 // logical page accesses (cache hits included)
+	evicts   uint64 // pages evicted from the cache
+
+	mem    []byte // read-only mapping of the whole file, nil when unmapped
+	mpages []page // one fixed page struct per mapped page
+
+	// spare holds page buffers recovered from evicted pages so read-heavy
+	// workloads stop allocating PageSize per cache miss.
+	spare [][]byte
 }
+
+// maxSpareBuffers bounds the recycled-buffer pool; beyond it victims' buffers
+// are dropped for the GC.
+const maxSpareBuffers = 64
 
 func newPager(file *os.File, cachePages int) *pager {
 	p := &pager{
@@ -41,20 +55,45 @@ func newPager(file *os.File, cachePages int) *pager {
 	return p
 }
 
+// setupMmap switches the pager to serve pages out of mem, a read-only
+// mapping of the whole file. Page data slices alias the mapping directly,
+// so the pager must never be written through afterwards (the DB guards
+// this with ReadOnly).
+func (p *pager) setupMmap(mem []byte) {
+	p.mem = mem
+	p.lru = nil
+	p.pages = nil
+	n := len(mem) / PageSize
+	p.mpages = make([]page, n)
+	for i := range p.mpages {
+		p.mpages[i] = page{id: uint32(i), data: mem[i*PageSize : (i+1)*PageSize]}
+	}
+}
+
 // get returns the page with the given id, reading it from disk if necessary.
 func (p *pager) get(id uint32) (*page, error) {
 	p.reads++
 	if id == 0 || id >= p.nextID {
 		return nil, corruptf("page id %d out of range [1,%d)", id, p.nextID)
 	}
+	if p.mem != nil {
+		return &p.mpages[id], nil
+	}
 	if pg, ok := p.pages[id]; ok {
 		p.touch(pg)
 		return pg, nil
 	}
-	pg := &page{id: id, data: make([]byte, PageSize)}
 	if p.file == nil {
 		return nil, corruptf("page %d missing from in-memory pager", id)
 	}
+	var buf []byte
+	if n := len(p.spare); n > 0 {
+		buf = p.spare[n-1]
+		p.spare = p.spare[:n-1]
+	} else {
+		buf = make([]byte, PageSize)
+	}
+	pg := &page{id: id, data: buf}
 	if _, err := p.file.ReadAt(pg.data, int64(id)*PageSize); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, corruptf("page %d beyond end of file", id)
@@ -142,6 +181,13 @@ func (p *pager) evict(pg *page) error {
 	}
 	p.lru.Remove(pg.elem)
 	delete(p.pages, pg.id)
+	p.evicts++
+	// Recycle the victim's buffer: trim runs only between operations, so no
+	// live cursor or tree operation still references this slice.
+	if len(p.spare) < maxSpareBuffers {
+		p.spare = append(p.spare, pg.data)
+		pg.data = nil
+	}
 	return nil
 }
 

@@ -23,6 +23,10 @@ import (
 type Builder struct {
 	model *cost.Model
 	tree  *Tree
+	// names and terms are the tree's dictionaries as their concrete
+	// mutable type (Tree exposes them behind the read-only dict.Reader).
+	names *dict.Dict
+	terms *dict.Dict
 	open  []NodeID // stack of currently open struct nodes
 	tok   Tokenizer
 	err   error
@@ -37,14 +41,13 @@ func NewBuilder(model *cost.Model) *Builder {
 	}
 	b := &Builder{
 		model: model,
-		tree: &Tree{
-			Names: dict.New(),
-			Terms: dict.New(),
-		},
-		tok: Tokenize,
+		names: dict.New(),
+		terms: dict.New(),
+		tok:   Tokenize,
 	}
+	b.tree = &Tree{Names: b.names, Terms: b.terms}
 	// The synthetic super-root (Section 4).
-	rootID := b.tree.Names.Intern(RootLabel)
+	rootID := b.names.Intern(RootLabel)
 	b.tree.label = append(b.tree.label, rootID)
 	b.tree.kind = append(b.tree.kind, cost.Struct)
 	b.tree.parent = append(b.tree.parent, -1)
@@ -63,7 +66,7 @@ func (b *Builder) SetTokenizer(tok Tokenizer) { b.tok = tok }
 // matched by an End.
 func (b *Builder) BeginElement(name string) NodeID {
 	parent := b.open[len(b.open)-1]
-	u := b.push(b.tree.Names.Intern(name), cost.Struct, parent,
+	u := b.push(b.names.Intern(name), cost.Struct, parent,
 		b.model.InsertCost(name, cost.Struct))
 	b.open = append(b.open, u)
 	return u
@@ -89,7 +92,7 @@ func (b *Builder) Word(term string) NodeID {
 	// Text nodes are never inserted into queries (insertions create inner
 	// nodes only, Definition 2), so their insert cost is zero as in the
 	// paper's list entries.
-	return b.push(b.tree.Terms.Intern(term), cost.Text, parent, 0)
+	return b.push(b.terms.Intern(term), cost.Text, parent, 0)
 }
 
 // Words tokenizes text and adds one text node per word (Section 4: "text

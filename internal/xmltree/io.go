@@ -10,17 +10,23 @@ import (
 	"approxql/internal/dict"
 )
 
-// treeMagic identifies the on-disk tree format. The format stores only the
+// Tree magics identify the on-disk format. Both formats store only the
 // dictionaries, node kinds, labels, and bounds; parent links and the cost
 // encoding (inscost, pathcost) are reconstructed at load time from the cost
 // model, so a stored collection can be re-encoded under different insert
-// costs without regeneration.
-const treeMagic = "AXQLTREE1\n"
+// costs without regeneration. v1 stores the dictionaries as quoted text
+// lines; v2 stores them as front-coded sorted blocks (dict.Pack), which
+// open without materializing any string. Writers emit v2; readers accept
+// both.
+const (
+	treeMagic   = "AXQLTREE1\n"
+	treeMagicV2 = "AXQLTREE2\n"
+)
 
-// WriteTo serializes the tree. It implements io.WriterTo.
+// WriteTo serializes the tree in the v2 format. It implements io.WriterTo.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	if _, err := io.WriteString(cw, treeMagic); err != nil {
+	if _, err := io.WriteString(cw, treeMagicV2); err != nil {
 		return cw.n, err
 	}
 	var hdr [binary.MaxVarintLen64]byte
@@ -32,11 +38,14 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	if err := writeUvarint(uint64(t.Len())); err != nil {
 		return cw.n, err
 	}
-	if _, err := t.Names.WriteTo(cw); err != nil {
-		return cw.n, err
-	}
-	if _, err := t.Terms.WriteTo(cw); err != nil {
-		return cw.n, err
+	for _, d := range []dict.Reader{t.Names, t.Terms} {
+		blob := dict.Pack(d.Strings())
+		if err := writeUvarint(uint64(len(blob))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write(blob); err != nil {
+			return cw.n, err
+		}
 	}
 	for u := 0; u < t.Len(); u++ {
 		kindBit := uint64(0)
@@ -65,7 +74,7 @@ func ReadTree(r io.Reader, model *cost.Model) (*Tree, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("xmltree: reading magic: %w", err)
 	}
-	if string(magic) != treeMagic {
+	if string(magic) != treeMagic && string(magic) != treeMagicV2 {
 		return nil, fmt.Errorf("xmltree: bad magic %q", magic)
 	}
 	n64, err := binary.ReadUvarint(br)
@@ -77,8 +86,6 @@ func ReadTree(r io.Reader, model *cost.Model) (*Tree, error) {
 	}
 	n := int(n64)
 	t := &Tree{
-		Names:    dict.New(),
-		Terms:    dict.New(),
 		label:    make([]int32, n),
 		kind:     make([]cost.Kind, n),
 		parent:   make([]NodeID, n),
@@ -86,11 +93,39 @@ func ReadTree(r io.Reader, model *cost.Model) (*Tree, error) {
 		inscost:  make([]cost.Cost, n),
 		pathcost: make([]cost.Cost, n),
 	}
-	if _, err := t.Names.ReadFrom(br); err != nil {
-		return nil, err
-	}
-	if _, err := t.Terms.ReadFrom(br); err != nil {
-		return nil, err
+	if string(magic) == treeMagicV2 {
+		readPacked := func(what string) (*dict.Packed, error) {
+			bl, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: reading %s dictionary size: %w", what, err)
+			}
+			if bl > 1<<33 {
+				return nil, fmt.Errorf("xmltree: implausible %s dictionary size %d", what, bl)
+			}
+			blob := make([]byte, bl)
+			if _, err := io.ReadFull(br, blob); err != nil {
+				return nil, fmt.Errorf("xmltree: reading %s dictionary: %w", what, err)
+			}
+			return dict.OpenPacked(blob)
+		}
+		names, err := readPacked("names")
+		if err != nil {
+			return nil, err
+		}
+		terms, err := readPacked("terms")
+		if err != nil {
+			return nil, err
+		}
+		t.Names, t.Terms = names, terms
+	} else {
+		names, terms := dict.New(), dict.New()
+		if _, err := names.ReadFrom(br); err != nil {
+			return nil, err
+		}
+		if _, err := terms.ReadFrom(br); err != nil {
+			return nil, err
+		}
+		t.Names, t.Terms = names, terms
 	}
 	for u := 0; u < n; u++ {
 		lk, err := binary.ReadUvarint(br)
@@ -118,7 +153,11 @@ func ReadTree(r io.Reader, model *cost.Model) (*Tree, error) {
 		}
 	}
 	// Reconstruct parents from the pre/bound encoding with an ancestor
-	// stack, and rebuild the cost encoding from the model.
+	// stack, and rebuild the cost encoding from the model. Insert costs
+	// depend only on the label, so they are resolved once per name ID
+	// instead of once per node (String on a packed dictionary front-decodes
+	// part of a block and allocates).
+	insOf := labelCostFunc(t.Names, model)
 	t.parent[0] = -1
 	t.pathcost[0] = 0
 	t.inscost[0] = model.InsertCost(RootLabel, cost.Struct)
@@ -133,7 +172,7 @@ func ReadTree(r io.Reader, model *cost.Model) (*Tree, error) {
 		p := stack[len(stack)-1]
 		t.parent[u] = p
 		if t.kind[u] == cost.Struct {
-			t.inscost[u] = model.InsertCost(t.Names.String(t.label[u]), cost.Struct)
+			t.inscost[u] = insOf(t.label[u])
 		}
 		t.pathcost[u] = cost.Add(t.pathcost[p], t.inscost[p])
 		if t.bound[u] > u {
@@ -163,15 +202,30 @@ func (t *Tree) Reencode(model *cost.Model) *Tree {
 		inscost:  make([]cost.Cost, n),
 		pathcost: make([]cost.Cost, n),
 	}
+	insOf := labelCostFunc(t.Names, model)
 	nt.inscost[0] = model.InsertCost(RootLabel, cost.Struct)
 	for u := 1; u < n; u++ {
 		if t.kind[u] == cost.Struct {
-			nt.inscost[u] = model.InsertCost(t.Names.String(t.label[u]), cost.Struct)
+			nt.inscost[u] = insOf(t.label[u])
 		}
 		p := t.parent[u]
 		nt.pathcost[u] = cost.Add(nt.pathcost[p], nt.inscost[p])
 	}
 	return nt
+}
+
+// labelCostFunc returns a per-name-ID struct insert cost resolver that asks
+// the model at most once per distinct label.
+func labelCostFunc(names dict.Reader, model *cost.Model) func(dict.ID) cost.Cost {
+	memo := make([]cost.Cost, names.Len())
+	seen := make([]bool, names.Len())
+	return func(id dict.ID) cost.Cost {
+		if !seen[id] {
+			memo[id] = model.InsertCost(names.String(id), cost.Struct)
+			seen[id] = true
+		}
+		return memo[id]
+	}
 }
 
 type countingWriter struct {

@@ -44,10 +44,12 @@ const RootLabel = "<root>"
 // preorder number. Node 0 is always the super-root. Construct trees with a
 // Builder; a finished Tree is safe for concurrent reads.
 type Tree struct {
-	// Names interns struct labels (element and attribute names).
-	Names *dict.Dict
-	// Terms interns text labels (single words).
-	Terms *dict.Dict
+	// Names resolves struct labels (element and attribute names). Trees
+	// built in memory carry a mutable *dict.Dict; trees loaded from the v2
+	// on-disk format carry an immutable front-coded *dict.Packed.
+	Names dict.Reader
+	// Terms resolves text labels (single words).
+	Terms dict.Reader
 
 	label    []dict.ID
 	kind     []cost.Kind

@@ -41,9 +41,9 @@ name=$(grep -o '<n[0-9]*' "$workdir/data.xml" | sort | uniq -c | sort -rn |
 [ -n "$name" ] || fail "no element names found in generated data"
 echo "smoke: querying for element <$name>"
 
-echo "smoke: indexing into a bundle"
+echo "smoke: indexing into a bundle (with -mmap verification reopen)"
 "$workdir/axqlindex" -out "$workdir/c.axdb" -postings "$workdir/c.postings" \
-    -secondary "$workdir/c.sec" -q "$workdir/data.xml"
+    -secondary "$workdir/c.sec" -mmap -q "$workdir/data.xml"
 [ -f "$workdir/c.axdb.bundle" ] || fail "bundle manifest not written"
 
 echo "smoke: starting axqlserve over the bundle"
@@ -103,6 +103,44 @@ wait "$server_pid" || fail "server exited non-zero"
 server_pid=""
 grep -q 'shutting down' "$workdir/server.log" || fail "no drain message logged"
 
+# --- mmap: the same bundle served from memory mappings ----------------------
+
+echo "smoke: mmap: query parity between pager and mmap reads"
+"$workdir/axql" -db "$workdir/c.axdb.bundle" -n 5 "$name" >"$workdir/pager.out" ||
+    fail "axql over the bundle (pager) failed"
+"$workdir/axql" -db "$workdir/c.axdb.bundle" -n 5 -mmap "$name" >"$workdir/mmap.out" ||
+    fail "axql over the bundle (-mmap) failed"
+cmp -s "$workdir/pager.out" "$workdir/mmap.out" ||
+    fail "mmap ranking differs from pager ranking: $(diff "$workdir/pager.out" "$workdir/mmap.out" | head -5)"
+
+echo "smoke: mmap: serving the bundle with -mmap"
+: >"$workdir/server.log"
+"$workdir/axqlserve" -db "$workdir/c.axdb.bundle" -addr 127.0.0.1:0 -log text -mmap \
+    >/dev/null 2>"$workdir/server.log" &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    if addr=$(grep -o 'listening on [^ ]*' "$workdir/server.log" 2>/dev/null | head -1); then
+        base="http://${addr#listening on }"
+        break
+    fi
+    kill -0 "$server_pid" 2>/dev/null || fail "mmap server exited during startup"
+    sleep 0.1
+done
+[ -n "$base" ] || fail "mmap server never reported its address"
+
+response=$(curl -sSf -X POST -H 'Content-Type: application/json' -d "$body" "$base/query")
+echo "$response" | grep -q '"rank":1' || fail "no ranked results from the mmap server: $response"
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+wait "$server_pid" || fail "mmap server exited non-zero"
+server_pid=""
+
 # --- multi-document corpus: index with -shard-docs, query, serve -----------
 
 echo "smoke: corpus: generating three documents"
@@ -115,8 +153,8 @@ echo "smoke: corpus: indexing with -shard-docs"
 "$workdir/axqlindex" -out "$workdir/corpus.axql" -shard-docs 1 -q \
     "$workdir/doc1.xml" "$workdir/doc2.xml" "$workdir/doc3.xml"
 [ -f "$workdir/corpus.axql" ] || fail "corpus bundle not written"
-head -1 "$workdir/corpus.axql" | grep -q 'axql-bundle v4' ||
-    fail "corpus bundle is not a v4 manifest"
+head -1 "$workdir/corpus.axql" | grep -q 'axql-bundle v5' ||
+    fail "corpus bundle is not a v5 manifest"
 
 cname=$(grep -o '<n[0-9]*' "$workdir/doc1.xml" | sort | uniq -c | sort -rn |
     head -1 | tr -d ' <' | sed 's/^[0-9]*//')
